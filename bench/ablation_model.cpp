@@ -1,0 +1,138 @@
+// Ablation: which ingredients of the Cynthia model matter.
+//   1. Utilization estimator off (u forced to 1 by ignoring demand/supply):
+//      approximated by Paleo-with-overlap; errors explode under bottleneck.
+//   2. Supply headroom 1.0 (the paper's literal formulas) vs. the default
+//      0.85: headroom matters exactly where queueing sets in.
+//   3. Simulator-side: comm pipeline depth (1 = no parameter-sharding
+//      pipeline) to show the overlap the models must capture.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/perf_model.hpp"
+#include "profiler/profiler.hpp"
+
+using namespace cynthia;
+
+namespace {
+
+// A CynthiaModel variant with the bottleneck estimator disabled: identical
+// Eq. 3-5 arithmetic, u == 1 always.
+double predict_no_estimator(const profiler::ProfileResult& p, const ddnn::ClusterSpec& cluster,
+                            ddnn::SyncMode mode, long iters) {
+  const double bw = [&] {
+    double b = 0.0;
+    for (const auto& ps : cluster.ps) b += core::effective_ps_bandwidth(ps).value();
+    return core::CynthiaModel::kDefaultSupplyHeadroom * b;
+  }();
+  if (mode == ddnn::SyncMode::BSP) {
+    const double comp =
+        p.witer.value() / (cluster.n_workers() * cluster.min_worker_cpu().value());
+    const double comm = 2.0 * p.gparam.value() * cluster.n_workers() / bw;
+    return std::max(comp, comm) * static_cast<double>(iters);
+  }
+  double throughput = 0.0;
+  for (const auto& w : cluster.workers) {
+    throughput += 1.0 / (p.witer.value() / w.cpu.value() + 2.0 * p.gparam.value() / bw);
+  }
+  return static_cast<double>(iters) / throughput;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Ablation: Cynthia model ingredients ===");
+  util::CsvWriter csv(bench::out_dir() + "/ablation_model.csv");
+  csv.header({"experiment", "config", "point", "observed_s", "predicted_s", "error_pct"});
+
+  // 1 + 2: utilization estimator & headroom. Two regimes:
+  //   * VGG-19 ASP at 9-16 workers — the PS NIC saturates; without the
+  //     demand/supply estimator the model keeps predicting full-speed
+  //     computation and the error grows with the cluster.
+  //   * mnist BSP — comm-bound; the headroom factor carries the accuracy.
+  {
+    const auto& w = ddnn::workload_by_name("vgg19");
+    const auto profile = profiler::profile_workload(w, bench::m4());
+    core::CynthiaModel full(profile);
+    core::CynthiaModel literal(profile, 1.0);
+    util::Table t("VGG-19 ASP, 1000 iters: prediction error by model variant");
+    t.header({"workers", "observed (s)", "full model", "headroom=1.0", "no estimator"});
+    for (int n : {9, 12, 14, 16}) {
+      const auto cluster = ddnn::ClusterSpec::homogeneous(bench::m4(), n, 1);
+      const auto obs = bench::run_scaled(cluster, w, 1000, 1000);
+      const double full_p = full.predict_total(cluster, w.sync, 1000).value();
+      const double lit_p = literal.predict_total(cluster, w.sync, 1000).value();
+      const double off_p = predict_no_estimator(profile, cluster, w.sync, 1000);
+      auto pct = [&](double pred) {
+        return util::Table::pct(util::relative_error_percent(obs.run.total_time, pred));
+      };
+      t.row({std::to_string(n), util::Table::num(obs.run.total_time, 0), pct(full_p),
+             pct(lit_p), pct(off_p)});
+      csv.row({"estimator", "full", std::to_string(n), util::Table::num(obs.run.total_time, 1),
+               util::Table::num(full_p, 1),
+               util::Table::num(util::relative_error_percent(obs.run.total_time, full_p), 2)});
+      csv.row({"estimator", "headroom1", std::to_string(n),
+               util::Table::num(obs.run.total_time, 1), util::Table::num(lit_p, 1),
+               util::Table::num(util::relative_error_percent(obs.run.total_time, lit_p), 2)});
+      csv.row({"estimator", "off", std::to_string(n), util::Table::num(obs.run.total_time, 1),
+               util::Table::num(off_p, 1),
+               util::Table::num(util::relative_error_percent(obs.run.total_time, off_p), 2)});
+    }
+    t.print(std::cout);
+    std::puts("The demand/supply estimator is what keeps the saturated points honest.");
+  }
+
+  // mnist BSP: the comm-bound regime where the headroom factor matters.
+  {
+    const auto& w = ddnn::workload_by_name("mnist");
+    const auto profile = profiler::profile_workload(w, bench::m4());
+    core::CynthiaModel full(profile);
+    core::CynthiaModel literal(profile, 1.0);
+    util::Table t("mnist BSP, 10000 iters: headroom ablation");
+    t.header({"workers", "observed (s)", "full model", "headroom=1.0"});
+    for (int n : {2, 4, 8}) {
+      const auto cluster = ddnn::ClusterSpec::homogeneous(bench::m4(), n, 1);
+      const auto obs = bench::run_scaled(cluster, w, 10000, 2000);
+      const double full_p = full.predict_total(cluster, w.sync, 10000).value();
+      const double lit_p = literal.predict_total(cluster, w.sync, 10000).value();
+      auto pct = [&](double pred) {
+        return util::Table::pct(util::relative_error_percent(obs.run.total_time, pred));
+      };
+      t.row({std::to_string(n), util::Table::num(obs.run.total_time, 0), pct(full_p),
+             pct(lit_p)});
+      csv.row({"headroom", "full", std::to_string(n), util::Table::num(obs.run.total_time, 1),
+               util::Table::num(full_p, 1),
+               util::Table::num(util::relative_error_percent(obs.run.total_time, full_p), 2)});
+      csv.row({"headroom", "headroom1", std::to_string(n),
+               util::Table::num(obs.run.total_time, 1), util::Table::num(lit_p, 1),
+               util::Table::num(util::relative_error_percent(obs.run.total_time, lit_p), 2)});
+    }
+    t.print(std::cout);
+    std::puts("Fluid capacity is optimistic under bursty arrivals; 0.85 headroom");
+    std::puts("absorbs the queueing the literal Eq. 5 misses.");
+  }
+
+  // 3: simulator comm pipeline depth (substrate ablation).
+  {
+    const auto& w = ddnn::workload_by_name("mnist");
+    util::Table t("mnist BSP x4 workers: parameter-sharding pipeline depth");
+    t.header({"pipeline blocks", "total time (s, 10000 iters)", "vs blocks=8"});
+    double base = 0.0;
+    for (int blocks : {8, 4, 2, 1}) {
+      ddnn::TrainOptions o;
+      o.comm_pipeline_blocks = blocks;
+      const auto r = bench::run_scaled(ddnn::ClusterSpec::homogeneous(bench::m4(), 4, 1), w,
+                                       10000, 2000, o);
+      if (blocks == 8) base = r.run.total_time;
+      t.row({std::to_string(blocks), util::Table::num(r.run.total_time, 0),
+             util::Table::pct(100 * (r.run.total_time / base - 1.0))});
+      csv.row({"pipeline", std::to_string(blocks), "4", util::Table::num(r.run.total_time, 1),
+               "", ""});
+    }
+    t.print(std::cout);
+    std::puts("Without the pipeline (blocks=1) push/apply/pull serialize and the");
+    std::puts("comm phase inflates — the overlap TF's PS runtime actually has.");
+  }
+  std::printf("[csv] %s/ablation_model.csv\n\n", bench::out_dir().c_str());
+  return 0;
+}

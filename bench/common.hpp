@@ -1,0 +1,97 @@
+// Shared support for the reproduction benches.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation. Binaries print aligned ASCII tables to stdout and also dump
+// CSV series under bench_out/ for external plotting.
+//
+// Iteration scaling: several figures train 10,000 iterations per point
+// (Table 1). Because the simulated iteration process is stationary after
+// the pipeline warms up, total time is linear in the iteration count, so
+// run_scaled() simulates a representative window and extrapolates to the
+// full budget — each bench states when it does this. Loss values at the
+// full count come from the workload's (noiseless) loss law.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "cloud/instance.hpp"
+#include "ddnn/loss.hpp"
+#include "ddnn/trainer.hpp"
+#include "ddnn/workload.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace cynthia::bench {
+
+inline const cloud::InstanceType& m4() { return cloud::Catalog::aws().at("m4.xlarge"); }
+inline const cloud::InstanceType& m1() { return cloud::Catalog::aws().at("m1.xlarge"); }
+inline const cloud::InstanceType& r3() { return cloud::Catalog::aws().at("r3.xlarge"); }
+
+/// Directory for CSV artifacts (created on demand).
+inline std::string out_dir() {
+  const char* env = std::getenv("CYNTHIA_BENCH_OUT");
+  std::string dir = env ? env : "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+struct ScaledResult {
+  ddnn::TrainResult run;   ///< the simulated window (times already scaled)
+  long full_iterations = 0;
+  long simulated_iterations = 0;
+  double scale = 1.0;
+};
+
+/// Runs `workload` for min(full_iterations, window) iterations and scales
+/// the time aggregates to full_iterations. Loss is re-evaluated at the full
+/// count from the workload's loss law. Utilizations/traces describe the
+/// simulated window (they are intensive quantities).
+inline ScaledResult run_scaled(const ddnn::ClusterSpec& cluster, const ddnn::WorkloadSpec& w,
+                               long full_iterations, long window = 2000,
+                               ddnn::TrainOptions options = {}) {
+  ScaledResult out;
+  out.full_iterations = full_iterations;
+  out.simulated_iterations = std::min(full_iterations, window);
+  options.iterations = out.simulated_iterations;
+  out.run = ddnn::run_training(cluster, w, options);
+  out.scale = static_cast<double>(full_iterations) / out.simulated_iterations;
+  out.run.total_time *= out.scale;
+  out.run.computation_time *= out.scale;
+  out.run.communication_time *= out.scale;
+  out.run.iterations = full_iterations;
+  out.run.final_loss =
+      ddnn::loss_model(w.loss(), w.sync, static_cast<double>(full_iterations), cluster.n_workers());
+  return out;
+}
+
+/// Mean +/- stdev of the scaled total time over `reps` seeds (the paper
+/// repeats every experiment three times).
+struct TimedPoint {
+  double mean = 0.0;
+  double stddev = 0.0;
+  ddnn::TrainResult representative;
+};
+
+inline TimedPoint repeat_scaled(const ddnn::ClusterSpec& cluster, const ddnn::WorkloadSpec& w,
+                                long full_iterations, long window = 2000,
+                                ddnn::TrainOptions options = {}, int reps = 3) {
+  util::RunningStats stats;
+  TimedPoint point;
+  for (int i = 0; i < reps; ++i) {
+    options.seed = 1 + static_cast<std::uint64_t>(i) * 7919;
+    auto r = run_scaled(cluster, w, full_iterations, window, options);
+    stats.add(r.run.total_time);
+    if (i == 0) point.representative = std::move(r.run);
+  }
+  point.mean = stats.mean();
+  point.stddev = stats.stddev();
+  return point;
+}
+
+inline std::string fmt_mean_std(const TimedPoint& p, int precision = 0) {
+  return util::Table::num(p.mean, precision) + " +/- " + util::Table::num(p.stddev, precision);
+}
+
+}  // namespace cynthia::bench

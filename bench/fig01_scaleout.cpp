@@ -1,0 +1,75 @@
+// Figure 1: DDNN training time vs. provisioned workers, homogeneous vs.
+// heterogeneous clusters.
+//   (a) ResNet-32, ASP, 3000 iterations, 4/7/9 workers
+//   (b) mnist DNN, BSP, 10000 iterations, 1/2/4/8 workers
+// Heterogeneous clusters contain floor(n/2) m1.xlarge stragglers.
+// Also reports the Sec. 1 motivation number: the worst-case degradation
+// from blindly scaling out mnist BSP (the paper's "up to 137.6%").
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace cynthia;
+using bench::fmt_mean_std;
+
+int main() {
+  std::puts("=== Fig. 1: training time vs. worker count (homo vs. hetero) ===");
+  std::puts("(mnist points simulate a 2000-iteration window, extrapolated to 10000)");
+
+  util::CsvWriter csv(bench::out_dir() + "/fig01_scaleout.csv");
+  csv.header({"panel", "workload", "workers", "cluster", "time_s", "stddev_s"});
+
+  // (a) ResNet-32 with ASP.
+  {
+    const auto& w = ddnn::workload_by_name("resnet32");
+    util::Table t("Fig. 1(a)  ResNet-32, ASP, 3000 iterations");
+    t.header({"workers", "homogeneous (s)", "heterogeneous (s)"});
+    for (int n : {4, 7, 9}) {
+      const auto homo =
+          bench::repeat_scaled(ddnn::ClusterSpec::homogeneous(bench::m4(), n, 1), w, 3000, 3000);
+      const auto hetero = bench::repeat_scaled(
+          ddnn::ClusterSpec::with_stragglers(bench::m4(), bench::m1(), n, 1), w, 3000, 3000);
+      t.row({std::to_string(n), fmt_mean_std(homo), fmt_mean_std(hetero)});
+      csv.row({"a", "resnet32", std::to_string(n), "homo", util::Table::num(homo.mean),
+               util::Table::num(homo.stddev)});
+      csv.row({"a", "resnet32", std::to_string(n), "hetero", util::Table::num(hetero.mean),
+               util::Table::num(hetero.stddev)});
+    }
+    t.print(std::cout);
+  }
+
+  // (b) mnist DNN with BSP.
+  {
+    const auto& w = ddnn::workload_by_name("mnist");
+    util::Table t("Fig. 1(b)  mnist DNN, BSP, 10000 iterations");
+    t.header({"workers", "homogeneous (s)", "heterogeneous (s)"});
+    double best = 1e18, worst = 0.0;
+    for (int n : {1, 2, 4, 8}) {
+      const auto homo =
+          bench::repeat_scaled(ddnn::ClusterSpec::homogeneous(bench::m4(), n, 1), w, 10000);
+      best = std::min(best, homo.mean);
+      worst = std::max(worst, homo.mean);
+      if (n == 1) {
+        t.row({"1", fmt_mean_std(homo), "n/a"});
+        csv.row({"b", "mnist", "1", "homo", util::Table::num(homo.mean),
+                 util::Table::num(homo.stddev)});
+        continue;
+      }
+      const auto hetero = bench::repeat_scaled(
+          ddnn::ClusterSpec::with_stragglers(bench::m4(), bench::m1(), n, 1), w, 10000);
+      t.row({std::to_string(n), fmt_mean_std(homo), fmt_mean_std(hetero)});
+      csv.row({"b", "mnist", std::to_string(n), "homo", util::Table::num(homo.mean),
+               util::Table::num(homo.stddev)});
+      csv.row({"b", "mnist", std::to_string(n), "hetero", util::Table::num(hetero.mean),
+               util::Table::num(hetero.stddev)});
+    }
+    t.print(std::cout);
+    std::printf(
+        "Motivation (Sec. 1): blind scale-out degrades mnist BSP by up to %.1f%%"
+        " (paper: up to 137.6%%)\n",
+        (worst / best - 1.0) * 100.0);
+  }
+  std::printf("[csv] %s/fig01_scaleout.csv\n\n", bench::out_dir().c_str());
+  return 0;
+}

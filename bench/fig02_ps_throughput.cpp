@@ -1,0 +1,53 @@
+// Figure 2: network-in throughput of the PS node over time while training
+// the mnist DNN with BSP and 1/2/4/8 workers. The paper's observation: the
+// PS NIC saturates around 70-90 MB/s as workers grow from 4 to 8.
+// Also reproduces the Sec. 2 control experiment: giving the PS more CPU
+// does not relieve a saturated NIC.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace cynthia;
+
+int main() {
+  std::puts("=== Fig. 2: PS network-in throughput over time, mnist DNN (BSP) ===");
+  const auto& w = ddnn::workload_by_name("mnist");
+  util::CsvWriter csv(bench::out_dir() + "/fig02_ps_throughput.csv");
+  csv.header({"workers", "t_start_s", "mbps"});
+
+  util::Table t("PS ingress throughput (2500-iteration run, 1 s buckets)");
+  t.header({"workers", "avg MB/s", "peak MB/s", "NIC share MB/s"});
+  for (int n : {1, 2, 4, 8}) {
+    ddnn::TrainOptions o;
+    o.iterations = 2500;
+    o.trace_bucket_seconds = 1.0;
+    const auto r = ddnn::run_training(ddnn::ClusterSpec::homogeneous(bench::m4(), n, 1), w, o);
+    t.row({std::to_string(n), util::Table::num(r.ps_ingress_avg_mbps, 1),
+           util::Table::num(r.ps_ingress_peak_mbps, 1),
+           util::Table::num(bench::m4().nic_mbps.value(), 0)});
+    for (const auto& b : r.ps_ingress_trace) {
+      csv.row({std::to_string(n), util::Table::num(b.start, 1), util::Table::num(b.value, 2)});
+    }
+  }
+  t.print(std::cout);
+
+  // Control: PS with 1x / 2x / 4x CPU capability at 8 workers. Throughput
+  // must stay pinned (NIC-bound), echoing "the network throughput of the PS
+  // remains saturated even when more CPU resources are configured".
+  util::Table c("Control: 8 workers, PS CPU scaled (NIC stays the bottleneck)");
+  c.header({"PS CPU (GFLOPS)", "avg ingress MB/s", "worker util"});
+  for (double mult : {1.0, 2.0, 4.0}) {
+    auto cluster = ddnn::ClusterSpec::homogeneous(bench::m4(), 8, 1);
+    cluster.ps.front().cpu = util::GFlopsRate{bench::m4().core_gflops.value() * mult};
+    ddnn::TrainOptions o;
+    o.iterations = 2500;
+    const auto r = ddnn::run_training(cluster, w, o);
+    c.row({util::Table::num(cluster.ps.front().cpu.value(), 2),
+           util::Table::num(r.ps_ingress_avg_mbps, 1),
+           util::Table::pct(100 * r.avg_worker_cpu_util)});
+  }
+  c.print(std::cout);
+  std::printf("[csv] %s/fig02_ps_throughput.csv\n\n", bench::out_dir().c_str());
+  return 0;
+}

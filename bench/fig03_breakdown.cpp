@@ -1,0 +1,36 @@
+// Figure 3: training-time breakdown (computation vs. communication) for the
+// cifar10 DNN with BSP as workers scale 9..17. The paper's point: comp
+// falls, comm rises, and they cross near 13 workers — the balance point a
+// cost-efficient plan should sit at.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace cynthia;
+
+int main() {
+  std::puts("=== Fig. 3: comp/comm breakdown, cifar10 DNN (BSP), 10000 iterations ===");
+  std::puts("(1500-iteration window, extrapolated)");
+  const auto& w = ddnn::workload_by_name("cifar10");
+  util::Table t("Per-run totals (seconds)");
+  t.header({"workers", "computation", "communication", "training time"});
+  util::CsvWriter csv(bench::out_dir() + "/fig03_breakdown.csv");
+  csv.header({"workers", "comp_s", "comm_s", "total_s"});
+
+  int crossover = -1;
+  for (int n = 9; n <= 17; n += 2) {
+    const auto r = bench::run_scaled(ddnn::ClusterSpec::homogeneous(bench::m4(), n, 1), w,
+                                     10000, 1500);
+    t.row({std::to_string(n), util::Table::num(r.run.computation_time, 0),
+           util::Table::num(r.run.communication_time, 0),
+           util::Table::num(r.run.total_time, 0)});
+    csv.row_numeric({static_cast<double>(n), r.run.computation_time, r.run.communication_time,
+                     r.run.total_time});
+    if (crossover < 0 && r.run.communication_time > r.run.computation_time) crossover = n;
+  }
+  t.print(std::cout);
+  std::printf("Comp/comm crossover at ~%d workers (paper: balance near 13).\n", crossover);
+  std::printf("[csv] %s/fig03_breakdown.csv\n\n", bench::out_dir().c_str());
+  return 0;
+}

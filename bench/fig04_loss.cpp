@@ -1,0 +1,60 @@
+// Figure 4: training loss vs. iteration with the fitted Eq. 1 curve.
+//   (a) cifar10 DNN, BSP, 2/4/8 workers — curves coincide (loss depends
+//       only on the iteration count under BSP)
+//   (b) ResNet-32, ASP, 4/9 workers — more workers converge slower
+//       (parameter staleness), each with its own fitted curve.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/loss_model.hpp"
+
+using namespace cynthia;
+
+namespace {
+
+void panel(const char* title, const char* workload_name, const std::vector<int>& worker_counts,
+           long iterations, util::CsvWriter& csv) {
+  const auto& w = ddnn::workload_by_name(workload_name);
+  util::Table t(title);
+  t.header({"workers", "loss@25%", "loss@50%", "loss@100%", "fitted beta0", "fitted beta1",
+            "fit err"});
+  for (int n : worker_counts) {
+    ddnn::TrainOptions o;
+    o.iterations = iterations;
+    o.loss_sample_stride = iterations / 100;
+    const auto r =
+        ddnn::run_training(ddnn::ClusterSpec::homogeneous(bench::m4(), n, 1), w, o);
+    const auto fit = core::LossModel::fit_run(w.sync, r, n);
+    // Mean relative fit error over the observed curve.
+    double err = 0.0;
+    for (const auto& p : r.loss_curve) {
+      err += std::abs(fit.loss_at(static_cast<double>(p.iteration), n) - p.loss) / p.loss;
+      csv.row({workload_name, std::to_string(n), std::to_string(p.iteration),
+               util::Table::num(p.loss, 4),
+               util::Table::num(fit.loss_at(static_cast<double>(p.iteration), n), 4)});
+    }
+    err /= static_cast<double>(r.loss_curve.size());
+    auto at = [&](double frac) {
+      const auto idx = static_cast<std::size_t>(frac * (r.loss_curve.size() - 1));
+      return util::Table::num(r.loss_curve[idx].loss, 3);
+    };
+    t.row({std::to_string(n), at(0.25), at(0.5), at(1.0), util::Table::num(fit.beta0(), 0),
+           util::Table::num(fit.beta1(), 3), util::Table::pct(100 * err)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Fig. 4: loss curves and Eq. 1 fits ===");
+  util::CsvWriter csv(bench::out_dir() + "/fig04_loss.csv");
+  csv.header({"workload", "workers", "iteration", "observed_loss", "fitted_loss"});
+  panel("Fig. 4(a)  cifar10 DNN, BSP, 10000 iterations", "cifar10", {2, 4, 8}, 10000, csv);
+  std::puts("BSP: curves for 2/4/8 workers coincide (loss depends only on s).");
+  panel("Fig. 4(b)  ResNet-32, ASP, 3000 iterations", "resnet32", {4, 9}, 3000, csv);
+  std::puts("ASP: 9 workers end at a higher loss than 4 (staleness, sqrt(n) factor).");
+  std::printf("[csv] %s/fig04_loss.csv\n\n", bench::out_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 7: network-in throughput of the PS node over time for VGG-19 with
+// ASP in a homogeneous cluster (4/7/9 workers). The paper observes the PS
+// NIC approaching saturation (~110 MB/s) at 9 workers, which is what caps
+// worker CPU utilization to ~85%.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace cynthia;
+
+int main() {
+  std::puts("=== Fig. 7: PS network-in throughput over time, VGG-19 (ASP) ===");
+  const auto& w = ddnn::workload_by_name("vgg19");
+  util::CsvWriter csv(bench::out_dir() + "/fig07_vgg_throughput.csv");
+  csv.header({"workers", "t_start_s", "mbps"});
+
+  util::Table t("PS ingress (1000 iterations, 10 s buckets)");
+  t.header({"workers", "avg MB/s", "peak MB/s", "worker CPU util"});
+  for (int n : {4, 7, 9}) {
+    ddnn::TrainOptions o;
+    o.iterations = 1000;
+    o.trace_bucket_seconds = 10.0;
+    const auto r = ddnn::run_training(ddnn::ClusterSpec::homogeneous(bench::m4(), n, 1), w, o);
+    t.row({std::to_string(n), util::Table::num(r.ps_ingress_avg_mbps, 1),
+           util::Table::num(r.ps_ingress_peak_mbps, 1),
+           util::Table::pct(100 * r.avg_worker_cpu_util)});
+    for (const auto& b : r.ps_ingress_trace) {
+      csv.row({std::to_string(n), util::Table::num(b.start, 1), util::Table::num(b.value, 2)});
+    }
+  }
+  t.print(std::cout);
+  std::printf("NIC share per docker: %.0f MB/s. Paper: throughput ~110 MB/s at 9\n",
+              bench::m4().nic_mbps.value());
+  std::puts("workers, limiting worker CPU utilization to 85.4%.");
+  std::printf("[csv] %s/fig07_vgg_throughput.csv\n\n", bench::out_dir().c_str());
+  return 0;
+}

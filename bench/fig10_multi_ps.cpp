@@ -1,0 +1,54 @@
+// Figure 10: prediction with multiple PS nodes (1/2/4).
+//   (a) ResNet-32, ASP, 4/7/9 workers — extra PS barely helps (the PS was
+//       never the bottleneck)
+//   (b) mnist DNN, BSP, 4/8/16 workers — extra PS relieves the bottleneck
+// Paper: 1.1-3.5% prediction error; the asymmetry justifies Theorem 4.1's
+// choice of the *minimum* PS count.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/perf_model.hpp"
+#include "profiler/profiler.hpp"
+
+using namespace cynthia;
+
+namespace {
+
+void panel(const char* title, const char* name, const std::vector<int>& workers, long full_iters,
+           long window, util::CsvWriter& csv) {
+  const auto& w = ddnn::workload_by_name(name);
+  const auto profile = profiler::profile_workload(w, bench::m4());
+  core::CynthiaModel model(profile);
+  util::Table t(title);
+  t.header({"workers", "nps", "observed (s)", "Cynthia (s)", "error"});
+  for (int n : workers) {
+    for (int nps : {1, 2, 4}) {
+      const auto cluster = ddnn::ClusterSpec::homogeneous(bench::m4(), n, nps);
+      const auto obs = bench::repeat_scaled(cluster, w, full_iters, window);
+      const double pred = model.predict_total(cluster, w.sync, full_iters).value();
+      t.row({std::to_string(n), std::to_string(nps), bench::fmt_mean_std(obs),
+             util::Table::num(pred, 0),
+             util::Table::pct(util::relative_error_percent(obs.mean, pred))});
+      csv.row({name, std::to_string(n), std::to_string(nps), util::Table::num(obs.mean, 1),
+               util::Table::num(pred, 1)});
+    }
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Fig. 10: prediction with 1/2/4 PS nodes ===");
+  util::CsvWriter csv(bench::out_dir() + "/fig10_multi_ps.csv");
+  csv.header({"workload", "workers", "n_ps", "observed_s", "cynthia_s"});
+  panel("Fig. 10(a)  ResNet-32, ASP, 3000 iterations (1000-iter window)", "resnet32", {4, 7, 9},
+        3000, 1000, csv);
+  std::puts("ASP/ResNet-32: added PS nodes change little -> wasted budget.");
+  panel("Fig. 10(b)  mnist DNN, BSP, 10000 iterations (1500-iter window)", "mnist", {4, 8, 16},
+        10000, 1500, csv);
+  std::puts("BSP/mnist: added PS nodes relieve the bottleneck and cut the time.");
+  std::printf("[csv] %s/fig10_multi_ps.csv\n\n", bench::out_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared harness for the provisioning benches (Figs. 11-13): builds the
+// Cynthia predictor and the modified-Optimus comparator for a workload,
+// executes both plans on the simulated testbed, and reports goal
+// attainment + dollar cost.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <optional>
+
+#include "baselines/optimus_provisioner.hpp"
+#include "common.hpp"
+#include "core/predictor.hpp"
+#include "core/provisioner.hpp"
+
+namespace cynthia::bench {
+
+struct ProvisionHarness {
+  ddnn::WorkloadSpec workload;
+  core::Predictor predictor;
+  core::Provisioner cynthia;
+  baselines::OptimusProvisioner optimus;
+
+  /// `sync_override` retrains the loss history and fits under a different
+  /// mechanism (Fig. 11 runs ResNet-32 with BSP although Table 1 lists ASP).
+  static ProvisionHarness build(const char* workload_name,
+                                std::optional<ddnn::SyncMode> sync_override = {}) {
+    auto w = ddnn::workload_by_name(workload_name);
+    if (sync_override) w.sync = *sync_override;
+    auto pred = core::Predictor::build(w, m4());
+    core::Provisioner cyn(pred.model(), pred.loss(), cloud::Catalog::aws().provisionable());
+    auto opt = baselines::OptimusProvisioner::build_online(
+        w, pred.loss(), cloud::Catalog::aws().provisionable());
+    return {w, std::move(pred), std::move(cyn), std::move(opt)};
+  }
+
+  struct Execution {
+    core::ProvisionPlan plan;
+    double actual_time = 0.0;   ///< simulated wall time of the plan
+    double actual_cost = 0.0;   ///< Eq. 8 cost at the actual time
+    double achieved_loss = 0.0;
+    bool goal_met = false;
+  };
+
+  /// Executes a plan on the testbed (window-scaled) and prices it.
+  std::optional<Execution> execute(const core::ProvisionPlan& plan,
+                                   const core::ProvisionGoal& goal, long window = 1500) const {
+    if (!plan.feasible) return std::nullopt;
+    Execution e;
+    e.plan = plan;
+    const auto cluster =
+        ddnn::ClusterSpec::homogeneous(plan.type, plan.n_workers, plan.n_ps);
+    const auto r = run_scaled(cluster, workload, plan.total_iterations, window);
+    e.actual_time = r.run.total_time;
+    e.achieved_loss = r.run.final_loss;
+    e.actual_cost =
+        core::plan_cost(plan.type, plan.n_workers, plan.n_ps, util::Seconds{e.actual_time})
+            .value();
+    e.goal_met = e.actual_time <= goal.time_goal.value() * 1.02;
+    return e;
+  }
+
+  static std::string plan_label(const core::ProvisionPlan& plan) {
+    if (!plan.feasible) return "infeasible";
+    std::string s = std::to_string(plan.n_workers) + "*" + plan.type.name;
+    if (plan.n_ps > 1) s += " " + std::to_string(plan.n_ps) + "ps";
+    return s;
+  }
+};
+
+}  // namespace cynthia::bench

@@ -1,0 +1,91 @@
+// Sec. 5.3: runtime overhead of Cynthia.
+//   * profiling overhead: 30-iteration baseline runs (reported by
+//     bench/table04_profile; summarized here)
+//   * computation time of Algorithm 1: the paper reports 19/39/13 ms for
+//     cifar10 (BSP), ResNet-32 (BSP) and VGG-19 (ASP) on an m4.xlarge.
+// Measured here with google-benchmark on the host CPU.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "baselines/optimus_provisioner.hpp"
+#include "common.hpp"
+#include "core/predictor.hpp"
+#include "core/provisioner.hpp"
+
+using namespace cynthia;
+
+namespace {
+
+struct Fixture {
+  ddnn::WorkloadSpec workload;
+  std::unique_ptr<core::Provisioner> provisioner;
+  core::ProvisionGoal goal;
+  ddnn::SyncMode mode;
+};
+
+Fixture& fixture_for(const std::string& name, ddnn::SyncMode mode, double minutes,
+                     double target_loss) {
+  static std::map<std::string, Fixture> cache;
+  const std::string key = name + "/" + ddnn::to_string(mode);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto w = ddnn::workload_by_name(name);
+    w.sync = mode;
+    auto pred = core::Predictor::build(w, bench::m4());
+    Fixture f;
+    f.workload = w;
+    f.provisioner = std::make_unique<core::Provisioner>(pred.model(), pred.loss(),
+                                                        cloud::Catalog::aws().provisionable());
+    f.goal = {util::minutes(minutes), target_loss};
+    f.mode = mode;
+    it = cache.emplace(key, std::move(f)).first;
+  }
+  return it->second;
+}
+
+void run_plan(benchmark::State& state, Fixture& f) {
+  for (auto _ : state) {
+    auto plan = f.provisioner->plan(f.mode, f.goal);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+
+void BM_Alg1_Cifar10Bsp(benchmark::State& state) {
+  run_plan(state, fixture_for("cifar10", ddnn::SyncMode::BSP, 90, 0.8));
+}
+void BM_Alg1_Resnet32Bsp(benchmark::State& state) {
+  run_plan(state, fixture_for("resnet32", ddnn::SyncMode::BSP, 90, 0.6));
+}
+void BM_Alg1_Vgg19Asp(benchmark::State& state) {
+  run_plan(state, fixture_for("vgg19", ddnn::SyncMode::ASP, 30, 0.8));
+}
+// Exhaustive search for contrast (what the bounds save).
+void BM_Alg1_ExhaustiveCifar10(benchmark::State& state) {
+  auto& f = fixture_for("cifar10", ddnn::SyncMode::BSP, 90, 0.8);
+  core::ProvisionOptions opts;
+  opts.exhaustive = true;
+  opts.first_feasible_only = false;
+  for (auto _ : state) {
+    auto plan = f.provisioner->plan(f.mode, f.goal, opts);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+
+BENCHMARK(BM_Alg1_Cifar10Bsp)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Alg1_Resnet32Bsp)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Alg1_Vgg19Asp)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Alg1_ExhaustiveCifar10)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Sec. 5.3: Cynthia runtime overhead ===\n");
+  std::printf("Paper: Alg. 1 computes plans in 13-39 ms; profiling runs once per\n");
+  std::printf("workload (0.9 s - 10.4 min simulated, see table04_profile).\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

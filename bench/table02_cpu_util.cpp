@@ -1,0 +1,42 @@
+// Table 2: average CPU utilization of the PS and the workers while training
+// the mnist DNN (BSP) in homogeneous and heterogeneous clusters with
+// 1/2/4/8 workers. The heterogeneous "worker" column reports the m4-class
+// workers, as in the paper.
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace cynthia;
+
+int main() {
+  std::puts("=== Table 2: PS / worker CPU utilization, mnist DNN (BSP) ===");
+  util::Table t("Average CPU utilization (2000-iteration window)");
+  t.header({"workers", "homo PS", "homo worker", "hetero PS", "hetero worker (m4)"});
+  util::CsvWriter csv(bench::out_dir() + "/table02_cpu_util.csv");
+  csv.header({"workers", "cluster", "ps_util", "worker_util_fast"});
+
+  const auto& w = ddnn::workload_by_name("mnist");
+  for (int n : {1, 2, 4, 8}) {
+    ddnn::TrainOptions o;
+    o.iterations = 2000;
+    const auto homo = ddnn::run_training(ddnn::ClusterSpec::homogeneous(bench::m4(), n, 1), w, o);
+    std::string het_ps = "N/A", het_wk = "N/A";
+    if (n >= 2) {
+      const auto het = ddnn::run_training(
+          ddnn::ClusterSpec::with_stragglers(bench::m4(), bench::m1(), n, 1), w, o);
+      het_ps = util::Table::pct(100 * het.avg_ps_cpu_util);
+      het_wk = util::Table::pct(100 * het.avg_fast_worker_cpu_util);
+      csv.row({std::to_string(n), "hetero", util::Table::num(het.avg_ps_cpu_util, 4),
+               util::Table::num(het.avg_fast_worker_cpu_util, 4)});
+    }
+    t.row({std::to_string(n), util::Table::pct(100 * homo.avg_ps_cpu_util),
+           util::Table::pct(100 * homo.avg_worker_cpu_util), het_ps, het_wk});
+    csv.row({std::to_string(n), "homo", util::Table::num(homo.avg_ps_cpu_util, 4),
+             util::Table::num(homo.avg_worker_cpu_util, 4)});
+  }
+  t.print(std::cout);
+  std::puts("Paper shape: PS utilization saturates by ~4 workers while worker");
+  std::puts("utilization collapses (100% -> ~26% at 8 workers).");
+  std::printf("[csv] %s/table02_cpu_util.csv\n\n", bench::out_dir().c_str());
+  return 0;
+}

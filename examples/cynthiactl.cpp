@@ -1,0 +1,208 @@
+// cynthiactl — command-line front end for the Cynthia library.
+//
+//   cynthiactl catalog                         list instance types
+//   cynthiactl models                          list model zoo entries
+//   cynthiactl profile <workload>              30-iteration baseline profile
+//   cynthiactl plan <workload> --minutes M --loss L [--gpu] [--type T]
+//                                              run Algorithm 1
+//   cynthiactl simulate <workload> --workers N [--ps K] [--type T]
+//              [--iterations S] [--stragglers]  run the training simulator
+//
+// Workloads: mnist | cifar10 | resnet32 | vgg19, or any zoo model name
+// (resnet50, alexnet, lstm) which is derived via workload_from_network.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/instance.hpp"
+#include "core/predictor.hpp"
+#include "core/provisioner.hpp"
+#include "ddnn/trainer.hpp"
+#include "models/zoo.hpp"
+#include "profiler/profiler.hpp"
+#include "util/table.hpp"
+
+using namespace cynthia;
+
+namespace {
+
+/// Minimal --flag value parser: positional args + string options.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  std::map<std::string, bool> flags;
+
+  static Args parse(int argc, char** argv) {
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+      std::string tok = argv[i];
+      if (tok.rfind("--", 0) == 0) {
+        const std::string name = tok.substr(2);
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+          a.options[name] = argv[++i];
+        } else {
+          a.flags[name] = true;
+        }
+      } else {
+        a.positional.push_back(tok);
+      }
+    }
+    return a;
+  }
+
+  [[nodiscard]] std::optional<double> number(const std::string& name) const {
+    auto it = options.find(name);
+    if (it == options.end()) return std::nullopt;
+    return std::stod(it->second);
+  }
+  [[nodiscard]] std::string text(const std::string& name, std::string fallback) const {
+    auto it = options.find(name);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool flag(const std::string& name) const {
+    return flags.count(name) > 0;
+  }
+};
+
+ddnn::WorkloadSpec resolve_workload(const std::string& name) {
+  for (const auto& w : ddnn::paper_workloads()) {
+    if (w.name == name) return w;
+  }
+  // Fall back to the model zoo via the structural bridge.
+  return ddnn::workload_from_network(models::build_by_name(name));
+}
+
+int cmd_catalog() {
+  util::Table t("Instance catalog");
+  t.header({"type", "CPU", "GFLOPS", "accel", "NIC MB/s", "$/h", "class"});
+  for (const auto& i : cloud::Catalog::aws().types()) {
+    t.row({i.name, i.cpu_model, util::Table::num(i.compute_gflops().value(), 1),
+           i.has_accelerator() ? i.accelerator : "-", util::Table::num(i.nic_mbps.value(), 0),
+           util::Table::num(i.price.value(), 3),
+           i.previous_generation ? "legacy" : (i.has_accelerator() ? "gpu" : "current")});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_models() {
+  util::Table t("Model zoo");
+  t.header({"name", "params (M)", "fwd GFLOP/sample", "payload (MB)"});
+  for (const char* name :
+       {"mnist", "cifar10", "resnet32", "vgg19", "resnet50", "alexnet", "lstm"}) {
+    const auto net = models::build_by_name(name);
+    t.row({name, util::Table::num(net.total_params() / 1e6, 2),
+           util::Table::num(net.forward_flops_per_sample() / 1e9, 3),
+           util::Table::num(net.param_megabytes().value(), 2)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_profile(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::puts("usage: cynthiactl profile <workload>");
+    return 2;
+  }
+  const auto w = resolve_workload(args.positional[1]);
+  const auto& baseline = cloud::Catalog::aws().at(args.text("type", "m4.xlarge"));
+  const auto p = profiler::profile_workload(w, baseline);
+  util::Table t("Profile of " + w.name + " on " + baseline.name);
+  t.header({"quantity", "value"});
+  t.row({"w_iter (GFLOPs)", util::Table::num(p.witer.value(), 3)});
+  t.row({"g_param (MB)", util::Table::num(p.gparam.value(), 3)});
+  t.row({"c_prof (GFLOPS)", util::Table::num(p.cprof.value(), 4)});
+  t.row({"b_prof (MB/s)", util::Table::num(p.bprof.value(), 2)});
+  t.row({"profiling time (s)", util::Table::num(p.profiling_time.value(), 1)});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  if (args.positional.size() < 2 || !args.number("minutes") || !args.number("loss")) {
+    std::puts("usage: cynthiactl plan <workload> --minutes M --loss L [--gpu] [--type T]");
+    return 2;
+  }
+  const auto w = resolve_workload(args.positional[1]);
+  const auto& catalog = cloud::Catalog::aws();
+  const auto pred = core::Predictor::build(w, catalog.at(args.text("type", "m4.xlarge")));
+  auto types = args.flag("gpu") ? catalog.provisionable_with_accelerators()
+                                : catalog.provisionable();
+  core::Provisioner prov(pred.model(), pred.loss(), std::move(types));
+  const core::ProvisionGoal goal{util::minutes(*args.number("minutes")), *args.number("loss")};
+  const auto plan = prov.plan(w.sync, goal);
+  std::printf("plan: %s\n", plan.describe().c_str());
+  if (plan.feasible) {
+    std::printf("bounds: workers in [%d, %d], ratio r=%.1f, %s\n", plan.bounds.n_lower,
+                plan.bounds.n_upper, plan.bounds.r,
+                plan.diagnostics.bw_bottleneck || plan.diagnostics.cpu_bottleneck
+                    ? "PS bottleneck anticipated"
+                    : "no PS bottleneck at the chosen size");
+  }
+  return plan.feasible ? 0 : 1;
+}
+
+int cmd_simulate(const Args& args) {
+  if (args.positional.size() < 2 || !args.number("workers")) {
+    std::puts(
+        "usage: cynthiactl simulate <workload> --workers N [--ps K] [--type T]"
+        " [--iterations S] [--stragglers]");
+    return 2;
+  }
+  const auto w = resolve_workload(args.positional[1]);
+  const auto& catalog = cloud::Catalog::aws();
+  const auto& type = catalog.at(args.text("type", "m4.xlarge"));
+  const int n = static_cast<int>(*args.number("workers"));
+  const int ps = static_cast<int>(args.number("ps").value_or(1));
+  const auto cluster =
+      args.flag("stragglers")
+          ? ddnn::ClusterSpec::with_stragglers(type, catalog.at("m1.xlarge"), n, ps)
+          : ddnn::ClusterSpec::homogeneous(type, n, ps);
+  ddnn::TrainOptions o;
+  o.iterations = static_cast<long>(args.number("iterations").value_or(0));
+  const auto r = ddnn::run_training(cluster, w, o);
+  util::Table t("Simulation: " + w.name + " on " + std::to_string(n) + "x " + type.name +
+                " + " + std::to_string(ps) + " PS");
+  t.header({"metric", "value"});
+  t.row({"iterations", std::to_string(r.iterations)});
+  t.row({"total time (s)", util::Table::num(r.total_time, 1)});
+  t.row({"computation (s)", util::Table::num(r.computation_time, 1)});
+  t.row({"communication (s)", util::Table::num(r.communication_time, 1)});
+  t.row({"worker CPU util", util::Table::pct(100 * r.avg_worker_cpu_util)});
+  t.row({"PS CPU util", util::Table::pct(100 * r.avg_ps_cpu_util)});
+  t.row({"PS ingress (MB/s)", util::Table::num(r.ps_ingress_avg_mbps, 1)});
+  t.row({"final loss", util::Table::num(r.final_loss, 3)});
+  t.row({"cost ($, Eq. 8)",
+         util::Table::num(
+             core::plan_cost(type, n, ps, util::Seconds{r.total_time}).value(), 3)});
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv);
+  if (args.positional.empty()) {
+    std::puts("cynthiactl — cost-efficient DDNN provisioning toolkit");
+    std::puts("commands: catalog | models | profile | plan | simulate");
+    return 2;
+  }
+  const std::string& cmd = args.positional[0];
+  try {
+    if (cmd == "catalog") return cmd_catalog();
+    if (cmd == "models") return cmd_models();
+    if (cmd == "profile") return cmd_profile(args);
+    if (cmd == "plan") return cmd_plan(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}

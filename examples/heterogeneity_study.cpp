@@ -1,0 +1,100 @@
+// Heterogeneity & bottleneck study: a diagnostic session over the training
+// simulator, the workflow an engineer uses to answer "why is my distributed
+// job slow, and would different resources fix it?".
+//
+// Scenario: the team trains the mnist DNN (BSP) on a mixed cluster that
+// accumulated m1.xlarge stragglers. We (a) quantify the straggler tax,
+// (b) detect the PS bottleneck from resource telemetry, (c) ask the Cynthia
+// model's diagnostics for the root cause, and (d) compare candidate fixes.
+#include <cstdio>
+#include <iostream>
+
+#include "cloud/instance.hpp"
+#include "core/perf_model.hpp"
+#include "ddnn/trainer.hpp"
+#include "profiler/profiler.hpp"
+#include "util/table.hpp"
+
+using namespace cynthia;
+
+namespace {
+
+ddnn::TrainResult run(const ddnn::ClusterSpec& cluster, const ddnn::WorkloadSpec& w) {
+  ddnn::TrainOptions o;
+  o.iterations = 2000;  // representative window; times scale linearly
+  return ddnn::run_training(cluster, w, o);
+}
+
+}  // namespace
+
+int main() {
+  const auto& catalog = cloud::Catalog::aws();
+  const auto& m4 = catalog.at("m4.xlarge");
+  const auto& m1 = catalog.at("m1.xlarge");
+  const auto& workload = ddnn::workload_by_name("mnist");
+  std::puts("Diagnosing a mixed m4/m1 cluster training the mnist DNN (BSP)\n");
+
+  // (a) The straggler tax at small scale.
+  util::Table tax("(a) Straggler tax: homogeneous vs. ceil(n/2) m4 + floor(n/2) m1");
+  tax.header({"workers", "homo time (s)", "mixed time (s)", "tax"});
+  for (int n : {2, 4, 8}) {
+    const auto homo = run(ddnn::ClusterSpec::homogeneous(m4, n, 1), workload);
+    const auto mixed = run(ddnn::ClusterSpec::with_stragglers(m4, m1, n, 1), workload);
+    tax.row({std::to_string(n), util::Table::num(homo.total_time, 0),
+             util::Table::num(mixed.total_time, 0),
+             util::Table::pct(100 * (mixed.total_time / homo.total_time - 1.0))});
+  }
+  tax.print(std::cout);
+  std::puts("At 2 workers the m1 straggler dominates; beyond 4 the tax vanishes —");
+  std::puts("not because stragglers stopped hurting, but because a worse problem\n"
+            "(the PS) started dominating. Telemetry confirms:\n");
+
+  // (b) Telemetry at 8 workers.
+  const auto big = run(ddnn::ClusterSpec::with_stragglers(m4, m1, 8, 1), workload);
+  util::Table tele("(b) Telemetry, 8 mixed workers + 1 PS");
+  tele.header({"metric", "value"});
+  tele.row({"PS CPU utilization", util::Table::pct(100 * big.avg_ps_cpu_util)});
+  tele.row({"PS ingress throughput", util::Table::num(big.ps_ingress_avg_mbps, 1) + " MB/s of " +
+                                         util::Table::num(m4.nic_mbps.value(), 0)});
+  tele.row({"fast-worker CPU utilization", util::Table::pct(100 * big.avg_fast_worker_cpu_util)});
+  tele.row({"straggler CPU utilization",
+            util::Table::pct(100 * big.worker_cpu_util.back())});
+  tele.print(std::cout);
+
+  // (c) Ask the model.
+  const auto profile = profiler::profile_workload(workload, m4);
+  core::CynthiaModel model(profile);
+  const auto diag = model.predict_iteration(
+      ddnn::ClusterSpec::with_stragglers(m4, m1, 8, 1), workload.sync);
+  std::puts("\n(c) Cynthia's model diagnosis at 8 workers:");
+  std::printf("    PS bandwidth: demand %.0f vs supply %.0f MB/s -> %s\n", diag.bw_demand,
+              diag.bw_supply, diag.bw_bottleneck ? "BOTTLENECK" : "ok");
+  std::printf("    PS CPU:       demand %.2f vs supply %.2f GFLOPS -> %s\n", diag.cpu_demand,
+              diag.cpu_supply, diag.cpu_bottleneck ? "BOTTLENECK" : "ok");
+  std::printf("    per-iteration: t_comp %.4f s vs t_comm %.4f s -> %s\n", diag.t_comp,
+              diag.t_comm,
+              diag.t_comm > diag.t_comp ? "COMMUNICATION-BOUND (PS NIC sets the pace)"
+                                        : "computation-bound");
+  std::printf("    estimated worker utilization: %.0f%%\n", 100 * diag.worker_utilization);
+
+  // (d) Candidate fixes, evaluated without re-profiling.
+  util::Table fixes("(d) Candidate fixes at 8 workers (2000-iteration window)");
+  fixes.header({"configuration", "time (s)", "speedup"});
+  const double base = big.total_time;
+  const auto add_ps = run(ddnn::ClusterSpec::with_stragglers(m4, m1, 8, 2), workload);
+  const auto homo8 = run(ddnn::ClusterSpec::homogeneous(m4, 8, 1), workload);
+  const auto small = run(ddnn::ClusterSpec::homogeneous(m4, 2, 1), workload);
+  fixes.row({"status quo (8 mixed, 1 PS)", util::Table::num(base, 0), "1.00x"});
+  fixes.row({"add a 2nd PS", util::Table::num(add_ps.total_time, 0),
+             util::Table::num(base / add_ps.total_time, 2) + "x"});
+  fixes.row({"replace stragglers (8 m4, 1 PS)", util::Table::num(homo8.total_time, 0),
+             util::Table::num(base / homo8.total_time, 2) + "x"});
+  fixes.row({"shrink to 2 m4 + 1 PS", util::Table::num(small.total_time, 0),
+             util::Table::num(base / small.total_time, 2) + "x"});
+  fixes.print(std::cout);
+  std::puts("The cheapest fix is also the least intuitive: *shrink* the cluster.");
+  std::puts("Replacing stragglers does nothing while the PS sets the pace; adding a");
+  std::puts("PS halves the time, but two m4 workers already drive one PS as hard as");
+  std::puts("this model ever needs — eight workers were pure waste.");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: the minimal Cynthia workflow in ~40 lines of API calls.
+//
+//   1. Pick a workload (the paper's cifar10 DNN with BSP).
+//   2. Build a Predictor: one 30-iteration baseline profile + a loss-curve
+//      fit from a prior execution.
+//   3. Ask the Provisioner (Algorithm 1) for the cheapest cluster that
+//      reaches loss 0.8 within 90 minutes.
+//   4. Execute the plan on the simulated EC2 testbed and verify the goal.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "cloud/instance.hpp"
+#include "core/predictor.hpp"
+#include "core/provisioner.hpp"
+#include "ddnn/trainer.hpp"
+
+using namespace cynthia;
+
+int main() {
+  const auto& catalog = cloud::Catalog::aws();
+  const auto& workload = ddnn::workload_by_name("cifar10");
+
+  // --- 2. profile once on a baseline worker + fit the loss curve.
+  std::puts("[1/3] profiling cifar10 on one m4.xlarge baseline worker...");
+  const auto predictor = core::Predictor::build(workload, catalog.at("m4.xlarge"));
+  std::printf("      w_iter=%.2f GFLOPs  g_param=%.2f MB  profiling cost=%.0f s\n",
+              predictor.profile().witer.value(), predictor.profile().gparam.value(),
+              predictor.profile().profiling_time.value());
+  std::printf("      fitted loss curve: l(s) = %.0f/s + %.3f\n", predictor.loss().beta0(),
+              predictor.loss().beta1());
+
+  // --- 3. Algorithm 1: cheapest plan meeting (90 min, loss 0.8).
+  std::puts("[2/3] searching the instance catalog (Algorithm 1)...");
+  core::Provisioner provisioner(predictor.model(), predictor.loss(), catalog.provisionable());
+  const core::ProvisionGoal goal{util::minutes(90), 0.8};
+  const auto plan = provisioner.plan(workload.sync, goal);
+  if (!plan.feasible) {
+    std::puts("      no plan can meet this goal — relax it and retry");
+    return 1;
+  }
+  std::printf("      plan: %s\n", plan.describe().c_str());
+  std::printf("      bounds searched: workers in [%d, %d], %d PS (Theorem 4.1)\n",
+              plan.bounds.n_lower, plan.bounds.n_upper, plan.n_ps);
+
+  // --- 4. execute on the simulated testbed.
+  std::puts("[3/3] training on the simulated cluster...");
+  ddnn::TrainOptions options;
+  options.iterations = plan.total_iterations;
+  const auto result = ddnn::run_training(
+      ddnn::ClusterSpec::homogeneous(plan.type, plan.n_workers, plan.n_ps), workload, options);
+  std::printf("      finished %ld iterations in %.0f s (goal %.0f s) — %s\n", result.iterations,
+              result.total_time, goal.time_goal.value(),
+              result.total_time <= goal.time_goal.value() ? "goal met" : "GOAL MISSED");
+  std::printf("      final loss %.3f (target %.1f), cost $%.2f\n", result.final_loss,
+              goal.target_loss,
+              core::plan_cost(plan.type, plan.n_workers, plan.n_ps,
+                              util::Seconds{result.total_time})
+                  .value());
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "baselines/optimus.hpp"
+
+#include <stdexcept>
+
+#include "util/least_squares.hpp"
+
+namespace cynthia::baselines {
+
+OptimusModel::OptimusModel(ddnn::SyncMode mode, std::vector<double> theta)
+    : mode_(mode), theta_(std::move(theta)) {}
+
+std::vector<double> OptimusModel::regressors(ddnn::SyncMode mode, double w, double p) {
+  if (mode == ddnn::SyncMode::BSP) {
+    return {1.0, 1.0 / w, w / p, w};
+  }
+  return {1.0, w / p};
+}
+
+OptimusModel OptimusModel::fit(ddnn::SyncMode mode, std::vector<SpeedSample> samples) {
+  const std::size_t k = regressors(mode, 1.0, 1.0).size();
+  if (samples.size() < 3) {
+    throw std::invalid_argument("OptimusModel::fit: need >= 3 samples");
+  }
+  util::Matrix x(samples.size(), k);
+  std::vector<double> y(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& s = samples[i];
+    if (s.n_workers <= 0 || s.n_ps <= 0 || s.t_iter <= 0.0) {
+      throw std::invalid_argument("OptimusModel::fit: invalid sample");
+    }
+    const auto r = regressors(mode, s.n_workers, s.n_ps);
+    for (std::size_t j = 0; j < k; ++j) x(i, j) = r[j];
+    y[i] = s.t_iter;
+  }
+  // Optimus constrains the coefficients to be non-negative so the fitted
+  // curve stays physically interpretable.
+  auto theta = util::nnls(x, y);
+  return OptimusModel(mode, std::move(theta));
+}
+
+OptimusModel OptimusModel::fit_online(const ddnn::WorkloadSpec& workload,
+                                      const cloud::InstanceType& type,
+                                      const std::vector<int>& worker_counts,
+                                      int sample_iterations, std::uint64_t seed) {
+  std::vector<SpeedSample> samples;
+  samples.reserve(worker_counts.size());
+  for (int n : worker_counts) {
+    const auto cluster = ddnn::ClusterSpec::homogeneous(type, n, /*n_ps=*/1);
+    ddnn::TrainOptions opts;
+    opts.iterations = sample_iterations;
+    opts.seed = seed + static_cast<std::uint64_t>(n);
+    const auto run = ddnn::run_training(cluster, workload, opts);
+    double t_iter = run.total_time / sample_iterations;
+    if (workload.sync == ddnn::SyncMode::ASP) {
+      // ASP speed curves are expressed per worker-iteration.
+      t_iter *= n;
+    }
+    samples.push_back({n, 1, t_iter});
+  }
+  // One extra sample with two PS nodes at the largest trial size so the
+  // w/p communication term is identifiable (otherwise every sample has
+  // p = 1 and the comm and overhead columns are collinear).
+  if (!worker_counts.empty()) {
+    const int n = worker_counts.back();
+    const auto cluster = ddnn::ClusterSpec::homogeneous(type, n, /*n_ps=*/2);
+    ddnn::TrainOptions opts;
+    opts.iterations = sample_iterations;
+    opts.seed = seed + 101;
+    const auto run = ddnn::run_training(cluster, workload, opts);
+    double t_iter = run.total_time / sample_iterations;
+    if (workload.sync == ddnn::SyncMode::ASP) t_iter *= n;
+    samples.push_back({n, 2, t_iter});
+  }
+  return fit(workload.sync, std::move(samples));
+}
+
+double OptimusModel::predict_iteration(int n_workers, int n_ps) const {
+  if (n_workers <= 0 || n_ps <= 0) {
+    throw std::invalid_argument("OptimusModel: counts must be > 0");
+  }
+  const auto r = regressors(mode_, n_workers, n_ps);
+  double t = 0.0;
+  for (std::size_t j = 0; j < r.size(); ++j) t += theta_[j] * r[j];
+  return t;
+}
+
+util::Seconds OptimusModel::predict_total(int n_workers, int n_ps, long iterations) const {
+  if (iterations <= 0) throw std::invalid_argument("OptimusModel: iterations must be > 0");
+  const double t_iter = predict_iteration(n_workers, n_ps);
+  if (mode_ == ddnn::SyncMode::BSP) {
+    return util::Seconds{t_iter * static_cast<double>(iterations)};
+  }
+  return util::Seconds{t_iter * static_cast<double>(iterations) / n_workers};
+}
+
+}  // namespace cynthia::baselines

@@ -1,0 +1,71 @@
+// Optimus-style fitted performance model [21] (comparison baseline).
+//
+// Optimus fits an interpretable speed curve to online profiling samples
+// collected at a handful of cluster sizes, with non-negative least squares:
+//
+//   BSP: t_iter(w, p) = theta0 + theta1 / w + theta2 * w / p + theta3 * w
+//   ASP: t_iter(w, p) = theta0 + theta1 * w / p
+//
+// (1/w: data-parallel computation; w/p: PS communication; w: linear
+// synchronization overhead.) Its two documented weaknesses — which Sec. 5.1
+// of the Cynthia paper demonstrates — fall out naturally: prediction quality
+// depends on where the samples were taken (extrapolation beyond the sampled
+// range misses the PS bottleneck), computation and communication are summed
+// rather than overlapped, and the fit assumes homogeneous workers.
+#pragma once
+
+#include <vector>
+
+#include "cloud/instance.hpp"
+#include "ddnn/cluster.hpp"
+#include "ddnn/trainer.hpp"
+#include "ddnn/workload.hpp"
+#include "util/units.hpp"
+
+namespace cynthia::baselines {
+
+/// One online profiling sample: measured iteration time at a cluster size.
+struct SpeedSample {
+  int n_workers = 0;
+  int n_ps = 0;
+  double t_iter = 0.0;  ///< seconds per iteration (per worker for ASP)
+};
+
+class OptimusModel {
+ public:
+  /// Fits the speed curve with NNLS. Needs >= 3 samples.
+  static OptimusModel fit(ddnn::SyncMode mode, std::vector<SpeedSample> samples);
+
+  /// Collects Optimus' online samples by running `sample_iterations` of the
+  /// workload at each of `worker_counts` (single PS, homogeneous `type`)
+  /// in the simulator, then fits. This mirrors Optimus' trial-run loop and
+  /// is deliberately restricted to small clusters — the sample-quality
+  /// sensitivity the paper criticizes.
+  static OptimusModel fit_online(const ddnn::WorkloadSpec& workload,
+                                 const cloud::InstanceType& type,
+                                 const std::vector<int>& worker_counts = {1, 2, 4},
+                                 int sample_iterations = 30, std::uint64_t seed = 13);
+
+  [[nodiscard]] ddnn::SyncMode mode() const { return mode_; }
+  [[nodiscard]] const std::vector<double>& coefficients() const { return theta_; }
+
+  /// Predicted per-iteration time for w workers and p PS nodes.
+  [[nodiscard]] double predict_iteration(int n_workers, int n_ps) const;
+
+  /// Heterogeneity-oblivious cluster overload: uses only the counts.
+  [[nodiscard]] double predict_iteration(const ddnn::ClusterSpec& cluster) const {
+    return predict_iteration(cluster.n_workers(), cluster.n_ps());
+  }
+
+  [[nodiscard]] util::Seconds predict_total(int n_workers, int n_ps, long iterations) const;
+
+ private:
+  OptimusModel(ddnn::SyncMode mode, std::vector<double> theta);
+
+  ddnn::SyncMode mode_;
+  std::vector<double> theta_;
+
+  static std::vector<double> regressors(ddnn::SyncMode mode, double w, double p);
+};
+
+}  // namespace cynthia::baselines

@@ -1,0 +1,64 @@
+#include "baselines/optimus_provisioner.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace cynthia::baselines {
+
+OptimusProvisioner::OptimusProvisioner(std::vector<OptimusModel> models, core::LossModel loss,
+                                       std::vector<cloud::InstanceType> types)
+    : models_(std::move(models)), loss_(std::move(loss)), types_(std::move(types)) {
+  if (models_.size() != types_.size() || types_.empty()) {
+    throw std::invalid_argument("OptimusProvisioner: one model per instance type required");
+  }
+}
+
+OptimusProvisioner OptimusProvisioner::build_online(const ddnn::WorkloadSpec& workload,
+                                                    core::LossModel loss,
+                                                    std::vector<cloud::InstanceType> types) {
+  std::vector<OptimusModel> models;
+  models.reserve(types.size());
+  for (const auto& t : types) {
+    models.push_back(OptimusModel::fit_online(workload, t));
+  }
+  return OptimusProvisioner(std::move(models), std::move(loss), std::move(types));
+}
+
+core::ProvisionPlan OptimusProvisioner::plan(ddnn::SyncMode mode, const core::ProvisionGoal& goal,
+                                             int max_workers, int max_ps) const {
+  if (goal.time_goal.value() <= 0.0) {
+    throw std::invalid_argument("OptimusProvisioner: time goal must be > 0");
+  }
+  core::ProvisionPlan best;
+  best.feasible = false;
+  double best_cost = std::numeric_limits<double>::infinity();
+
+  for (std::size_t ti = 0; ti < types_.size(); ++ti) {
+    const auto& type = types_[ti];
+    const auto& model = models_[ti];
+    for (int n_ps = 1; n_ps <= max_ps; ++n_ps) {
+      for (int n = 1; n <= max_workers; ++n) {
+        const long s = loss_.iterations_for(goal.target_loss, n);
+        const double t_iter = model.predict_iteration(n, n_ps);
+        const double total = t_iter * static_cast<double>(s);
+        if (total > goal.time_goal.value()) continue;
+        const double cost = core::plan_cost(type, n, n_ps, util::Seconds{total}).value();
+        if (cost < best_cost) {
+          best_cost = cost;
+          best.feasible = true;
+          best.type = type;
+          best.n_workers = n;
+          best.n_ps = n_ps;
+          best.iterations = s;
+          best.total_iterations = mode == ddnn::SyncMode::BSP ? s : s * static_cast<long>(n);
+          best.t_iter = t_iter;
+          best.predicted_time = util::Seconds{total};
+          best.predicted_cost = util::Dollars{cost};
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace cynthia::baselines

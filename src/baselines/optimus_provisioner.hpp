@@ -1,0 +1,42 @@
+// "Modified Optimus" (footnote 4 of the paper's Sec. 5.2): Cynthia's
+// goal-driven provisioning search with the Optimus performance model
+// substituted for Cynthia's. Optimus itself minimizes training time rather
+// than guaranteeing a goal, so the paper grafts its model into the same
+// cost-minimizing loop to get a like-for-like comparison.
+#pragma once
+
+#include <vector>
+
+#include "baselines/optimus.hpp"
+#include "cloud/instance.hpp"
+#include "core/loss_model.hpp"
+#include "core/provisioner.hpp"
+#include "ddnn/workload.hpp"
+
+namespace cynthia::baselines {
+
+class OptimusProvisioner {
+ public:
+  /// `models` must contain one fitted OptimusModel per instance type in
+  /// `types`, in the same order (Optimus' speed fit is type-specific).
+  OptimusProvisioner(std::vector<OptimusModel> models, core::LossModel loss,
+                     std::vector<cloud::InstanceType> types);
+
+  /// Convenience: fits all models online for `workload` and builds.
+  static OptimusProvisioner build_online(const ddnn::WorkloadSpec& workload,
+                                         core::LossModel loss,
+                                         std::vector<cloud::InstanceType> types);
+
+  /// Searches n_wk in [1, max_workers] x n_ps in [1, max_ps] per type
+  /// (no Theorem 4.1 — Optimus has no bottleneck theory to bound with)
+  /// and returns the cheapest plan whose predicted time meets the goal.
+  [[nodiscard]] core::ProvisionPlan plan(ddnn::SyncMode mode, const core::ProvisionGoal& goal,
+                                         int max_workers = 32, int max_ps = 4) const;
+
+ private:
+  std::vector<OptimusModel> models_;
+  core::LossModel loss_;
+  std::vector<cloud::InstanceType> types_;
+};
+
+}  // namespace cynthia::baselines

@@ -1,0 +1,54 @@
+#include "baselines/paleo.hpp"
+
+#include <stdexcept>
+
+namespace cynthia::baselines {
+
+PaleoModel::PaleoModel(profiler::ProfileResult profile, double platform_efficiency)
+    : profile_(std::move(profile)), efficiency_(platform_efficiency) {
+  if (efficiency_ <= 0.0 || efficiency_ > 1.0) {
+    throw std::invalid_argument("PaleoModel: efficiency must be in (0, 1]");
+  }
+}
+
+double PaleoModel::predict_iteration(const ddnn::ClusterSpec& cluster,
+                                     ddnn::SyncMode mode) const {
+  if (cluster.n_workers() <= 0 || cluster.n_ps() <= 0) {
+    throw std::invalid_argument("PaleoModel: cluster needs workers and PS nodes");
+  }
+  const double witer = profile_.witer.value();
+  const double gparam = profile_.gparam.value();
+
+  // Heterogeneity-oblivious: Paleo models one device type, so it sees the
+  // *average* capability and cannot anticipate straggler barriers.
+  double mean_cpu = 0.0;
+  for (const auto& w : cluster.workers) mean_cpu += w.cpu.value();
+  mean_cpu /= cluster.n_workers();
+  const double rate = mean_cpu * efficiency_;
+
+  // Bandwidth: the nominal one-way NIC of the PS nodes; Paleo has no notion
+  // of demand-driven saturation, it just divides bytes by line rate.
+  double bw = 0.0;
+  for (const auto& ps : cluster.ps) bw += 2.0 * ps.nic.value();
+
+  if (mode == ddnn::SyncMode::BSP) {
+    const double comp = witer / (cluster.n_workers() * rate);
+    const double comm = 2.0 * gparam * cluster.n_workers() / bw;
+    return comp + comm;  // no overlap — the paper's stated Paleo weakness
+  }
+  const double comp = witer / rate;
+  const double comm = 2.0 * gparam / bw;
+  return comp + comm;
+}
+
+util::Seconds PaleoModel::predict_total(const ddnn::ClusterSpec& cluster, ddnn::SyncMode mode,
+                                        long iterations) const {
+  if (iterations <= 0) throw std::invalid_argument("PaleoModel: iterations must be > 0");
+  const double t_iter = predict_iteration(cluster, mode);
+  if (mode == ddnn::SyncMode::BSP) {
+    return util::Seconds{t_iter * static_cast<double>(iterations)};
+  }
+  return util::Seconds{t_iter * static_cast<double>(iterations) / cluster.n_workers()};
+}
+
+}  // namespace cynthia::baselines

@@ -1,0 +1,38 @@
+// Paleo-style analytic performance model [23] (comparison baseline).
+//
+// Paleo decomposes an iteration into computation (FLOPs / peak throughput,
+// derated by a platform-efficiency constant) plus communication
+// (bytes / bandwidth) and *sums* them — no computation/communication
+// overlap, no PS bottleneck model, no heterogeneity awareness. The paper
+// (Sec. 5.1) shows exactly these omissions as its failure modes; this
+// implementation reproduces them faithfully.
+#pragma once
+
+#include "ddnn/cluster.hpp"
+#include "ddnn/workload.hpp"
+#include "profiler/profiler.hpp"
+#include "util/units.hpp"
+
+namespace cynthia::baselines {
+
+class PaleoModel {
+ public:
+  /// Paleo consumes the same structural quantities Cynthia profiles
+  /// (FLOPs per iteration, parameter payload) so the comparison isolates
+  /// the *model*, not the inputs. `platform_efficiency` derates peak FLOPS
+  /// (Paleo's "platform percent"); 1.0 trusts the capability table.
+  explicit PaleoModel(profiler::ProfileResult profile, double platform_efficiency = 1.0);
+
+  /// Per-iteration prediction: comp + comm, never max().
+  [[nodiscard]] double predict_iteration(const ddnn::ClusterSpec& cluster,
+                                         ddnn::SyncMode mode) const;
+
+  [[nodiscard]] util::Seconds predict_total(const ddnn::ClusterSpec& cluster, ddnn::SyncMode mode,
+                                            long iterations) const;
+
+ private:
+  profiler::ProfileResult profile_;
+  double efficiency_;
+};
+
+}  // namespace cynthia::baselines

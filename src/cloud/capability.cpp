@@ -1,0 +1,58 @@
+#include "cloud/capability.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+namespace cynthia::cloud {
+
+namespace {
+
+// Mirrors the public per-CPU FLOPS tables the paper cites ([3]); values are
+// per physical core and must stay consistent with Catalog::aws() so that a
+// capability lookup and a catalog read agree (tested in tests/cloud).
+constexpr std::array<std::pair<std::string_view, double>, 8> kTable{{
+    {"Intel Xeon E5-2686 v4", 3.30},
+    {"Intel Xeon E5-2651 v2", 0.90},
+    {"Intel Xeon E5-2670 v2", 2.90},
+    {"Intel Xeon E5-2680 v2", 3.05},
+    {"Intel Xeon E5-2676 v3", 3.10},
+    {"Intel Xeon Platinum 8175M", 3.60},
+    {"Intel Xeon E5-2666 v3", 3.20},
+    {"AMD EPYC 7571", 3.00},
+}};
+
+}  // namespace
+
+std::optional<util::GFlopsRate> lookup_cpu_capability(std::string_view cpu_model) {
+  for (const auto& [name, gflops] : kTable) {
+    if (name == cpu_model) return util::GFlopsRate{gflops};
+  }
+  return std::nullopt;
+}
+
+util::GFlopsRate cpu_capability(std::string_view cpu_model) {
+  if (auto c = lookup_cpu_capability(cpu_model)) return *c;
+  throw std::out_of_range("cpu_capability: unknown CPU model '" + std::string(cpu_model) + "'");
+}
+
+std::size_t capability_table_size() { return kTable.size(); }
+
+namespace {
+constexpr std::array<std::pair<std::string_view, double>, 4> kAccelTable{{
+    {"NVIDIA K80", 25.0},
+    {"NVIDIA M60", 18.0},
+    {"NVIDIA V100", 120.0},
+    {"NVIDIA T4", 48.0},
+}};
+}  // namespace
+
+std::optional<util::GFlopsRate> lookup_accelerator_capability(std::string_view accel_model) {
+  for (const auto& [name, gflops] : kAccelTable) {
+    if (name == accel_model) return util::GFlopsRate{gflops};
+  }
+  return std::nullopt;
+}
+
+}  // namespace cynthia::cloud

@@ -1,0 +1,31 @@
+// CPU processing-capability lookup.
+//
+// The paper obtains c_wk / c_ps "statically by looking up the CPU processing
+// capability table [3]" (an asteroids@home-style per-CPU FLOPS table). This
+// module reproduces that indirection: capability is keyed by CPU model
+// string, independent of the instance catalog, so predictions can be made
+// for a type that was never profiled (Fig. 8).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/units.hpp"
+
+namespace cynthia::cloud {
+
+/// Per-core sustained GFLOPS for a CPU model; nullopt when unknown.
+std::optional<util::GFlopsRate> lookup_cpu_capability(std::string_view cpu_model);
+
+/// Like lookup_cpu_capability but throws std::out_of_range when unknown.
+util::GFlopsRate cpu_capability(std::string_view cpu_model);
+
+/// Number of CPU models in the table (for catalog-coverage checks).
+std::size_t capability_table_size();
+
+/// Per-accelerator sustained throughput (GPU-cluster extension); nullopt
+/// when unknown. Values share the CPU table's normalized scale.
+std::optional<util::GFlopsRate> lookup_accelerator_capability(std::string_view accel_model);
+
+}  // namespace cynthia::cloud

@@ -1,0 +1,113 @@
+#include "cloud/instance.hpp"
+
+#include <stdexcept>
+
+namespace cynthia::cloud {
+
+Catalog::Catalog(std::vector<InstanceType> types) : types_(std::move(types)) {}
+
+const Catalog& Catalog::aws() {
+  // Capabilities and NIC shares are calibrated so that (a) 30-iteration
+  // baseline profiling times land near Sec. 5.3 of the paper, (b) the PS NIC
+  // saturates at the 70-110 MB/s the paper observes in Figs. 2 and 7, and
+  // (c) m1.xlarge dockers act as the ~1.8x stragglers behind Fig. 1.
+  static const Catalog catalog{{
+      {.name = "m4.xlarge",
+       .cpu_model = "Intel Xeon E5-2686 v4",
+       .vcpus = 4,
+       .physical_cores = 2,
+       .core_gflops = util::GFlopsRate{3.30},
+       .nic_mbps = util::MBps{112.0},
+       .price = util::DollarsPerHour{0.20},
+       .previous_generation = false},
+      {.name = "m1.xlarge",
+       .cpu_model = "Intel Xeon E5-2651 v2",
+       .vcpus = 4,
+       .physical_cores = 2,
+       .core_gflops = util::GFlopsRate{0.90},
+       .nic_mbps = util::MBps{62.0},
+       .price = util::DollarsPerHour{0.35},
+       .previous_generation = true},
+      {.name = "r3.xlarge",
+       .cpu_model = "Intel Xeon E5-2670 v2",
+       .vcpus = 4,
+       .physical_cores = 2,
+       .core_gflops = util::GFlopsRate{2.90},
+       .nic_mbps = util::MBps{100.0},
+       .price = util::DollarsPerHour{0.333},
+       .previous_generation = false},
+      {.name = "c3.xlarge",
+       .cpu_model = "Intel Xeon E5-2680 v2",
+       .vcpus = 4,
+       .physical_cores = 2,
+       .core_gflops = util::GFlopsRate{3.05},
+       .nic_mbps = util::MBps{95.0},
+       .price = util::DollarsPerHour{0.21},
+       .previous_generation = false},
+      // GPU-cluster extension (the paper's future work): one docker per
+      // GPU. Accelerator rates are normalized to the same effective
+      // training-throughput scale as the CPU numbers (m4 core = 3.3).
+      {.name = "p2.xlarge",
+       .cpu_model = "Intel Xeon E5-2686 v4",
+       .vcpus = 4,
+       .physical_cores = 1,
+       .core_gflops = util::GFlopsRate{3.30},
+       .nic_mbps = util::MBps{156.0},
+       .price = util::DollarsPerHour{1.25},
+       .previous_generation = false,
+       .accelerator = "NVIDIA K80",
+       .accel_gflops = util::GFlopsRate{25.0}},
+      {.name = "p3.2xlarge",
+       .cpu_model = "Intel Xeon E5-2686 v4",
+       .vcpus = 8,
+       .physical_cores = 1,
+       .core_gflops = util::GFlopsRate{3.30},
+       .nic_mbps = util::MBps{312.0},
+       .price = util::DollarsPerHour{5.50},
+       .previous_generation = false,
+       .accelerator = "NVIDIA V100",
+       .accel_gflops = util::GFlopsRate{120.0}},
+  }};
+  return catalog;
+}
+
+const InstanceType& Catalog::at(std::string_view name) const {
+  for (const auto& t : types_) {
+    if (t.name == name) return t;
+  }
+  throw std::out_of_range("Catalog: unknown instance type '" + std::string(name) + "'");
+}
+
+std::optional<InstanceType> Catalog::find(std::string_view name) const {
+  for (const auto& t : types_) {
+    if (t.name == name) return t;
+  }
+  return std::nullopt;
+}
+
+bool Catalog::contains(std::string_view name) const { return find(name).has_value(); }
+
+std::vector<InstanceType> Catalog::provisionable() const {
+  std::vector<InstanceType> out;
+  for (const auto& t : types_) {
+    if (!t.previous_generation && !t.has_accelerator()) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<InstanceType> Catalog::accelerated() const {
+  std::vector<InstanceType> out;
+  for (const auto& t : types_) {
+    if (t.has_accelerator()) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<InstanceType> Catalog::provisionable_with_accelerators() const {
+  auto out = provisionable();
+  const auto gpus = accelerated();
+  out.insert(out.end(), gpus.begin(), gpus.end());
+  return out;
+}
+
+}  // namespace cynthia::cloud

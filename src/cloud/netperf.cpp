@@ -1,0 +1,19 @@
+#include "cloud/netperf.hpp"
+
+#include <algorithm>
+
+namespace cynthia::cloud {
+
+NetperfResult netperf(const InstanceType& src, const InstanceType& dst, util::Rng& rng,
+                      double noise) {
+  const double cap = std::min(src.nic_mbps.value(), dst.nic_mbps.value());
+  const double measured = cap * rng.jitter(noise);
+  // netperf's default TCP_STREAM test runs for ten seconds.
+  return {util::MBps{measured}, util::Seconds{10.0}};
+}
+
+util::MBps measure_nic(const InstanceType& type, util::Rng& rng, double noise) {
+  return netperf(type, type, rng, noise).throughput;
+}
+
+}  // namespace cynthia::cloud

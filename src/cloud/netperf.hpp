@@ -1,0 +1,31 @@
+// Simulated netperf bandwidth measurement.
+//
+// The paper measures each PS instance type's available bandwidth "only once
+// using the netperf tool". Here the measurement runs against the catalog's
+// NIC shares with small measurement noise, reproducing both the one-shot
+// workflow and the fact that the measured value is an estimate of (not
+// identical to) the true link capacity the simulator enforces.
+#pragma once
+
+#include "cloud/instance.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace cynthia::cloud {
+
+/// Result of one netperf run between two dockers.
+struct NetperfResult {
+  util::MBps throughput;    ///< measured end-to-end TCP throughput
+  util::Seconds duration;   ///< wall time the measurement occupied
+};
+
+/// Measures achievable throughput from `src` to `dst` dockers. The result is
+/// min(src NIC, dst NIC) within +/- `noise` relative error.
+NetperfResult netperf(const InstanceType& src, const InstanceType& dst, util::Rng& rng,
+                      double noise = 0.02);
+
+/// One-shot per-type measurement the provisioner caches: loopback-style
+/// measurement of the type's own NIC share.
+util::MBps measure_nic(const InstanceType& type, util::Rng& rng, double noise = 0.02);
+
+}  // namespace cynthia::cloud

@@ -1,0 +1,66 @@
+#include "cloud/pricing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cynthia::cloud {
+
+util::Dollars docker_cost(const InstanceType& type, int count, util::Seconds duration) {
+  if (count < 0 || duration.value() < 0.0) {
+    throw std::invalid_argument("docker_cost: negative count or duration");
+  }
+  return util::Dollars{type.docker_price().value() * count * duration.value() / 3600.0};
+}
+
+util::Dollars instance_cost(const InstanceType& type, int count, util::Seconds duration) {
+  if (count < 0 || duration.value() < 0.0) {
+    throw std::invalid_argument("instance_cost: negative count or duration");
+  }
+  return util::Dollars{type.price.value() * count * duration.value() / 3600.0};
+}
+
+std::size_t BillingMeter::start(std::string instance_id, const InstanceType& type, double now) {
+  for (const auto& r : records_) {
+    if (r.running() && r.instance_id == instance_id) {
+      throw std::invalid_argument("BillingMeter: instance '" + instance_id + "' already running");
+    }
+  }
+  records_.push_back({std::move(instance_id), type.name, type.price, now, -1.0});
+  return records_.size() - 1;
+}
+
+void BillingMeter::stop(const std::string& instance_id, double now) {
+  for (auto& r : records_) {
+    if (r.running() && r.instance_id == instance_id) {
+      if (now < r.start_time) throw std::invalid_argument("BillingMeter: stop before start");
+      r.stop_time = now;
+      return;
+    }
+  }
+  throw std::out_of_range("BillingMeter: no running instance '" + instance_id + "'");
+}
+
+void BillingMeter::stop_all(double now) {
+  for (auto& r : records_) {
+    if (r.running()) r.stop_time = std::max(now, r.start_time);
+  }
+}
+
+util::Dollars BillingMeter::charge(const BillingRecord& r, double until) {
+  const double stop = r.running() ? until : r.stop_time;
+  const double billed = std::max(stop - r.start_time, kMinimumBillableSeconds);
+  return util::Dollars{r.hourly.value() * billed / 3600.0};
+}
+
+util::Dollars BillingMeter::total(double now) const {
+  util::Dollars sum{};
+  for (const auto& r : records_) sum += charge(r, now);
+  return sum;
+}
+
+std::size_t BillingMeter::running_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(), [](const auto& r) { return r.running(); }));
+}
+
+}  // namespace cynthia::cloud

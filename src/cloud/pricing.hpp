@@ -1,0 +1,62 @@
+// Cost accounting for provisioned instances.
+//
+// The paper's Figs. 11-13 compare the dollar cost of provisioning plans;
+// this module provides the pricing arithmetic (Eq. 8's p_wk/p_ps terms) and
+// a BillingMeter that accrues cost per instance with EC2-style per-second
+// billing and a 60-second minimum charge.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/instance.hpp"
+#include "util/units.hpp"
+
+namespace cynthia::cloud {
+
+/// Cost of running `count` dockers of `type` for `duration`
+/// (Eq. 8 uses per-node prices; a docker is one instance slot).
+util::Dollars docker_cost(const InstanceType& type, int count, util::Seconds duration);
+
+/// Cost of `count` whole instances of `type` for `duration`.
+util::Dollars instance_cost(const InstanceType& type, int count, util::Seconds duration);
+
+/// One open or closed billing record.
+struct BillingRecord {
+  std::string instance_id;
+  std::string type_name;
+  util::DollarsPerHour hourly;
+  double start_time = 0.0;
+  double stop_time = -1.0;  ///< -1 while the instance is still running
+
+  [[nodiscard]] bool running() const { return stop_time < 0.0; }
+};
+
+/// Accrues per-instance charges against a simulation clock.
+class BillingMeter {
+ public:
+  /// Seconds below which a started instance is still charged (EC2 minimum).
+  static constexpr double kMinimumBillableSeconds = 60.0;
+
+  /// Registers a launch at `now`; returns the billing record index.
+  std::size_t start(std::string instance_id, const InstanceType& type, double now);
+
+  /// Stops the given instance; throws if unknown or already stopped.
+  void stop(const std::string& instance_id, double now);
+
+  /// Stops every running instance at `now`.
+  void stop_all(double now);
+
+  /// Total accrued cost, valuing still-running instances as-if stopped `now`.
+  [[nodiscard]] util::Dollars total(double now) const;
+
+  [[nodiscard]] const std::vector<BillingRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t running_count() const;
+
+ private:
+  std::vector<BillingRecord> records_;
+
+  [[nodiscard]] static util::Dollars charge(const BillingRecord& r, double until);
+};
+
+}  // namespace cynthia::cloud

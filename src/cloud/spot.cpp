@@ -1,0 +1,109 @@
+#include "cloud/spot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cynthia::cloud {
+
+SpotMarket::SpotMarket(const Catalog& catalog, std::uint64_t seed, SpotTraceOptions options)
+    : catalog_(&catalog), seed_(seed), options_(options) {
+  if (options_.step_seconds <= 0.0) {
+    throw std::invalid_argument("SpotMarket: step_seconds must be > 0");
+  }
+  if (options_.mean_discount <= 0.0 || options_.mean_discount > 1.0) {
+    throw std::invalid_argument("SpotMarket: mean_discount must be in (0, 1]");
+  }
+}
+
+SpotMarket::Trace& SpotMarket::trace_for(const std::string& type) const {
+  auto it = traces_.find(type);
+  if (it == traces_.end()) {
+    Trace t;
+    t.on_demand = catalog_->at(type).price.value();
+    // Per-type seed so traces are independent but reproducible.
+    std::uint64_t h = seed_;
+    for (char c : type) h = h * 1099511628211ull + static_cast<unsigned char>(c);
+    t.rng.seed(h);
+    it = traces_.emplace(type, std::move(t)).first;
+  }
+  return it->second;
+}
+
+void SpotMarket::extend(Trace& trace, std::size_t steps_needed) const {
+  const double mean = trace.on_demand * options_.mean_discount;
+  while (trace.steps.size() < steps_needed) {
+    // Mean-reverting multiplicative walk plus a decaying spike process.
+    const double noise = trace.rng.normal(0.0, options_.volatility);
+    trace.level += options_.reversion * (1.0 - trace.level) + noise;
+    trace.level = std::clamp(trace.level, 0.4, 2.0);
+    if (trace.rng.chance(options_.spike_probability)) {
+      trace.spike_pressure = options_.spike_multiplier;
+    } else {
+      trace.spike_pressure *= (1.0 - options_.spike_decay);
+    }
+    double price = mean * (trace.level + trace.spike_pressure);
+    // Spot never exceeds on-demand by much (users would switch).
+    price = std::min(price, trace.on_demand * 1.2);
+    trace.steps.push_back(price);
+  }
+}
+
+double SpotMarket::price_at(const std::string& type, double t) const {
+  if (t < 0.0) throw std::invalid_argument("SpotMarket: negative time");
+  Trace& trace = trace_for(type);
+  const auto idx = static_cast<std::size_t>(t / options_.step_seconds);
+  extend(trace, idx + 1);
+  return trace.steps[idx];
+}
+
+util::Dollars SpotMarket::cost(const std::string& type, double t0, double t1) const {
+  if (t1 < t0 || t0 < 0.0) throw std::invalid_argument("SpotMarket: bad interval");
+  if (t1 == t0) return util::Dollars{0.0};
+  Trace& trace = trace_for(type);
+  const double step = options_.step_seconds;
+  const auto last = static_cast<std::size_t>((t1 - 1e-9) / step);
+  extend(trace, last + 1);
+  double dollars = 0.0;
+  for (auto i = static_cast<std::size_t>(t0 / step); i <= last; ++i) {
+    const double lo = std::max(t0, static_cast<double>(i) * step);
+    const double hi = std::min(t1, static_cast<double>(i + 1) * step);
+    if (hi > lo) dollars += trace.steps[i] * (hi - lo) / 3600.0;
+  }
+  return util::Dollars{dollars};
+}
+
+double SpotMarket::next_revocation_after(const std::string& type, double t, double bid,
+                                         double horizon) const {
+  Trace& trace = trace_for(type);
+  const double step = options_.step_seconds;
+  const auto last = static_cast<std::size_t>((t + horizon) / step);
+  extend(trace, last + 1);
+  for (auto i = static_cast<std::size_t>(t / step); i <= last; ++i) {
+    if (trace.steps[i] > bid) {
+      return std::max(t, static_cast<double>(i) * step);
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double SpotMarket::next_availability_after(const std::string& type, double t, double bid,
+                                           double horizon) const {
+  Trace& trace = trace_for(type);
+  const double step = options_.step_seconds;
+  const auto last = static_cast<std::size_t>((t + horizon) / step);
+  extend(trace, last + 1);
+  for (auto i = static_cast<std::size_t>(t / step); i <= last; ++i) {
+    if (trace.steps[i] <= bid) {
+      return std::max(t, static_cast<double>(i) * step);
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double SpotMarket::mean_price(const std::string& type) const {
+  return catalog_->at(type).price.value() * options_.mean_discount;
+}
+
+}  // namespace cynthia::cloud

@@ -1,0 +1,78 @@
+// Spot-market simulation (the Proteus [13] / FC2 [27] related-work setting).
+//
+// EC2 spot instances trade a ~60-70% discount for revocation risk: the
+// instance is reclaimed whenever the market price rises above the user's
+// bid. This module provides per-instance-type price traces as a
+// mean-reverting random walk with occasional demand spikes, plus the two
+// queries an execution layer needs: "what does running over [t0, t1) cost?"
+// and "when after t does the price next cross my bid?".
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/instance.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace cynthia::cloud {
+
+struct SpotTraceOptions {
+  double mean_discount = 0.35;   ///< long-run spot price as a fraction of on-demand
+  double volatility = 0.08;      ///< per-step relative noise
+  double reversion = 0.15;       ///< pull toward the mean per step
+  double spike_probability = 0.01;  ///< per-step chance of a demand spike
+  double spike_multiplier = 3.5;    ///< spike height relative to the mean
+  double spike_decay = 0.45;        ///< per-step decay of spike pressure
+  double step_seconds = 300.0;      ///< price granularity (EC2 repriced in minutes)
+};
+
+/// Deterministic (seeded) spot price process per instance type.
+class SpotMarket {
+ public:
+  explicit SpotMarket(const Catalog& catalog = Catalog::aws(), std::uint64_t seed = 7,
+                      SpotTraceOptions options = {});
+
+  /// Instance spot price ($/h) at absolute time t (seconds).
+  [[nodiscard]] double price_at(const std::string& type, double t) const;
+
+  /// Integral of the spot price over [t0, t1), i.e. the per-second-billed
+  /// cost of one instance held through that window.
+  [[nodiscard]] util::Dollars cost(const std::string& type, double t0, double t1) const;
+
+  /// First time >= t where the price strictly exceeds `bid` ($/h), i.e.
+  /// when an instance bought at `bid` is revoked. Searches up to
+  /// `horizon` seconds ahead; returns infinity if the bid always holds.
+  [[nodiscard]] double next_revocation_after(const std::string& type, double t, double bid,
+                                             double horizon = 14.0 * 24 * 3600) const;
+
+  /// First time >= t where the price is <= `bid` (when a revoked cluster
+  /// can be re-acquired). Infinity if never within the horizon.
+  [[nodiscard]] double next_availability_after(const std::string& type, double t, double bid,
+                                               double horizon = 14.0 * 24 * 3600) const;
+
+  /// Long-run mean spot price for the type.
+  [[nodiscard]] double mean_price(const std::string& type) const;
+
+  [[nodiscard]] const SpotTraceOptions& options() const { return options_; }
+
+ private:
+  struct Trace {
+    double on_demand = 0.0;
+    double spike_pressure = 0.0;  // generator state
+    double level = 1.0;           // relative to mean
+    util::Rng rng{0};
+    std::vector<double> steps;  // price per step, $/h
+  };
+
+  const Catalog* catalog_;
+  std::uint64_t seed_;
+  SpotTraceOptions options_;
+  mutable std::unordered_map<std::string, Trace> traces_;
+
+  Trace& trace_for(const std::string& type) const;
+  void extend(Trace& trace, std::size_t steps_needed) const;
+};
+
+}  // namespace cynthia::cloud

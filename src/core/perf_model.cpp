@@ -1,0 +1,123 @@
+#include "core/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cynthia::core {
+
+util::MBps effective_ps_bandwidth(const ddnn::DockerSpec& ps) {
+  return util::MBps{2.0 * ps.nic.value()};
+}
+
+util::MBps effective_ps_bandwidth(const cloud::InstanceType& type) {
+  return util::MBps{2.0 * type.nic_mbps.value()};
+}
+
+CynthiaModel::CynthiaModel(profiler::ProfileResult profile, double supply_headroom)
+    : profile_(std::move(profile)), headroom_(supply_headroom) {
+  if (profile_.witer.value() <= 0.0 || profile_.gparam.value() <= 0.0) {
+    throw std::invalid_argument("CynthiaModel: profile has non-positive witer/gparam");
+  }
+  if (headroom_ <= 0.0 || headroom_ > 1.0) {
+    throw std::invalid_argument("CynthiaModel: supply headroom must be in (0, 1]");
+  }
+}
+
+IterationPrediction CynthiaModel::estimate_utilization(const ddnn::ClusterSpec& cluster,
+                                                       ddnn::SyncMode mode) const {
+  IterationPrediction p;
+  const double cbase = profile_.cbase.value();
+
+  // Eq. 7: scaling ratio of the PS resource demand relative to the
+  // single-baseline-worker profiling scenario.
+  if (mode == ddnn::SyncMode::BSP) {
+    p.r_scale = cluster.n_workers() * cluster.min_worker_cpu().value() / cbase;
+  } else {
+    double sum = 0.0;
+    for (const auto& w : cluster.workers) sum += w.cpu.value();
+    p.r_scale = sum / cbase;
+  }
+
+  // Eq. 6: PS-side demand; supply is the aggregate over provisioned PS.
+  p.cpu_demand = profile_.cprof.value() * p.r_scale;
+  p.bw_demand = profile_.bprof.value() * p.r_scale;
+  p.cpu_supply = headroom_ * cluster.total_ps_cpu().value();
+  double bw_supply = 0.0;
+  for (const auto& ps : cluster.ps) bw_supply += effective_ps_bandwidth(ps).value();
+  p.bw_supply = headroom_ * bw_supply;
+
+  p.cpu_bottleneck = p.cpu_demand > p.cpu_supply;
+  p.bw_bottleneck = p.bw_demand > p.bw_supply;
+  if (p.cpu_bottleneck || p.bw_bottleneck) {
+    p.worker_utilization =
+        std::min(p.bw_supply / p.bw_demand, p.cpu_supply / p.cpu_demand);
+  } else {
+    p.worker_utilization = 1.0;
+  }
+  return p;
+}
+
+IterationPrediction CynthiaModel::predict_iteration(const ddnn::ClusterSpec& cluster,
+                                                    ddnn::SyncMode mode) const {
+  if (cluster.n_workers() <= 0 || cluster.n_ps() <= 0) {
+    throw std::invalid_argument("CynthiaModel: cluster needs workers and PS nodes");
+  }
+  IterationPrediction p = estimate_utilization(cluster, mode);
+
+  const double witer = profile_.witer.value();
+  const double gparam = profile_.gparam.value();
+  const double u = p.worker_utilization;
+
+  double bw_supply = p.bw_supply;
+
+  if (mode == ddnn::SyncMode::BSP) {
+    // Eq. 4: the barrier pins the iteration to the slowest worker; the
+    // global batch is split n ways. r_wk = c_wk * u_wk.
+    const double r_min = cluster.min_worker_cpu().value() * u;
+    p.t_comp = witer / (cluster.n_workers() * r_min);
+    // Eq. 5: every worker's push+pull crosses the PS NIC budget.
+    p.t_comm = 2.0 * gparam * cluster.n_workers() / bw_supply;
+    // Eq. 3: computation and communication overlap under BSP.
+    p.t_iter = std::max(p.t_comp, p.t_comm);
+  } else {
+    // ASP: an iteration runs on one worker; report the baseline-capability
+    // worker's view (predict_total aggregates heterogeneous rates).
+    const double r = cluster.workers.front().cpu.value() * u;
+    p.t_comp = witer / r;
+    p.t_comm = 2.0 * gparam / bw_supply;
+    p.t_iter = p.t_comp + p.t_comm;
+  }
+  return p;
+}
+
+util::Seconds CynthiaModel::predict_total(const ddnn::ClusterSpec& cluster, ddnn::SyncMode mode,
+                                          long iterations) const {
+  if (iterations <= 0) throw std::invalid_argument("CynthiaModel: iterations must be > 0");
+  const IterationPrediction p = predict_iteration(cluster, mode);
+  if (mode == ddnn::SyncMode::BSP) {
+    return util::Seconds{p.t_iter * static_cast<double>(iterations)};
+  }
+  if (mode == ddnn::SyncMode::SSP) {
+    // SSP extension: the bounded gap makes the collective long-run pace
+    // track the slowest worker (fast workers park once they lead by the
+    // bound), so every worker contributes one iteration per slowest cycle.
+    double max_cycle = 0.0;
+    for (const auto& w : cluster.workers) {
+      const double t_comp = profile_.witer.value() / (w.cpu.value() * p.worker_utilization);
+      max_cycle = std::max(max_cycle, t_comp + p.t_comm);
+    }
+    return util::Seconds{static_cast<double>(iterations) * max_cycle / cluster.n_workers()};
+  }
+  // ASP, Eq. 2 with I = I_base: iterations spread across workers; the
+  // aggregate throughput is the sum of per-worker rates (each worker's
+  // compute rate is scaled by the common utilization estimate).
+  double throughput = 0.0;
+  for (const auto& w : cluster.workers) {
+    const double t_comp = profile_.witer.value() / (w.cpu.value() * p.worker_utilization);
+    throughput += 1.0 / (t_comp + p.t_comm);
+  }
+  return util::Seconds{static_cast<double>(iterations) / throughput};
+}
+
+}  // namespace cynthia::core

@@ -1,0 +1,72 @@
+// The Cynthia analytical performance model (Sec. 3, Eqs. 2-7).
+//
+// Predicts the per-iteration processing time of a DDNN job on an arbitrary
+// cluster (heterogeneous workers, multiple PS nodes, any instance type) from
+// one baseline profile. The distinguishing ingredient vs. Optimus/Paleo is
+// the worker-utilization estimator: demand/supply ratios of PS CPU and NIC
+// resources cap the workers' effective processing rate when the PS is the
+// bottleneck.
+#pragma once
+
+#include "cloud/instance.hpp"
+#include "ddnn/cluster.hpp"
+#include "ddnn/workload.hpp"
+#include "profiler/profiler.hpp"
+#include "util/units.hpp"
+
+namespace cynthia::core {
+
+/// Effective PS bandwidth budget for Eq. 5: the PS serves pushes and pulls
+/// concurrently over a full-duplex NIC, so the budget against which the
+/// 2 x g_param payload counts is twice the one-way NIC share.
+util::MBps effective_ps_bandwidth(const ddnn::DockerSpec& ps);
+util::MBps effective_ps_bandwidth(const cloud::InstanceType& type);
+
+/// Per-iteration prediction with full diagnostics.
+struct IterationPrediction {
+  double t_comp = 0.0;    ///< Eq. 4, after utilization scaling
+  double t_comm = 0.0;    ///< Eq. 5
+  double t_iter = 0.0;    ///< Eq. 3: max() for BSP, sum for ASP
+  double worker_utilization = 1.0;  ///< u_wk from the demand/supply estimator
+  double r_scale = 1.0;   ///< Eq. 7
+  double cpu_demand = 0.0, cpu_supply = 0.0;    ///< GFLOPS on the PS
+  double bw_demand = 0.0, bw_supply = 0.0;      ///< MB/s on the PS
+  bool cpu_bottleneck = false;
+  bool bw_bottleneck = false;
+};
+
+class CynthiaModel {
+ public:
+  /// Fraction of nominal PS capacity treated as usable supply. Fluid
+  /// capacity is never fully achievable under bursty push/pull arrivals —
+  /// queueing sets in below 100% — so demand/supply comparisons and the
+  /// Eq. 5 bandwidth budget are made against headroom * nominal.
+  /// 1.0 recovers the paper's literal formulas (bench/ablation_model).
+  static constexpr double kDefaultSupplyHeadroom = 0.85;
+
+  explicit CynthiaModel(profiler::ProfileResult profile,
+                        double supply_headroom = kDefaultSupplyHeadroom);
+
+  [[nodiscard]] double supply_headroom() const { return headroom_; }
+
+  [[nodiscard]] const profiler::ProfileResult& profile() const { return profile_; }
+
+  /// Predicts one iteration on `cluster` under `mode` (Eqs. 3-7).
+  [[nodiscard]] IterationPrediction predict_iteration(const ddnn::ClusterSpec& cluster,
+                                                      ddnn::SyncMode mode) const;
+
+  /// Total training time for `iterations`: the BSP count is global; the ASP
+  /// count is divided across workers by aggregate throughput (Eq. 2 with
+  /// I = I_base semantics, generalized to heterogeneous workers).
+  [[nodiscard]] util::Seconds predict_total(const ddnn::ClusterSpec& cluster, ddnn::SyncMode mode,
+                                            long iterations) const;
+
+ private:
+  profiler::ProfileResult profile_;
+  double headroom_;
+
+  [[nodiscard]] IterationPrediction estimate_utilization(const ddnn::ClusterSpec& cluster,
+                                                         ddnn::SyncMode mode) const;
+};
+
+}  // namespace cynthia::core

@@ -1,0 +1,32 @@
+#include "core/predictor.hpp"
+
+#include "ddnn/trainer.hpp"
+
+namespace cynthia::core {
+
+Predictor::Predictor(profiler::ProfileResult profile, LossModel loss)
+    : model_(std::move(profile)), loss_(std::move(loss)) {}
+
+Predictor Predictor::build(const ddnn::WorkloadSpec& workload, const cloud::InstanceType& baseline,
+                           const PredictorOptions& options) {
+  profiler::ProfileResult profile = profiler::profile_workload(workload, baseline, options.profile);
+
+  // Fit the loss curve from a (simulated) prior execution of the job.
+  ddnn::TrainOptions prior;
+  prior.iterations = options.loss_history_iterations;
+  prior.seed = options.loss_history_seed;
+  const auto cluster =
+      ddnn::ClusterSpec::homogeneous(baseline, options.loss_history_workers, /*n_ps=*/1);
+  const ddnn::TrainResult run = ddnn::run_training(cluster, workload, prior);
+  LossModel loss = LossModel::fit_run(workload.sync, run, options.loss_history_workers);
+
+  return Predictor(std::move(profile), std::move(loss));
+}
+
+util::Seconds Predictor::predict_time(const ddnn::ClusterSpec& cluster,
+                                      const ddnn::WorkloadSpec& workload, long iterations) const {
+  const long iters = iterations > 0 ? iterations : workload.default_iterations;
+  return model_.predict_total(cluster, workload.sync, iters);
+}
+
+}  // namespace cynthia::core

@@ -1,0 +1,131 @@
+#include "core/provisioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace cynthia::core {
+
+util::Dollars plan_cost(const cloud::InstanceType& type, int n_workers, int n_ps,
+                        util::Seconds duration) {
+  const double hourly = type.docker_price().value() * (n_workers + n_ps);
+  return util::Dollars{hourly * duration.value() / 3600.0};
+}
+
+std::string ProvisionPlan::describe() const {
+  std::ostringstream os;
+  if (!feasible) {
+    os << "infeasible (no plan meets the goal)";
+    return os.str();
+  }
+  os << n_workers << " worker(s) + " << n_ps << " PS on " << type.name << ", "
+     << iterations << " iterations, predicted " << predicted_time.value() << " s, $"
+     << predicted_cost.value();
+  return os.str();
+}
+
+Provisioner::Provisioner(CynthiaModel model, LossModel loss,
+                         std::vector<cloud::InstanceType> types)
+    : model_(std::move(model)), loss_(std::move(loss)), types_(std::move(types)) {
+  if (types_.empty()) throw std::invalid_argument("Provisioner: empty instance type list");
+}
+
+std::optional<CandidateEvaluation> Provisioner::evaluate(const cloud::InstanceType& type,
+                                                         int n_wk, int n_ps,
+                                                         ddnn::SyncMode mode,
+                                                         const ProvisionGoal& goal) const {
+  CandidateEvaluation c;
+  c.type = type.name;
+  c.n_workers = n_wk;
+  c.n_ps = n_ps;
+  // BSP: the budget is global; ASP: per-worker (Constraint 9 applies to the
+  // per-iteration time times the iterations the critical path executes).
+  c.iterations = loss_.iterations_for(goal.target_loss, n_wk);
+  const auto cluster = ddnn::ClusterSpec::homogeneous(type, n_wk, n_ps);
+  const IterationPrediction p = model_.predict_iteration(cluster, mode);
+  c.t_iter = p.t_iter;
+  c.total_time = p.t_iter * static_cast<double>(c.iterations);
+  c.cost = plan_cost(type, n_wk, n_ps, util::Seconds{c.total_time}).value();
+  c.feasible = c.total_time <= goal.time_goal.value();
+  return c;
+}
+
+ProvisionPlan Provisioner::plan(ddnn::SyncMode mode, const ProvisionGoal& goal,
+                                const ProvisionOptions& options) const {
+  if (goal.time_goal.value() <= 0.0) {
+    throw std::invalid_argument("Provisioner: time goal must be > 0");
+  }
+  considered_.clear();
+
+  ProvisionPlan best;
+  best.feasible = false;
+  double best_cost = std::numeric_limits<double>::infinity();
+  WorkerBounds best_bounds;
+
+  auto consider = [&](const cloud::InstanceType& type, int n_wk, int n_ps,
+                      const WorkerBounds& bounds) -> bool {
+    auto cand = evaluate(type, n_wk, n_ps, mode, goal);
+    if (!cand) return false;
+    if (options.keep_trace) considered_.push_back(*cand);
+    if (!cand->feasible) return false;
+    if (cand->cost < best_cost) {
+      best_cost = cand->cost;
+      best.feasible = true;
+      best.type = type;
+      best.n_workers = n_wk;
+      best.n_ps = n_ps;
+      best.iterations = cand->iterations;
+      // ASP/SSP iteration budgets are per worker (Eq. 20 semantics).
+      best.total_iterations = mode == ddnn::SyncMode::BSP
+                                  ? cand->iterations
+                                  : cand->iterations * static_cast<long>(n_wk);
+      best.t_iter = cand->t_iter;
+      best.predicted_time = util::Seconds{cand->total_time};
+      best.predicted_cost = util::Dollars{cand->cost};
+      best.diagnostics =
+          model_.predict_iteration(ddnn::ClusterSpec::homogeneous(type, n_wk, n_ps), mode);
+      best_bounds = bounds;
+    }
+    return true;
+  };
+
+  for (const auto& type : types_) {
+    if (options.exhaustive) {
+      WorkerBounds none;  // exhaustive mode carries no bound information
+      for (int n_ps = 1; n_ps <= options.exhaustive_max_ps; ++n_ps) {
+        for (int n = 1; n <= options.exhaustive_max_workers; ++n) {
+          consider(type, n, n_ps, none);
+        }
+      }
+      continue;
+    }
+    const WorkerBounds bounds =
+        compute_bounds(model_.profile(), loss_, type, mode, goal.time_goal, goal.target_loss,
+                       model_.supply_headroom());
+    if (!bounds.feasible) continue;
+    if (bounds.n_lower > options.max_workers_quota) continue;  // over account quota
+    // Minimum PS count first (Theorem 4.1); escalate only if nothing in the
+    // interval meets the goal.
+    for (int extra = 0; extra <= options.max_extra_ps; ++extra) {
+      const int n_ps = bounds.n_ps + extra;
+      const int upper =
+          std::min(options.max_workers_quota,
+                   upper_bound_for_ps(bounds, model_.profile(), type, mode, n_ps,
+                                      model_.supply_headroom()));
+      bool any_feasible = false;
+      for (int n = bounds.n_lower; n <= upper; ++n) {
+        const bool feasible = consider(type, n, n_ps, bounds);
+        any_feasible = any_feasible || feasible;
+        if (feasible && options.first_feasible_only) break;  // Alg. 1 line 11
+      }
+      if (any_feasible) break;  // keep the minimum feasible PS count
+    }
+  }
+
+  best.bounds = best_bounds;
+  return best;
+}
+
+}  // namespace cynthia::core

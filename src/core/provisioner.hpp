@@ -1,0 +1,120 @@
+// Algorithm 1: the Cynthia cost-efficient provisioning strategy.
+//
+// Given a time goal Tg and target loss l_g, searches the instance catalog
+// within the Theorem 4.1 bounds for the homogeneous (type, n_wk, n_ps)
+// plan that meets both goals at minimum predicted dollar cost (Eq. 8 under
+// Constraints 9-11).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/instance.hpp"
+#include "core/bounds.hpp"
+#include "core/loss_model.hpp"
+#include "core/perf_model.hpp"
+#include "ddnn/workload.hpp"
+#include "util/units.hpp"
+
+namespace cynthia::core {
+
+struct ProvisionGoal {
+  util::Seconds time_goal;   ///< Tg
+  double target_loss = 0.0;  ///< l_g
+};
+
+/// One (type, n) candidate examined by the search — kept for ablation
+/// benches and for explaining decisions in examples.
+struct CandidateEvaluation {
+  std::string type;
+  int n_workers = 0;
+  int n_ps = 0;
+  long iterations = 0;
+  double t_iter = 0.0;
+  double total_time = 0.0;
+  double cost = 0.0;
+  bool feasible = false;
+};
+
+struct ProvisionPlan {
+  bool feasible = false;
+  cloud::InstanceType type;
+  int n_workers = 0;
+  int n_ps = 0;
+  /// BSP: global iteration budget. ASP: iterations per worker.
+  long iterations = 0;
+  long total_iterations = 0;
+  double t_iter = 0.0;
+  util::Seconds predicted_time;
+  util::Dollars predicted_cost;
+  IterationPrediction diagnostics;
+  WorkerBounds bounds;  ///< bounds for the chosen type
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct ProvisionOptions {
+  /// Algorithm 1's pseudocode semantics (line 11): stop at the first
+  /// feasible worker count per (type, n_ps). The smallest feasible cluster
+  /// is preferred; disabling this evaluates the whole [lower, upper]
+  /// interval and keeps the cheapest candidate (the prose semantics);
+  /// bench/ablation_bounds compares the two.
+  bool first_feasible_only = true;
+
+  /// When no worker count inside the minimum-PS interval meets the goal,
+  /// escalate n_ps by up to this many extra PS nodes (re-deriving the
+  /// Eq. 19/23 upper bound each time). This is how the paper's prototype
+  /// arrives at 2-PS plans for tight goals (Figs. 12-13).
+  int max_extra_ps = 3;
+
+  /// Ablation: ignore Theorem 4.1 and scan n in [1, exhaustive_max_workers]
+  /// x n_ps in [1, exhaustive_max_ps]. Used to validate that the bounds
+  /// never exclude the optimum.
+  bool exhaustive = false;
+  int exhaustive_max_workers = 32;
+  int exhaustive_max_ps = 4;
+
+  /// Record every candidate into `considered` (costs memory on sweeps).
+  bool keep_trace = false;
+
+  /// Account-level instance quota: plans needing more workers than this are
+  /// rejected (EC2 accounts cannot launch unbounded fleets). Applies to the
+  /// bounded search; the exhaustive grid has its own explicit limits.
+  int max_workers_quota = 64;
+};
+
+class Provisioner {
+ public:
+  Provisioner(CynthiaModel model, LossModel loss, std::vector<cloud::InstanceType> types);
+
+  /// Runs Algorithm 1. `mode` is the workload's sync mechanism.
+  [[nodiscard]] ProvisionPlan plan(ddnn::SyncMode mode, const ProvisionGoal& goal,
+                                   const ProvisionOptions& options = {}) const;
+
+  /// Candidates examined by the last call when keep_trace was set.
+  [[nodiscard]] const std::vector<CandidateEvaluation>& considered() const {
+    return considered_;
+  }
+
+  [[nodiscard]] const CynthiaModel& model() const { return model_; }
+  [[nodiscard]] const LossModel& loss() const { return loss_; }
+
+ private:
+  CynthiaModel model_;
+  LossModel loss_;
+  std::vector<cloud::InstanceType> types_;
+  mutable std::vector<CandidateEvaluation> considered_;
+
+  /// Evaluates one homogeneous candidate; returns nullopt if infeasible.
+  [[nodiscard]] std::optional<CandidateEvaluation> evaluate(const cloud::InstanceType& type,
+                                                            int n_wk, int n_ps,
+                                                            ddnn::SyncMode mode,
+                                                            const ProvisionGoal& goal) const;
+};
+
+/// Eq. 8: dollar cost of running the homogeneous plan for `duration`.
+util::Dollars plan_cost(const cloud::InstanceType& type, int n_workers, int n_ps,
+                        util::Seconds duration);
+
+}  // namespace cynthia::core

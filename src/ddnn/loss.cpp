@@ -1,0 +1,45 @@
+#include "ddnn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cynthia::ddnn {
+
+double loss_model(const LossCoefficients& c, SyncMode mode, double s, int n_workers,
+                  int ssp_bound) {
+  if (s <= 0.0) throw std::invalid_argument("loss_model: iterations must be > 0");
+  const double staleness = staleness_factor(mode, n_workers, ssp_bound);
+  return c.beta0 * staleness / s + c.beta1;
+}
+
+long iterations_to_reach(const LossCoefficients& c, SyncMode mode, double target, int n_workers,
+                         int ssp_bound) {
+  if (target <= c.beta1) {
+    throw std::invalid_argument("iterations_to_reach: target loss below asymptote beta1");
+  }
+  const double staleness = staleness_factor(mode, n_workers, ssp_bound);
+  return static_cast<long>(std::ceil(c.beta0 * staleness / (target - c.beta1) - 1e-9));
+}
+
+LossProcess::LossProcess(const WorkloadSpec& workload, int n_workers, std::uint64_t seed)
+    : coeff_(workload.loss()),
+      mode_(workload.sync),
+      n_workers_(n_workers),
+      ssp_bound_(workload.ssp_staleness_bound),
+      noise_rel_(workload.loss_noise_rel),
+      rng_(seed) {}
+
+double LossProcess::expected(long iteration) const {
+  return loss_model(coeff_, mode_, static_cast<double>(std::max(1L, iteration)), n_workers_,
+                    ssp_bound_);
+}
+
+double LossProcess::observe(long iteration) {
+  const double base = expected(iteration);
+  // Multiplicative bounded noise keeps observations positive and the curve
+  // monotone enough for a plain least-squares fit, as in the paper.
+  const double factor = rng_.bounded_normal(1.0, noise_rel_, 3.0 * noise_rel_);
+  return base * factor;
+}
+
+}  // namespace cynthia::ddnn

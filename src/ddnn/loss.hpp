@@ -1,0 +1,48 @@
+// Ground-truth training-loss process (Sec. 2, Eq. 1 of the paper).
+//
+// The paper's measurements (Fig. 4) show SGD loss decaying as
+//   BSP: l(s)   = beta0 / s + beta1
+//   ASP: l(s,n) = beta0 * sqrt(n) / s + beta1   (staleness slows convergence)
+// with SSP (extension) interpolating via the bounded-staleness factor of
+// ddnn::staleness_factor(). The simulator treats these fitted forms (plus
+// bounded observation noise) as the ground truth the training runs emit;
+// Cynthia then *re-fits* the coefficients from noisy observations exactly
+// as the paper does.
+#pragma once
+
+#include "ddnn/workload.hpp"
+#include "util/rng.hpp"
+
+namespace cynthia::ddnn {
+
+/// Evaluates the noiseless loss model at iteration s with n workers.
+/// `ssp_bound` only matters for SyncMode::SSP.
+double loss_model(const LossCoefficients& c, SyncMode mode, double s, int n_workers,
+                  int ssp_bound = 3);
+
+/// Minimum iterations to reach `target` loss (inverts Eq. 1 exactly);
+/// throws std::invalid_argument if the target is unreachable (<= beta1).
+long iterations_to_reach(const LossCoefficients& c, SyncMode mode, double target, int n_workers,
+                         int ssp_bound = 3);
+
+/// Emits noisy loss observations for a training run.
+class LossProcess {
+ public:
+  LossProcess(const WorkloadSpec& workload, int n_workers, std::uint64_t seed);
+
+  /// Observed (noisy) loss after `iteration` completed iterations.
+  double observe(long iteration);
+
+  /// Noiseless model value.
+  [[nodiscard]] double expected(long iteration) const;
+
+ private:
+  LossCoefficients coeff_;
+  SyncMode mode_;
+  int n_workers_;
+  int ssp_bound_;
+  double noise_rel_;
+  util::Rng rng_;
+};
+
+}  // namespace cynthia::ddnn

@@ -1,0 +1,435 @@
+#include "ddnn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "ddnn/loss.hpp"
+#include "sim/fluid.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace cynthia::ddnn {
+
+namespace {
+
+/// Shared plumbing for both sync engines: builds the per-docker resources
+/// and provides the push -> apply -> pull communication chain.
+class Session {
+ public:
+  Session(const ClusterSpec& cluster, const WorkloadSpec& workload, const TrainOptions& options)
+      : cluster_(cluster),
+        workload_(workload),
+        opts_(options),
+        fluid_(sim_),
+        rng_(options.seed),
+        loss_(workload, cluster.n_workers(), options.seed ^ 0xA5A55A5A12345678ULL) {}
+
+  virtual ~Session() = default;
+
+  TrainResult run();
+
+ protected:
+  const ClusterSpec& cluster_;
+  const WorkloadSpec& workload_;
+  TrainOptions opts_;
+  sim::Simulator sim_;
+  sim::FluidSystem fluid_;
+  util::Rng rng_;
+  LossProcess loss_;
+
+  long total_iterations_ = 0;
+
+  // Per-docker resources.
+  std::vector<sim::ResourceId> worker_cpu_, worker_eg_, worker_in_;
+  std::vector<sim::ResourceId> ps_cpu_, ps_in_, ps_eg_;
+
+  // Chain bookkeeping, indexed by worker.
+  std::vector<int> pending_subchains_;
+  std::vector<std::function<void(double)>> chain_done_;
+
+  TrainResult result_;
+
+  void build_resources();
+  [[nodiscard]] double comp_volume_bsp() {
+    return workload_.witer.value() / cluster_.n_workers() * rng_.jitter(opts_.compute_jitter);
+  }
+  [[nodiscard]] double comp_volume_asp() {
+    return workload_.witer.value() * rng_.jitter(opts_.compute_jitter);
+  }
+  [[nodiscard]] double push_volume_per_ps() const {
+    return workload_.gparam.value() * opts_.wire_overhead / cluster_.n_ps();
+  }
+  [[nodiscard]] double apply_volume_per_ps() const {
+    return workload_.ps_update_gflops.value() / cluster_.n_ps();
+  }
+
+  /// Launches the full push -> apply -> pull chain for worker `w`;
+  /// `done(finish_time)` fires when the final pull lands.
+  void start_chain(int w, std::function<void(double)> done);
+
+  void sample_loss(long completed_updates);
+  void finalize(double end_time);
+
+ private:
+  void launch_subchain(int w, int k);
+  void issue_push(int w, int k, int block, const std::shared_ptr<int>& pulls_done);
+
+  virtual void start_engine() = 0;
+};
+
+void Session::build_resources() {
+  const int n = cluster_.n_workers();
+  const int m = cluster_.n_ps();
+  worker_cpu_.reserve(n);
+  worker_eg_.reserve(n);
+  worker_in_.reserve(n);
+  for (int j = 0; j < n; ++j) {
+    const auto& d = cluster_.workers[j];
+    const std::string tag = "wk" + std::to_string(j);
+    worker_cpu_.push_back(fluid_.add_resource(tag + ".cpu", d.cpu.value()));
+    worker_eg_.push_back(fluid_.add_resource(tag + ".eg", d.nic.value()));
+    worker_in_.push_back(fluid_.add_resource(tag + ".in", d.nic.value()));
+  }
+  for (int k = 0; k < m; ++k) {
+    const auto& d = cluster_.ps[k];
+    const std::string tag = "ps" + std::to_string(k);
+    ps_cpu_.push_back(fluid_.add_resource(tag + ".cpu", d.cpu.value()));
+    ps_in_.push_back(fluid_.add_resource(tag + ".in", d.nic.value(), opts_.trace_bucket_seconds));
+    ps_eg_.push_back(fluid_.add_resource(tag + ".eg", d.nic.value()));
+  }
+  pending_subchains_.assign(n, 0);
+  chain_done_.assign(n, nullptr);
+}
+
+void Session::start_chain(int w, std::function<void(double)> done) {
+  chain_done_[w] = std::move(done);
+  pending_subchains_[w] = cluster_.n_ps();
+  for (int k = 0; k < cluster_.n_ps(); ++k) launch_subchain(w, k);
+}
+
+void Session::launch_subchain(int w, int k) {
+  auto pulls_done = std::make_shared<int>(0);
+  issue_push(w, k, 0, pulls_done);
+}
+
+void Session::issue_push(int w, int k, int block, const std::shared_ptr<int>& pulls_done) {
+  const int blocks = std::max(1, opts_.comm_pipeline_blocks);
+  const double push_vol = push_volume_per_ps() / blocks;
+  const double apply_vol = apply_volume_per_ps() / blocks;
+  fluid_.start_job(push_vol, {worker_eg_[w], ps_in_[k]}, [=, this](double) {
+    // The next block's push streams out while this block is being applied —
+    // the parameter-sharding pipeline that hides PS latency.
+    if (block + 1 < blocks) issue_push(w, k, block + 1, pulls_done);
+    fluid_.start_job(apply_vol, {ps_cpu_[k]}, [=, this](double) {
+      fluid_.start_job(push_vol, {ps_eg_[k], worker_in_[w]}, [=, this](double t) {
+        if (++*pulls_done == blocks) {
+          // Sub-chain to PS k finished; the worker's chain completes when
+          // every PS shard has round-tripped.
+          if (--pending_subchains_[w] == 0) {
+            auto done = std::move(chain_done_[w]);
+            chain_done_[w] = nullptr;
+            if (done) done(t);
+          }
+        }
+      });
+    });
+  });
+}
+
+void Session::sample_loss(long completed_updates) {
+  if (completed_updates <= 0) return;
+  long stride = opts_.loss_sample_stride;
+  if (stride <= 0) stride = std::max<long>(1, total_iterations_ / 200);
+  if (completed_updates % stride == 0 || completed_updates == total_iterations_) {
+    result_.loss_curve.push_back({completed_updates, loss_.observe(completed_updates)});
+  }
+}
+
+void Session::finalize(double end_time) {
+  result_.iterations = total_iterations_;
+  result_.total_time = end_time;
+  result_.avg_iteration_time = end_time / std::max<long>(1, total_iterations_);
+  result_.final_loss = loss_.observe(total_iterations_);
+
+  fluid_.settle_now();
+  const int n = cluster_.n_workers();
+  const int m = cluster_.n_ps();
+  result_.worker_cpu_util.resize(n);
+  for (int j = 0; j < n; ++j) {
+    result_.worker_cpu_util[j] = fluid_.resource_utilization(worker_cpu_[j], end_time);
+  }
+  result_.ps_cpu_util.resize(m);
+  for (int k = 0; k < m; ++k) {
+    result_.ps_cpu_util[k] = fluid_.resource_utilization(ps_cpu_[k], end_time);
+  }
+  result_.avg_worker_cpu_util =
+      util::mean({result_.worker_cpu_util.data(), result_.worker_cpu_util.size()});
+  result_.avg_ps_cpu_util = util::mean({result_.ps_cpu_util.data(), result_.ps_cpu_util.size()});
+
+  // Table 2 reports the m4 (fastest-type) workers separately.
+  const double fastest =
+      std::max_element(cluster_.workers.begin(), cluster_.workers.end(),
+                       [](const auto& a, const auto& b) { return a.cpu < b.cpu; })
+          ->cpu.value();
+  double fast_sum = 0.0;
+  int fast_count = 0;
+  for (int j = 0; j < n; ++j) {
+    if (cluster_.workers[j].cpu.value() >= fastest - 1e-9) {
+      fast_sum += result_.worker_cpu_util[j];
+      ++fast_count;
+    }
+  }
+  result_.avg_fast_worker_cpu_util = fast_count ? fast_sum / fast_count : 0.0;
+
+  // Aggregate PS ingress throughput + optional trace.
+  double volume = 0.0;
+  for (int k = 0; k < m; ++k) volume += fluid_.resource_volume_served(ps_in_[k]);
+  result_.ps_ingress_avg_mbps = end_time > 0.0 ? volume / end_time : 0.0;
+  if (opts_.trace_bucket_seconds > 0.0 && m > 0) {
+    // Sum the per-PS traces bucket-wise into one aggregate series.
+    util::RateTrace aggregate(opts_.trace_bucket_seconds);
+    for (int k = 0; k < m; ++k) {
+      if (const auto* trace = fluid_.resource_trace(ps_in_[k])) {
+        for (const auto& b : trace->buckets()) {
+          aggregate.add_segment(b.start, b.start + b.width, b.value);
+        }
+      }
+    }
+    result_.ps_ingress_trace = aggregate.buckets();
+    result_.ps_ingress_peak_mbps = aggregate.peak();
+  } else {
+    result_.ps_ingress_peak_mbps = result_.ps_ingress_avg_mbps;
+  }
+}
+
+TrainResult Session::run() {
+  if (opts_.iterations < 0) throw std::invalid_argument("run_training: negative iterations");
+  total_iterations_ = opts_.iterations > 0 ? opts_.iterations : workload_.default_iterations;
+  if (total_iterations_ <= 0) throw std::invalid_argument("run_training: no iterations");
+  if (cluster_.n_workers() <= 0 || cluster_.n_ps() <= 0) {
+    throw std::invalid_argument("run_training: cluster needs workers and PS nodes");
+  }
+  build_resources();
+  start_engine();
+  sim_.run();
+  if (result_.iterations != total_iterations_) {
+    // The event queue drained without the engine finalizing — a stalled
+    // pipeline (e.g. a sync-gate deadlock) must fail loudly, not return a
+    // half-empty result.
+    throw std::logic_error("run_training: engine stalled at iteration " +
+                           std::to_string(result_.iterations) + " of " +
+                           std::to_string(total_iterations_));
+  }
+  return std::move(result_);
+}
+
+/// BSP: barrier per iteration, communication of iteration i-1 overlapping
+/// computation of iteration i.
+class BspSession final : public Session {
+ public:
+  using Session::Session;
+
+ private:
+  long iter_ = 0;  // current iteration index; runs through total (tail flush)
+  int comp_remaining_ = 0;
+  int comm_remaining_ = 0;
+  double iter_start_ = 0.0;
+  double end_time_ = 0.0;
+
+  void start_engine() override { begin_iteration(0); }
+
+  void begin_iteration(long i) {
+    iter_ = i;
+    iter_start_ = sim_.now();
+    comp_remaining_ = 0;
+    comm_remaining_ = 0;
+    if (i < total_iterations_) {
+      comp_remaining_ = cluster_.n_workers();
+      for (int j = 0; j < cluster_.n_workers(); ++j) {
+        fluid_.start_job(comp_volume_bsp(), {worker_cpu_[j]}, [this](double t) {
+          if (--comp_remaining_ == 0) {
+            result_.computation_time += t - iter_start_;
+            maybe_advance();
+          }
+        });
+      }
+    }
+    if (i >= 1) {
+      comm_remaining_ = cluster_.n_workers();
+      for (int j = 0; j < cluster_.n_workers(); ++j) {
+        start_chain(j, [this](double t) {
+          if (--comm_remaining_ == 0) {
+            result_.communication_time += t - iter_start_;
+            maybe_advance();
+          }
+        });
+      }
+    }
+  }
+
+  void maybe_advance() {
+    if (comp_remaining_ != 0 || comm_remaining_ != 0) return;
+    // Iteration `iter_` closed: the parameter updates of iteration
+    // iter_ - 1 are now applied globally.
+    if (iter_ >= 1) sample_loss(iter_);
+    if (iter_ == total_iterations_) {
+      end_time_ = sim_.now();
+      finalize(end_time_);
+      return;
+    }
+    begin_iteration(iter_ + 1);
+  }
+};
+
+/// ASP: workers draw iterations from a global counter and run the
+/// compute/push/apply/pull cycle independently. Also the base for SSP,
+/// which adds a bounded-staleness gate in front of each cycle.
+class AspSession : public Session {
+ public:
+  using Session::Session;
+
+ protected:
+  long issued_ = 0;
+  long completed_ = 0;
+  std::vector<double> cycle_start_;
+  std::vector<long> worker_completed_;
+
+  void start_engine() override {
+    const int n = cluster_.n_workers();
+    cycle_start_.assign(n, 0.0);
+    worker_completed_.assign(n, 0);
+    // Stagger worker starts across one compute interval: pods never come up
+    // in lockstep on a real cluster, and without the offset all n pushes
+    // collide at the PS every cycle, which a fluid model would overstate.
+    for (int j = 0; j < n; ++j) {
+      const double cycle = workload_.witer.value() / cluster_.workers[j].cpu.value();
+      const double offset = cycle * static_cast<double>(j) / static_cast<double>(n);
+      sim_.after(offset, [this, j] { next_iteration(j); });
+    }
+  }
+
+  /// SSP hook: may defer the cycle; ASP admits unconditionally.
+  virtual bool admit(int /*w*/) { return true; }
+  /// SSP hook: called whenever a worker finishes a cycle.
+  virtual void on_cycle_complete(int /*w*/) {}
+
+  void next_iteration(int w) {
+    if (issued_ >= total_iterations_) return;  // this worker idles out
+    if (!admit(w)) return;                     // parked by the staleness gate
+    ++issued_;
+    cycle_start_[w] = sim_.now();
+    fluid_.start_job(comp_volume_asp(), {worker_cpu_[w]}, [this, w](double t) {
+      result_.computation_time += t - cycle_start_[w];
+      const double chain_begin = t;
+      start_chain(w, [this, w, chain_begin](double t_done) {
+        result_.communication_time += t_done - chain_begin;
+        ++completed_;
+        ++worker_completed_[w];
+        sample_loss(completed_);
+        if (completed_ == total_iterations_) {
+          finalize(t_done);
+          return;
+        }
+        on_cycle_complete(w);
+        next_iteration(w);
+      });
+    });
+  }
+};
+
+/// SSP [14]: ASP loops with a bounded iteration gap. A worker whose lead
+/// over the slowest *active* worker would exceed the bound parks until the
+/// stragglers catch up; the model still converges because the parameter
+/// staleness any worker can observe is capped.
+class SspSession final : public AspSession {
+ public:
+  using AspSession::AspSession;
+
+ private:
+  std::vector<int> parked_;
+
+  bool admit(int w) override {
+    const long lead = worker_completed_[w] - min_active_completed(w);
+    if (lead < effective_bound()) return true;
+    parked_.push_back(w);
+    return false;
+  }
+
+  void on_cycle_complete(int /*w*/) override {
+    // A straggler advanced; wake every parked worker whose gap closed.
+    std::vector<int> still_parked;
+    std::vector<int> release = std::move(parked_);
+    parked_.clear();
+    for (int p : release) {
+      const long lead = worker_completed_[p] - min_active_completed(p);
+      if (lead < effective_bound()) {
+        // Re-admit via next_iteration (re-checks the budget).
+        sim_.after(0.0, [this, p] { next_iteration(p); });
+      } else {
+        still_parked.push_back(p);
+      }
+    }
+    parked_ = std::move(still_parked);
+  }
+
+  /// Bound of 0 would park everyone (deadlock); clamp to >= 1. Negative
+  /// means "use the workload's configured bound".
+  [[nodiscard]] int effective_bound() const {
+    const int b = opts_.ssp_staleness_bound >= 0 ? opts_.ssp_staleness_bound
+                                                 : workload_.ssp_staleness_bound;
+    return std::max(1, b);
+  }
+
+  /// Smallest completed count among workers that still have work to do
+  /// (idled-out workers must not gate the rest at the tail of the run).
+  [[nodiscard]] long min_active_completed(int self) const {
+    long min_done = worker_completed_[self];
+    for (int j = 0; j < cluster_.n_workers(); ++j) {
+      min_done = std::min(min_done, worker_completed_[j]);
+    }
+    return min_done;
+  }
+};
+
+}  // namespace
+
+TrainResult run_training(const ClusterSpec& cluster, const WorkloadSpec& workload,
+                         const TrainOptions& options) {
+  switch (workload.sync) {
+    case SyncMode::BSP: {
+      BspSession session(cluster, workload, options);
+      return session.run();
+    }
+    case SyncMode::SSP: {
+      SspSession session(cluster, workload, options);
+      return session.run();
+    }
+    case SyncMode::ASP:
+      break;
+  }
+  AspSession session(cluster, workload, options);
+  return session.run();
+}
+
+RepeatedResult run_repeated(const ClusterSpec& cluster, const WorkloadSpec& workload,
+                            TrainOptions options, int repetitions) {
+  if (repetitions <= 0) throw std::invalid_argument("run_repeated: repetitions must be > 0");
+  RepeatedResult out;
+  util::RunningStats stats;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    TrainOptions o = options;
+    o.seed = options.seed + static_cast<std::uint64_t>(rep) * 0x9e3779b9ULL;
+    TrainResult r = run_training(cluster, workload, o);
+    stats.add(r.total_time);
+    if (rep == 0) out.representative = std::move(r);
+  }
+  out.mean_time = stats.mean();
+  out.stddev_time = stats.stddev();
+  return out;
+}
+
+}  // namespace cynthia::ddnn

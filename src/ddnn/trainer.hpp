@@ -1,0 +1,102 @@
+// PS-architecture distributed training simulation.
+//
+// run_training() executes a full DDNN training job on a simulated cluster
+// and reports the quantities the paper measures: total training time, the
+// computation/communication breakdown (Fig. 3), per-docker CPU utilization
+// (Table 2), the PS ingress throughput trace (Figs. 2 and 7) and the noisy
+// loss curve (Fig. 4).
+//
+// Mechanics (Fig. 5 of the paper): every iteration a worker computes
+// gradients on its own CPU, pushes them to every PS shard over the network,
+// each PS folds the update in on its CPU, and the worker pulls fresh
+// parameters back.
+//   * BSP: the global batch is split across workers (Eq. 4), iteration i's
+//     communication overlaps iteration i+1's computation (the
+//     SyncReplicasOptimizer behaviour noted in Sec. 2), and a barrier closes
+//     each iteration.
+//   * ASP: workers draw iterations from a shared counter and run
+//     compute -> push -> apply -> pull strictly in sequence (Sec. 3).
+// All contention (PS NIC, PS CPU, worker NIC) emerges from max-min fair
+// sharing in sim::FluidSystem.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ddnn/cluster.hpp"
+#include "ddnn/workload.hpp"
+#include "util/time_series.hpp"
+
+namespace cynthia::ddnn {
+
+struct TrainOptions {
+  long iterations = 0;  ///< 0 = use the workload's Table 1 default
+  std::uint64_t seed = 1;
+
+  /// Bytes on the wire per parameter byte (gRPC/TCP framing overhead).
+  double wire_overhead = 1.25;
+
+  /// Relative jitter applied to each compute task (run-to-run variance).
+  double compute_jitter = 0.02;
+
+  /// >0 enables PS ingress throughput tracing with this bucket width.
+  double trace_bucket_seconds = 0.0;
+
+  /// Loss curve sampling stride; 0 = auto (~200 samples per run).
+  long loss_sample_stride = 0;
+
+  /// SSP staleness bound override; negative = use the workload's value.
+  int ssp_staleness_bound = -1;
+
+  /// Parameter-sharding pipeline depth: each worker's update is split into
+  /// this many blocks whose push -> apply -> pull stages overlap (how PS
+  /// frameworks hide the apply latency). 1 disables pipelining — the
+  /// ablation knob for bench/ablation_model.
+  int comm_pipeline_blocks = 8;
+};
+
+struct LossSample {
+  long iteration = 0;
+  double loss = 0.0;
+};
+
+struct TrainResult {
+  long iterations = 0;
+  double total_time = 0.0;  ///< seconds, start to last parameter pull
+
+  /// Fig. 3 breakdown: per-iteration computation phase / communication
+  /// phase durations summed over the run (phases overlap under BSP, so
+  /// their sum exceeds total_time by design).
+  double computation_time = 0.0;
+  double communication_time = 0.0;
+  double avg_iteration_time = 0.0;
+
+  std::vector<double> worker_cpu_util;  ///< per worker, in [0,1]
+  std::vector<double> ps_cpu_util;      ///< per PS node
+  double avg_worker_cpu_util = 0.0;
+  double avg_fast_worker_cpu_util = 0.0;  ///< fastest-type workers only (Table 2's m4 column)
+  double avg_ps_cpu_util = 0.0;
+
+  double ps_ingress_avg_mbps = 0.0;   ///< aggregate across PS nodes
+  double ps_ingress_peak_mbps = 0.0;  ///< peak bucket of the trace
+  std::vector<util::TimeBucket> ps_ingress_trace;
+
+  double final_loss = 0.0;
+  std::vector<LossSample> loss_curve;
+};
+
+/// Runs one training job to completion; deterministic for a given seed.
+TrainResult run_training(const ClusterSpec& cluster, const WorkloadSpec& workload,
+                         const TrainOptions& options = {});
+
+/// Mean +/- stdev of total time across `repetitions` seeds (the paper
+/// repeats every experiment three times).
+struct RepeatedResult {
+  TrainResult representative;  ///< run with the first seed
+  double mean_time = 0.0;
+  double stddev_time = 0.0;
+};
+RepeatedResult run_repeated(const ClusterSpec& cluster, const WorkloadSpec& workload,
+                            TrainOptions options = {}, int repetitions = 3);
+
+}  // namespace cynthia::ddnn

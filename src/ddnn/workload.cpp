@@ -1,0 +1,130 @@
+#include "ddnn/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cynthia::ddnn {
+
+std::string to_string(SyncMode mode) {
+  switch (mode) {
+    case SyncMode::BSP:
+      return "BSP";
+    case SyncMode::ASP:
+      return "ASP";
+    case SyncMode::SSP:
+      return "SSP";
+  }
+  return "?";
+}
+
+double staleness_factor(SyncMode mode, int n_workers, int ssp_bound) {
+  if (n_workers <= 0) throw std::invalid_argument("staleness_factor: workers must be > 0");
+  switch (mode) {
+    case SyncMode::BSP:
+      return 1.0;
+    case SyncMode::ASP:
+      return std::sqrt(static_cast<double>(n_workers));
+    case SyncMode::SSP: {
+      const double observable = std::min<double>(std::max(0, ssp_bound), n_workers - 1);
+      return std::sqrt(1.0 + observable);
+    }
+  }
+  return 1.0;
+}
+
+const std::vector<WorkloadSpec>& paper_workloads() {
+  // w_iter and g_param are the paper's Table 4 values verbatim. The PS
+  // update cost is calibrated so that (a) 30-iteration baseline profiling
+  // times land near Sec. 5.3 (mnist 0.9 s, cifar10 4.0 min, ResNet-32
+  // 6.0 min, VGG-19 10.4 min) and (b) the PS saturation points of Sec. 2
+  // and Sec. 5.1 are reproduced (mnist PS-bound beyond ~2-4 workers,
+  // cifar10 comp/comm crossover near 13 workers, VGG-19 NIC-bound near
+  // 9-11 workers). Loss coefficients are the "ground truth" the loss
+  // process draws from; Cynthia re-fits them from observations (Eq. 1).
+  static const std::vector<WorkloadSpec> workloads{
+      {.name = "mnist",
+       .sync = SyncMode::BSP,
+       .default_iterations = 10'000,
+       .batch_size = 512,
+       .dataset = "mnist",
+       .witer = util::GFlops{0.04},
+       .gparam = util::MegaBytes{0.33},
+       .ps_update_gflops = util::GFlops{0.011},
+       .bsp_loss = {250.0, 0.05},
+       .asp_loss = {190.0, 0.05},
+       .loss_noise_rel = 0.02},
+      {.name = "cifar10",
+       .sync = SyncMode::BSP,
+       .default_iterations = 10'000,
+       .batch_size = 512,
+       .dataset = "cifar10",
+       .witer = util::GFlops{26.86},
+       .gparam = util::MegaBytes{4.94},
+       .ps_update_gflops = util::GFlops{0.02},
+       .bsp_loss = {2500.0, 0.25},
+       .asp_loss = {2100.0, 0.25},
+       .loss_noise_rel = 0.02},
+      {.name = "resnet32",
+       .sync = SyncMode::ASP,
+       .default_iterations = 3'000,
+       .batch_size = 128,
+       .dataset = "cifar10",
+       .witer = util::GFlops{39.87},
+       .gparam = util::MegaBytes{2.22},
+       .ps_update_gflops = util::GFlops{0.05},
+       .bsp_loss = {2200.0, 0.25},
+       .asp_loss = {900.0, 0.25},
+       .loss_noise_rel = 0.02},
+      {.name = "vgg19",
+       .sync = SyncMode::ASP,
+       .default_iterations = 1'000,
+       .batch_size = 128,
+       .dataset = "cifar10",
+       .witer = util::GFlops{58.81},
+       .gparam = util::MegaBytes{135.84},
+       .ps_update_gflops = util::GFlops{0.50},
+       .bsp_loss = {1150.0, 0.55},
+       .asp_loss = {210.0, 0.10},
+       .loss_noise_rel = 0.02},
+  };
+  return workloads;
+}
+
+WorkloadSpec workload_from_network(const models::NetworkDef& network,
+                                   const WorkloadDerivation& options) {
+  if (options.batch_size <= 0 || options.default_iterations <= 0) {
+    throw std::invalid_argument("workload_from_network: bad batch/iterations");
+  }
+  if (options.achieved_flops_efficiency <= 0.0 || options.achieved_flops_efficiency > 1.0) {
+    throw std::invalid_argument("workload_from_network: efficiency must be in (0, 1]");
+  }
+  WorkloadSpec w;
+  w.name = network.name();
+  w.sync = options.sync;
+  w.default_iterations = options.default_iterations;
+  w.batch_size = options.batch_size;
+  w.dataset = "synthetic";
+  // Effective work per iteration: frameworks sustain only a fraction of the
+  // structural FLOP count (kernel launch overheads, memory-bound layers),
+  // and the capability table is calibrated against *achieved* throughput,
+  // so the structural count is derated accordingly.
+  w.witer = util::GFlops{network.training_gflops_per_iteration(options.batch_size).value() *
+                         options.achieved_flops_efficiency};
+  w.gparam = network.param_megabytes();
+  w.ps_update_gflops = util::GFlops{options.ps_update_overhead_gflops +
+                                    options.ps_flops_per_param *
+                                        static_cast<double>(network.total_params()) / 1e9};
+  w.bsp_loss = options.bsp_loss;
+  w.asp_loss = options.asp_loss;
+  return w;
+}
+
+const WorkloadSpec& workload_by_name(const std::string& name) {
+  for (const auto& w : paper_workloads()) {
+    if (w.name == name) return w;
+  }
+  throw std::invalid_argument("workload_by_name: unknown workload '" + name + "'");
+}
+
+}  // namespace cynthia::ddnn

@@ -1,0 +1,102 @@
+// DDNN training workload descriptions (the paper's Table 1 + Table 4).
+//
+// A WorkloadSpec carries everything the training simulator and the
+// performance models consume: per-iteration work (w_iter), parameter payload
+// (g_param), the PS-side CPU cost of applying one worker's update, the sync
+// mode, and the ground-truth loss-curve coefficients the loss process draws
+// from. The four paper workloads are calibrated in paper_workloads(); see
+// DESIGN.md for the calibration rationale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/network.hpp"
+#include "util/units.hpp"
+
+namespace cynthia::ddnn {
+
+/// Parameter synchronization mechanism. BSP and ASP are the paper's two
+/// mechanisms (Sec. 2); SSP is the bounded-staleness middle ground of its
+/// related work [14], implemented as an extension: a worker may run at most
+/// `ssp_staleness_bound` iterations ahead of the slowest worker.
+enum class SyncMode {
+  BSP,  ///< bulk-synchronous: barrier per iteration, comp/comm overlapped
+  ASP,  ///< asynchronous: each worker trains and syncs independently
+  SSP,  ///< stale-synchronous: ASP-style loops with a bounded iteration gap
+};
+
+std::string to_string(SyncMode mode);
+
+/// Convergence penalty factor relative to BSP at equal iteration counts:
+/// 1 for BSP, sqrt(n) for ASP (Eq. 1), and sqrt(1 + min(bound, n-1)) for
+/// SSP — the staleness a worker can observe is capped by the bound, so the
+/// penalty interpolates between the BSP and ASP extremes and the SSP loss
+/// law converges regularly as long as the bound is finite [14].
+double staleness_factor(SyncMode mode, int n_workers, int ssp_bound);
+
+/// Ground-truth loss-curve coefficients for one sync mode (Eq. 1).
+struct LossCoefficients {
+  double beta0 = 0.0;
+  double beta1 = 0.0;
+};
+
+/// One DDNN training workload.
+struct WorkloadSpec {
+  std::string name;
+  SyncMode sync = SyncMode::BSP;
+  int default_iterations = 1000;  ///< Table 1 iteration budget
+  int batch_size = 128;           ///< global mini-batch
+  std::string dataset;
+
+  util::GFlops witer;            ///< training FLOPs per iteration (global batch)
+  util::MegaBytes gparam;        ///< model parameter payload
+  util::GFlops ps_update_gflops; ///< PS CPU work to fold in one worker's update
+
+  LossCoefficients bsp_loss;  ///< fitted per sync mode — the paper fits the
+  LossCoefficients asp_loss;  ///< loss curve separately for BSP and ASP
+  double loss_noise_rel = 0.02;  ///< relative stddev of loss observations
+
+  /// SSP staleness bound (iterations a worker may lead the slowest by).
+  int ssp_staleness_bound = 3;
+
+  /// SSP shares the BSP curve coefficients; its convergence penalty enters
+  /// through staleness_factor().
+  [[nodiscard]] const LossCoefficients& loss_for(SyncMode mode) const {
+    return mode == SyncMode::ASP ? asp_loss : bsp_loss;
+  }
+  [[nodiscard]] const LossCoefficients& loss() const { return loss_for(sync); }
+};
+
+/// The paper's four workloads with their Table 1 configuration and
+/// Table 4-calibrated profile quantities.
+const std::vector<WorkloadSpec>& paper_workloads();
+
+/// Lookup by name ("mnist", "cifar10", "resnet32", "vgg19").
+const WorkloadSpec& workload_by_name(const std::string& name);
+
+/// Knobs for deriving a WorkloadSpec from a structural network definition
+/// (models::NetworkDef) — how downstream users bring their own models.
+struct WorkloadDerivation {
+  int batch_size = 128;
+  SyncMode sync = SyncMode::BSP;
+  int default_iterations = 1000;
+  /// Fraction of theoretical FLOPs the framework actually sustains
+  /// (TF-on-CPU measures well below the structural count).
+  double achieved_flops_efficiency = 0.55;
+  /// PS CPU cost per update: fixed framework overhead + per-parameter work.
+  double ps_update_overhead_gflops = 0.004;
+  double ps_flops_per_param = 2.0;
+  /// Ground-truth loss-curve coefficients for the synthetic loss process.
+  LossCoefficients bsp_loss{1500.0, 0.3};
+  LossCoefficients asp_loss{600.0, 0.3};
+};
+
+/// Derives a simulatable workload from a structural model definition:
+/// w_iter from the counted training FLOPs (derated by the achieved-FLOPs
+/// efficiency), g_param from the fp32 parameter payload, and the PS update
+/// cost from the overhead + per-parameter model.
+WorkloadSpec workload_from_network(const models::NetworkDef& network,
+                                   const WorkloadDerivation& options = {});
+
+}  // namespace cynthia::ddnn

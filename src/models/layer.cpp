@@ -1,0 +1,67 @@
+#include "models/layer.hpp"
+
+#include <stdexcept>
+
+namespace cynthia::models {
+
+std::string to_string(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::Input:
+      return "input";
+    case LayerKind::Conv2D:
+      return "conv2d";
+    case LayerKind::Dense:
+      return "dense";
+    case LayerKind::MaxPool:
+      return "maxpool";
+    case LayerKind::AvgPool:
+      return "avgpool";
+    case LayerKind::GlobalAvgPool:
+      return "gavgpool";
+    case LayerKind::BatchNorm:
+      return "batchnorm";
+    case LayerKind::ReLU:
+      return "relu";
+    case LayerKind::Flatten:
+      return "flatten";
+    case LayerKind::Softmax:
+      return "softmax";
+    case LayerKind::Add:
+      return "add";
+  }
+  return "?";
+}
+
+Shape conv2d_output(Shape in, int filters, int kernel, int stride) {
+  if (kernel <= 0 || stride <= 0 || filters <= 0) {
+    throw std::invalid_argument("conv2d: non-positive geometry");
+  }
+  // TensorFlow 'SAME' padding: ceil(dim / stride).
+  return {(in.h + stride - 1) / stride, (in.w + stride - 1) / stride, filters};
+}
+
+std::int64_t conv2d_forward_flops(Shape in, int filters, int kernel, int stride) {
+  const Shape out = conv2d_output(in, filters, kernel, stride);
+  const std::int64_t macs = static_cast<std::int64_t>(out.h) * out.w * filters *
+                            static_cast<std::int64_t>(kernel) * kernel * in.c;
+  return 2 * macs;  // multiply + accumulate
+}
+
+std::int64_t conv2d_params(Shape in, int filters, int kernel) {
+  return static_cast<std::int64_t>(kernel) * kernel * in.c * filters + filters;  // + bias
+}
+
+std::int64_t dense_forward_flops(std::int64_t in_features, std::int64_t out_features) {
+  return 2 * in_features * out_features;
+}
+
+std::int64_t dense_params(std::int64_t in_features, std::int64_t out_features) {
+  return in_features * out_features + out_features;
+}
+
+Shape pool_output(Shape in, int kernel, int stride) {
+  if (kernel <= 0 || stride <= 0) throw std::invalid_argument("pool: non-positive geometry");
+  return {(in.h + stride - 1) / stride, (in.w + stride - 1) / stride, in.c};
+}
+
+}  // namespace cynthia::models

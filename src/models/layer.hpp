@@ -1,0 +1,74 @@
+// Layer-level intermediate representation with analytic cost counting.
+//
+// Cynthia's key profiled quantities are w_iter (FLOPs per training
+// iteration) and g_param (bytes of model parameters). Rather than hard-code
+// the paper's Table 4, the model zoo builds each DNN from this layer IR and
+// *derives* those quantities structurally — the same approach Paleo [23]
+// takes — so that the library generalizes to models the paper never ran.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cynthia::models {
+
+/// Spatial activation shape (height x width x channels). Dense layers use
+/// h = w = 1 and put their width in c.
+struct Shape {
+  int h = 0;
+  int w = 0;
+  int c = 0;
+
+  [[nodiscard]] std::int64_t elements() const {
+    return static_cast<std::int64_t>(h) * w * c;
+  }
+  friend bool operator==(const Shape&, const Shape&) = default;
+};
+
+enum class LayerKind {
+  Input,
+  Conv2D,
+  Dense,
+  MaxPool,
+  AvgPool,
+  GlobalAvgPool,
+  BatchNorm,
+  ReLU,
+  Flatten,
+  Softmax,
+  Add,  ///< residual shortcut merge
+};
+
+std::string to_string(LayerKind kind);
+
+/// One layer instance: immutable once constructed by NetworkBuilder.
+struct Layer {
+  std::string name;
+  LayerKind kind = LayerKind::Input;
+  Shape in;
+  Shape out;
+  // Conv/pool geometry (unused for other kinds).
+  int kernel = 0;
+  int stride = 1;
+
+  std::int64_t params = 0;         ///< trainable parameter count
+  std::int64_t forward_flops = 0;  ///< FLOPs for one sample's forward pass
+
+  /// Backward cost: gradient wrt inputs + gradient wrt weights, the standard
+  /// ~2x-forward estimate (Paleo's accounting); parameterless layers still
+  /// pay the input-gradient pass.
+  [[nodiscard]] std::int64_t backward_flops() const {
+    return params > 0 ? 2 * forward_flops : forward_flops;
+  }
+  [[nodiscard]] std::int64_t training_flops() const { return forward_flops + backward_flops(); }
+};
+
+// Cost model helpers used by NetworkBuilder (exposed for unit tests).
+std::int64_t conv2d_forward_flops(Shape in, int filters, int kernel, int stride);
+std::int64_t conv2d_params(Shape in, int filters, int kernel);
+Shape conv2d_output(Shape in, int filters, int kernel, int stride);  ///< 'same' padding
+std::int64_t dense_forward_flops(std::int64_t in_features, std::int64_t out_features);
+std::int64_t dense_params(std::int64_t in_features, std::int64_t out_features);
+Shape pool_output(Shape in, int kernel, int stride);
+
+}  // namespace cynthia::models

@@ -1,0 +1,252 @@
+#include "models/network.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace cynthia::models {
+
+NetworkDef::NetworkDef(std::string name, std::vector<Layer> layers)
+    : name_(std::move(name)), layers_(std::move(layers)) {
+  if (layers_.empty() || layers_.front().kind != LayerKind::Input) {
+    throw std::invalid_argument("NetworkDef: must start with an input layer");
+  }
+  for (const auto& l : layers_) {
+    total_params_ += l.params;
+    fwd_flops_ += l.forward_flops;
+    train_flops_ += l.training_flops();
+  }
+}
+
+Shape NetworkDef::input_shape() const { return layers_.front().out; }
+
+Shape NetworkDef::output_shape() const { return layers_.back().out; }
+
+std::string NetworkDef::summary() const {
+  std::ostringstream os;
+  os << "Model: " << name_ << '\n';
+  for (const auto& l : layers_) {
+    os << "  " << std::left << std::setw(18) << l.name << std::setw(10) << to_string(l.kind)
+       << "out=" << l.out.h << 'x' << l.out.w << 'x' << l.out.c << "  params=" << l.params
+       << "  fwd_flops=" << l.forward_flops << '\n';
+  }
+  os << "  total params: " << total_params_ << " (" << std::fixed << std::setprecision(2)
+     << param_megabytes().value() << " MB fp32)\n";
+  os << "  fwd GFLOP/sample: " << std::setprecision(4)
+     << static_cast<double>(fwd_flops_) / 1e9 << '\n';
+  return os.str();
+}
+
+NetworkBuilder::NetworkBuilder(std::string name) : name_(std::move(name)) {}
+
+void NetworkBuilder::push(Layer layer) {
+  shape_ = layer.out;
+  layers_.push_back(std::move(layer));
+}
+
+std::string NetworkBuilder::next_name(LayerKind kind) {
+  return to_string(kind) + "_" + std::to_string(++counter_);
+}
+
+void NetworkBuilder::require_input() const {
+  if (!has_input_) throw std::logic_error("NetworkBuilder: add input() first");
+}
+
+NetworkBuilder& NetworkBuilder::input(int h, int w, int c) {
+  if (has_input_) throw std::logic_error("NetworkBuilder: input() called twice");
+  if (h <= 0 || w <= 0 || c <= 0) throw std::invalid_argument("input: non-positive shape");
+  has_input_ = true;
+  Shape s{h, w, c};
+  push({next_name(LayerKind::Input), LayerKind::Input, s, s, 0, 1, 0, 0});
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::conv2d(int filters, int kernel, int stride) {
+  require_input();
+  Layer l;
+  l.name = next_name(LayerKind::Conv2D);
+  l.kind = LayerKind::Conv2D;
+  l.in = shape_;
+  l.kernel = kernel;
+  l.stride = stride;
+  l.out = conv2d_output(shape_, filters, kernel, stride);
+  l.params = conv2d_params(shape_, filters, kernel);
+  l.forward_flops = conv2d_forward_flops(shape_, filters, kernel, stride);
+  push(std::move(l));
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::dense(int units) {
+  require_input();
+  const std::int64_t in_features = shape_.elements();
+  Layer l;
+  l.name = next_name(LayerKind::Dense);
+  l.kind = LayerKind::Dense;
+  l.in = shape_;
+  l.out = {1, 1, units};
+  l.params = dense_params(in_features, units);
+  l.forward_flops = dense_forward_flops(in_features, units);
+  push(std::move(l));
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::recurrent_dense(int units, int steps) {
+  require_input();
+  if (steps <= 0) throw std::invalid_argument("recurrent_dense: steps must be > 0");
+  const std::int64_t in_features = shape_.elements();
+  Layer l;
+  l.name = next_name(LayerKind::Dense);
+  l.kind = LayerKind::Dense;
+  l.in = shape_;
+  l.out = {1, 1, units};
+  l.params = dense_params(in_features, units);
+  l.forward_flops = dense_forward_flops(in_features, units) * steps;
+  push(std::move(l));
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::max_pool(int kernel, int stride) {
+  require_input();
+  Layer l;
+  l.name = next_name(LayerKind::MaxPool);
+  l.kind = LayerKind::MaxPool;
+  l.in = shape_;
+  l.kernel = kernel;
+  l.stride = stride;
+  l.out = pool_output(shape_, kernel, stride);
+  l.forward_flops = l.out.elements() * kernel * kernel;
+  push(std::move(l));
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::avg_pool(int kernel, int stride) {
+  require_input();
+  Layer l;
+  l.name = next_name(LayerKind::AvgPool);
+  l.kind = LayerKind::AvgPool;
+  l.in = shape_;
+  l.kernel = kernel;
+  l.stride = stride;
+  l.out = pool_output(shape_, kernel, stride);
+  l.forward_flops = l.out.elements() * (kernel * kernel + 1);
+  push(std::move(l));
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::global_avg_pool() {
+  require_input();
+  Layer l;
+  l.name = next_name(LayerKind::GlobalAvgPool);
+  l.kind = LayerKind::GlobalAvgPool;
+  l.in = shape_;
+  l.out = {1, 1, shape_.c};
+  l.forward_flops = shape_.elements();
+  push(std::move(l));
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::batch_norm() {
+  require_input();
+  Layer l;
+  l.name = next_name(LayerKind::BatchNorm);
+  l.kind = LayerKind::BatchNorm;
+  l.in = shape_;
+  l.out = shape_;
+  l.params = 2L * shape_.c;  // gamma + beta
+  l.forward_flops = 4 * shape_.elements();
+  push(std::move(l));
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::relu() {
+  require_input();
+  Layer l;
+  l.name = next_name(LayerKind::ReLU);
+  l.kind = LayerKind::ReLU;
+  l.in = shape_;
+  l.out = shape_;
+  l.forward_flops = shape_.elements();
+  push(std::move(l));
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::flatten() {
+  require_input();
+  Layer l;
+  l.name = next_name(LayerKind::Flatten);
+  l.kind = LayerKind::Flatten;
+  l.in = shape_;
+  l.out = {1, 1, static_cast<int>(shape_.elements())};
+  push(std::move(l));
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::reshape(int features) {
+  require_input();
+  if (features <= 0) throw std::invalid_argument("reshape: features must be > 0");
+  Layer l;
+  l.name = next_name(LayerKind::Flatten);
+  l.kind = LayerKind::Flatten;
+  l.in = shape_;
+  l.out = {1, 1, features};
+  push(std::move(l));
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::softmax() {
+  require_input();
+  Layer l;
+  l.name = next_name(LayerKind::Softmax);
+  l.kind = LayerKind::Softmax;
+  l.in = shape_;
+  l.out = shape_;
+  l.forward_flops = 3 * shape_.elements();  // exp + sum + divide
+  push(std::move(l));
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::begin_block() {
+  require_input();
+  block_stack_.push_back(shape_);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::end_block_add() {
+  if (block_stack_.empty()) throw std::logic_error("end_block_add without begin_block");
+  const Shape shortcut = block_stack_.back();
+  block_stack_.pop_back();
+  if (shortcut.c != shape_.c || shortcut.h != shape_.h || shortcut.w != shape_.w) {
+    // Projection shortcut: 1x1 conv with the stride that maps the shapes.
+    const int stride = std::max(1, shortcut.h / std::max(1, shape_.h));
+    Layer proj;
+    proj.name = next_name(LayerKind::Conv2D);
+    proj.kind = LayerKind::Conv2D;
+    proj.in = shortcut;
+    proj.kernel = 1;
+    proj.stride = stride;
+    proj.out = conv2d_output(shortcut, shape_.c, 1, stride);
+    proj.params = conv2d_params(shortcut, shape_.c, 1);
+    proj.forward_flops = conv2d_forward_flops(shortcut, shape_.c, 1, stride);
+    // The projection runs on the shortcut branch; it does not change the
+    // main-path shape.
+    const Shape keep = shape_;
+    push(std::move(proj));
+    shape_ = keep;
+  }
+  Layer l;
+  l.name = next_name(LayerKind::Add);
+  l.kind = LayerKind::Add;
+  l.in = shape_;
+  l.out = shape_;
+  l.forward_flops = shape_.elements();
+  push(std::move(l));
+  return *this;
+}
+
+NetworkDef NetworkBuilder::build() {
+  require_input();
+  if (!block_stack_.empty()) throw std::logic_error("build: unclosed residual block");
+  return NetworkDef(name_, std::move(layers_));
+}
+
+}  // namespace cynthia::models

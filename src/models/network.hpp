@@ -1,0 +1,93 @@
+// Whole-network definition assembled from layers, with aggregate costs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/layer.hpp"
+#include "util/units.hpp"
+
+namespace cynthia::models {
+
+/// Immutable network description produced by NetworkBuilder.
+class NetworkDef {
+ public:
+  NetworkDef(std::string name, std::vector<Layer> layers);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Layer>& layers() const { return layers_; }
+  [[nodiscard]] Shape input_shape() const;
+  [[nodiscard]] Shape output_shape() const;
+
+  [[nodiscard]] std::int64_t total_params() const { return total_params_; }
+  /// Parameter payload in float32 — the paper's g_param.
+  [[nodiscard]] util::MegaBytes param_megabytes() const {
+    return util::MegaBytes{static_cast<double>(total_params_) * 4.0 / 1e6};
+  }
+  [[nodiscard]] std::int64_t forward_flops_per_sample() const { return fwd_flops_; }
+  [[nodiscard]] std::int64_t training_flops_per_sample() const { return train_flops_; }
+
+  /// The paper's w_iter for a given mini-batch size.
+  [[nodiscard]] util::GFlops training_gflops_per_iteration(int batch_size) const {
+    return util::GFlops{static_cast<double>(train_flops_) * batch_size / 1e9};
+  }
+
+  /// Human-readable per-layer summary (Keras model.summary() style).
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::string name_;
+  std::vector<Layer> layers_;
+  std::int64_t total_params_ = 0;
+  std::int64_t fwd_flops_ = 0;
+  std::int64_t train_flops_ = 0;
+};
+
+/// Sequential builder with shape inference. Residual networks use
+/// `begin_block`/`end_block_add` to account for the shortcut Add.
+class NetworkBuilder {
+ public:
+  explicit NetworkBuilder(std::string name);
+
+  NetworkBuilder& input(int h, int w, int c);
+  NetworkBuilder& conv2d(int filters, int kernel, int stride = 1);
+  NetworkBuilder& dense(int units);
+  /// Weight-shared recurrent dense layer (LSTM/GRU cells): parameters are
+  /// counted once, forward FLOPs are multiplied by the unrolled `steps`.
+  NetworkBuilder& recurrent_dense(int units, int steps);
+  NetworkBuilder& max_pool(int kernel, int stride);
+  NetworkBuilder& avg_pool(int kernel, int stride);
+  NetworkBuilder& global_avg_pool();
+  NetworkBuilder& batch_norm();
+  NetworkBuilder& relu();
+  NetworkBuilder& flatten();
+  /// Parameter- and FLOP-free logical reshape to `features` channels (cell
+  /// state selection / concatenation in recurrent models).
+  NetworkBuilder& reshape(int features);
+  NetworkBuilder& softmax();
+
+  /// Marks the start of a residual block (remembers the shortcut shape).
+  NetworkBuilder& begin_block();
+  /// Closes a residual block: emits the Add layer merging the shortcut.
+  /// Shape mismatch (projection shortcut) is charged as a 1x1 conv.
+  NetworkBuilder& end_block_add();
+
+  [[nodiscard]] NetworkDef build();
+
+  [[nodiscard]] Shape current_shape() const { return shape_; }
+
+ private:
+  std::string name_;
+  std::vector<Layer> layers_;
+  Shape shape_{};
+  bool has_input_ = false;
+  std::vector<Shape> block_stack_;
+  int counter_ = 0;
+
+  void push(Layer layer);
+  [[nodiscard]] std::string next_name(LayerKind kind);
+  void require_input() const;
+};
+
+}  // namespace cynthia::models

@@ -1,0 +1,176 @@
+#include "models/zoo.hpp"
+
+#include <stdexcept>
+
+namespace cynthia::models {
+
+NetworkDef build_mnist_dnn() {
+  // The TF "mnist" tutorial MLP: 784 -> 100 -> 10. 79.5k parameters
+  // (~0.32 MB fp32), matching the paper's profiled g_param of 0.33 MB.
+  return NetworkBuilder("mnist-dnn")
+      .input(28, 28, 1)
+      .flatten()
+      .dense(100)
+      .relu()
+      .dense(10)
+      .softmax()
+      .build();
+}
+
+NetworkDef build_cifar10_dnn() {
+  // The TF "cifar10" tutorial conv net (models/tutorials/images/cifar10):
+  // two 5x5x64 conv+pool stages, then 384/192/10 dense layers. The tutorial
+  // trains on 24x24 random crops, which is what puts the parameter payload
+  // near the paper's profiled 4.94 MB.
+  return NetworkBuilder("cifar10-dnn")
+      .input(24, 24, 3)
+      .conv2d(64, 5)
+      .relu()
+      .max_pool(3, 2)
+      .conv2d(64, 5)
+      .relu()
+      .max_pool(3, 2)
+      .flatten()
+      .dense(384)
+      .relu()
+      .dense(192)
+      .relu()
+      .dense(10)
+      .softmax()
+      .build();
+}
+
+NetworkDef build_resnet32() {
+  // CIFAR ResNet-32: 5 basic blocks per stage, 3 stages (16/32/64 channels),
+  // 2 convs per block -> 30 convs + stem + fc = 32 weighted layers.
+  NetworkBuilder b("resnet-32");
+  b.input(32, 32, 3).conv2d(16, 3).batch_norm().relu();
+  const int stage_channels[3] = {16, 32, 64};
+  for (int stage = 0; stage < 3; ++stage) {
+    const int ch = stage_channels[stage];
+    for (int block = 0; block < 5; ++block) {
+      const int stride = (stage > 0 && block == 0) ? 2 : 1;
+      b.begin_block()
+          .conv2d(ch, 3, stride)
+          .batch_norm()
+          .relu()
+          .conv2d(ch, 3)
+          .batch_norm()
+          .end_block_add()
+          .relu();
+    }
+  }
+  b.global_avg_pool().dense(10).softmax();
+  return b.build();
+}
+
+NetworkDef build_vgg19() {
+  // VGG-19 configuration E with a CIFAR-sized input: 16 conv layers in five
+  // stages + three dense layers.
+  NetworkBuilder b("vgg-19");
+  b.input(32, 32, 3);
+  const struct {
+    int convs;
+    int channels;
+  } stages[] = {{2, 64}, {2, 128}, {4, 256}, {4, 512}, {4, 512}};
+  for (const auto& s : stages) {
+    for (int i = 0; i < s.convs; ++i) b.conv2d(s.channels, 3).relu();
+    b.max_pool(2, 2);
+  }
+  b.flatten().dense(4096).relu().dense(4096).relu().dense(10).softmax();
+  return b.build();
+}
+
+NetworkDef build_resnet50() {
+  // ImageNet ResNet-50: 7x7 stem, then bottleneck stages [3, 4, 6, 3] with
+  // channels 256/512/1024/2048 (bottleneck width = channels / 4).
+  NetworkBuilder b("resnet-50");
+  b.input(224, 224, 3).conv2d(64, 7, 2).batch_norm().relu().max_pool(3, 2);
+  const struct {
+    int blocks;
+    int channels;
+  } stages[] = {{3, 256}, {4, 512}, {6, 1024}, {3, 2048}};
+  for (int stage = 0; stage < 4; ++stage) {
+    const int ch = stages[stage].channels;
+    const int width = ch / 4;
+    for (int block = 0; block < stages[stage].blocks; ++block) {
+      const int stride = (stage > 0 && block == 0) ? 2 : 1;
+      b.begin_block()
+          .conv2d(width, 1, stride)
+          .batch_norm()
+          .relu()
+          .conv2d(width, 3)
+          .batch_norm()
+          .relu()
+          .conv2d(ch, 1)
+          .batch_norm()
+          .end_block_add()
+          .relu();
+    }
+  }
+  b.global_avg_pool().dense(1000).softmax();
+  return b.build();
+}
+
+NetworkDef build_alexnet() {
+  // Single-tower AlexNet (Krizhevsky 2012, merged-GPU variant).
+  return NetworkBuilder("alexnet")
+      .input(224, 224, 3)
+      .conv2d(96, 11, 4)
+      .relu()
+      .max_pool(3, 2)
+      .conv2d(256, 5)
+      .relu()
+      .max_pool(3, 2)
+      .conv2d(384, 3)
+      .relu()
+      .conv2d(384, 3)
+      .relu()
+      .conv2d(256, 3)
+      .relu()
+      .max_pool(3, 2)
+      .flatten()
+      .dense(4096)
+      .relu()
+      .dense(4096)
+      .relu()
+      .dense(1000)
+      .softmax()
+      .build();
+}
+
+NetworkDef build_lstm_medium() {
+  // PTB "medium" LSTM: 2 layers, hidden 650, vocab 10k, 35 unrolled steps.
+  // Each cell step is a dense [x; h] -> 4 gates product; across the
+  // unrolled sequence the weights are shared, so each layer's parameters
+  // are counted once while its FLOPs scale with the steps (the
+  // recurrent_dense primitive). The embedding lookup is cheap but the
+  // output projection runs every step.
+  NetworkBuilder b("lstm-medium");
+  const int hidden = 650;
+  const int vocab = 10000;
+  const int steps = 35;
+  b.input(1, 1, vocab);
+  b.dense(hidden);                       // embedding (6.5M params)
+  b.reshape(2 * hidden);                 // [x_t; h_{t-1}] concatenation
+  b.recurrent_dense(4 * hidden, steps);  // layer-1 gates (3.4M params)
+  b.reshape(2 * hidden);                 // [h1_t; h2_{t-1}]
+  b.recurrent_dense(4 * hidden, steps);  // layer-2 gates (3.4M params)
+  b.reshape(hidden);                     // cell output h2_t
+  b.recurrent_dense(vocab, steps);       // output projection (6.5M params)
+  b.softmax();
+  return b.build();
+}
+
+NetworkDef build_by_name(const std::string& name) {
+  if (name == "mnist") return build_mnist_dnn();
+  if (name == "cifar10") return build_cifar10_dnn();
+  if (name == "resnet32" || name == "resnet-32") return build_resnet32();
+  if (name == "vgg19" || name == "vgg-19") return build_vgg19();
+  if (name == "resnet50" || name == "resnet-50") return build_resnet50();
+  if (name == "alexnet") return build_alexnet();
+  if (name == "lstm" || name == "lstm-medium") return build_lstm_medium();
+  throw std::invalid_argument("build_by_name: unknown model '" + name + "'");
+}
+
+}  // namespace cynthia::models

@@ -1,0 +1,39 @@
+// Model zoo: the four DNNs the paper trains (Table 1).
+//
+//   * mnist DNN    — the TensorFlow tutorial MLP on MNIST
+//   * cifar10 DNN  — the TensorFlow tutorial conv net on CIFAR-10
+//   * ResNet-32    — the CIFAR-variant residual network
+//   * VGG-19       — VGG-19 with a CIFAR-sized input
+//
+// Each builder returns a structural NetworkDef whose counted parameters and
+// FLOPs are validated against the paper's profiled Table 4 in tests
+// (structural counts agree with the profiled values in order of magnitude;
+// the exact profiled numbers live in ddnn::paper_workloads()).
+#pragma once
+
+#include "models/network.hpp"
+
+namespace cynthia::models {
+
+NetworkDef build_mnist_dnn();
+NetworkDef build_cifar10_dnn();
+NetworkDef build_resnet32();
+NetworkDef build_vgg19();
+
+// Beyond the paper's testbed (its future work names ResNet-50 on ImageNet
+// explicitly). These feed ddnn::workload_from_network for what-if studies.
+
+/// ResNet-50, bottleneck blocks, 224x224x3 ImageNet input (~25.6M params).
+NetworkDef build_resnet50();
+/// AlexNet with 224x224x3 input (~61M params, FC-dominated).
+NetworkDef build_alexnet();
+/// Two-layer LSTM language model, unrolled; modeled as the equivalent
+/// dense-layer sequence (hidden 650, vocab 10k, 35 steps — the classic
+/// PTB "medium" configuration).
+NetworkDef build_lstm_medium();
+
+/// All builders keyed by name ("mnist", "cifar10", "resnet32", "vgg19",
+/// "resnet50", "alexnet", "lstm").
+NetworkDef build_by_name(const std::string& name);
+
+}  // namespace cynthia::models

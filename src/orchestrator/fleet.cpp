@@ -1,0 +1,118 @@
+#include "orchestrator/fleet.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace cynthia::orch {
+
+FleetPlanner::FleetPlanner(const cloud::Catalog& catalog, std::string baseline_type,
+                           int docker_quota)
+    : catalog_(&catalog), baseline_(std::move(baseline_type)), quota_(docker_quota) {
+  if (docker_quota <= 0) throw std::invalid_argument("FleetPlanner: quota must be > 0");
+  catalog_->at(baseline_);  // validate early
+}
+
+double FleetPlanner::earliest_fit(const std::vector<Interval>& busy, int dockers,
+                                  double duration) const {
+  // Candidate starts: time zero and every committed interval's end.
+  std::vector<double> candidates{0.0};
+  for (const auto& b : busy) candidates.push_back(b.end);
+  std::sort(candidates.begin(), candidates.end());
+  for (double t : candidates) {
+    // Peak usage over [t, t + duration): evaluate at every boundary inside.
+    bool fits = true;
+    std::vector<double> probes{t};
+    for (const auto& b : busy) {
+      if (b.start > t && b.start < t + duration) probes.push_back(b.start);
+    }
+    for (double p : probes) {
+      int used = 0;
+      for (const auto& b : busy) {
+        if (b.start <= p && p < b.end) used += b.dockers;
+      }
+      if (used + dockers > quota_) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) return t;
+  }
+  return -1.0;  // cannot happen: the last interval end always fits
+}
+
+FleetPlan FleetPlanner::plan(const std::vector<FleetJob>& jobs) const {
+  FleetPlan out;
+  out.decisions.resize(jobs.size());
+
+  // Per-workload predictors are built once (recurring jobs share profiles).
+  std::map<std::string, core::Predictor> predictors;
+  const auto& baseline = catalog_->at(baseline_);
+
+  // Plan each job individually first.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    auto& d = out.decisions[i];
+    d.id = jobs[i].id;
+    auto it = predictors.find(jobs[i].workload.name);
+    if (it == predictors.end()) {
+      it = predictors
+               .emplace(jobs[i].workload.name,
+                        core::Predictor::build(jobs[i].workload, baseline))
+               .first;
+    }
+    core::Provisioner prov(it->second.model(), it->second.loss(),
+                           catalog_->provisionable());
+    core::ProvisionOptions opts;
+    opts.max_workers_quota = quota_;  // a single job may not exceed the account
+    d.plan = prov.plan(jobs[i].workload.sync, jobs[i].goal, opts);
+    if (!d.plan.feasible) {
+      d.reason = "no plan meets the goal on any instance type";
+    } else if (d.dockers() > quota_) {
+      d.plan.feasible = false;
+      d.reason = "plan exceeds the docker quota outright";
+    }
+  }
+
+  // Pack earliest-deadline-first onto the shared quota.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (out.decisions[i].plan.feasible) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (jobs[a].goal.time_goal.value() != jobs[b].goal.time_goal.value()) {
+      return jobs[a].goal.time_goal.value() < jobs[b].goal.time_goal.value();
+    }
+    return a < b;  // stable for equal deadlines
+  });
+
+  std::vector<Interval> busy;
+  for (std::size_t i : order) {
+    auto& d = out.decisions[i];
+    const double duration = d.plan.predicted_time.value();
+    const double start = earliest_fit(busy, d.dockers(), duration);
+    if (start < 0.0 || start + duration > jobs[i].goal.time_goal.value()) {
+      d.reason = "quota contention: cannot finish before the deadline";
+      continue;
+    }
+    d.admitted = true;
+    d.start_time = start;
+    d.finish_time = start + duration;
+    busy.push_back({start, d.finish_time, d.dockers()});
+    out.total_cost += d.plan.predicted_cost.value();
+  }
+
+  // Aggregate stats.
+  for (const auto& d : out.decisions) {
+    d.admitted ? ++out.admitted : ++out.rejected;
+  }
+  for (const auto& b : busy) {
+    int peak = 0;
+    for (const auto& other : busy) {
+      if (other.start <= b.start && b.start < other.end) peak += other.dockers;
+    }
+    out.peak_dockers = std::max(out.peak_dockers, peak);
+  }
+  return out;
+}
+
+}  // namespace cynthia::orch

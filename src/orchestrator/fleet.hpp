@@ -1,0 +1,75 @@
+// Fleet planner: multiple DDNN jobs sharing one account's instance quota.
+//
+// The paper provisions one job at a time; schedulers like Optimus [21] and
+// OASiS [4] manage a whole cluster of jobs. This layer composes Cynthia's
+// per-job plans into a feasible fleet schedule: each job gets its
+// cost-minimal plan, then jobs are packed onto the shared docker quota
+// earliest-deadline-first. A job whose plan cannot start early enough to
+// finish by its deadline (given the quota already committed) is rejected
+// with a reason instead of silently degrading its goal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/instance.hpp"
+#include "core/predictor.hpp"
+#include "core/provisioner.hpp"
+#include "ddnn/workload.hpp"
+
+namespace cynthia::orch {
+
+struct FleetJob {
+  std::string id;
+  ddnn::WorkloadSpec workload;
+  core::ProvisionGoal goal;  ///< deadline is relative to fleet time zero
+};
+
+struct FleetDecision {
+  std::string id;
+  bool admitted = false;
+  std::string reason;        ///< set when rejected
+  core::ProvisionPlan plan;  ///< per-job Cynthia plan (when one exists)
+  double start_time = 0.0;   ///< scheduled start (seconds from time zero)
+  double finish_time = 0.0;  ///< start + predicted duration
+
+  [[nodiscard]] int dockers() const {
+    return plan.feasible ? plan.n_workers + plan.n_ps : 0;
+  }
+};
+
+struct FleetPlan {
+  std::vector<FleetDecision> decisions;  ///< in input order
+  int peak_dockers = 0;
+  double total_cost = 0.0;  ///< admitted jobs' predicted cost (Eq. 8)
+  int admitted = 0;
+  int rejected = 0;
+};
+
+class FleetPlanner {
+ public:
+  /// `docker_quota`: simultaneous dockers the account may hold.
+  FleetPlanner(const cloud::Catalog& catalog, std::string baseline_type, int docker_quota);
+
+  /// Plans every job (profiling each workload once via the Predictor),
+  /// then packs admitted jobs onto the quota timeline. Deterministic.
+  [[nodiscard]] FleetPlan plan(const std::vector<FleetJob>& jobs) const;
+
+  [[nodiscard]] int docker_quota() const { return quota_; }
+
+ private:
+  const cloud::Catalog* catalog_;
+  std::string baseline_;
+  int quota_;
+
+  struct Interval {
+    double start, end;
+    int dockers;
+  };
+  /// Earliest start >= 0 at which `dockers` fit for `duration` given the
+  /// already-committed intervals; quota is the capacity.
+  [[nodiscard]] double earliest_fit(const std::vector<Interval>& busy, int dockers,
+                                    double duration) const;
+};
+
+}  // namespace cynthia::orch

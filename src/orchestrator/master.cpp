@@ -1,0 +1,32 @@
+#include "orchestrator/master.hpp"
+
+namespace cynthia::orch {
+
+std::string Master::random_hex(int chars) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(chars);
+  for (int i = 0; i < chars; ++i) {
+    out.push_back(kDigits[rng_.uniform_int(0, 15)]);
+  }
+  return out;
+}
+
+JoinCredentials Master::issue_credentials(double now, double ttl_seconds) {
+  creds_.token = random_hex(6) + "." + random_hex(16);
+  creds_.discovery_hash = "sha256:" + random_hex(64);
+  creds_.expires_at = now + ttl_seconds;
+  issued_ = true;
+  return creds_;
+}
+
+bool Master::join(NodeId node, const JoinCredentials& presented, double now) {
+  if (!issued_) return false;
+  if (now > creds_.expires_at) return false;
+  if (presented.token != creds_.token || presented.discovery_hash != creds_.discovery_hash) {
+    return false;
+  }
+  return members_.insert(node).second;
+}
+
+}  // namespace cynthia::orch

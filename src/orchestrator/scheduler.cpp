@@ -1,0 +1,64 @@
+#include "orchestrator/scheduler.hpp"
+
+#include <algorithm>
+
+namespace cynthia::orch {
+
+std::string to_string(PodRole role) {
+  return role == PodRole::ParameterServer ? "ps" : "worker";
+}
+
+int Scheduler::free_capacity(const std::vector<Node>& nodes) {
+  int total = 0;
+  for (const auto& n : nodes) {
+    if (n.ready()) total += n.free_slots();
+  }
+  return total;
+}
+
+bool Scheduler::bind(std::vector<Pod>& pods, std::vector<Node>& nodes) {
+  const int demand = static_cast<int>(pods.size());
+  if (free_capacity(nodes) < demand) return false;
+
+  // Work on a trial copy of the slot counts so failure leaves no bindings.
+  std::vector<int> used(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) used[i] = nodes[i].used_slots;
+  auto try_place = [&](bool spread) -> std::optional<std::size_t> {
+    // spread = prefer the ready node with the most free slots (PS pods);
+    // otherwise first-fit (workers).
+    std::optional<std::size_t> pick;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (!nodes[i].ready() || nodes[i].docker_slots - used[i] <= 0) continue;
+      if (!spread) return i;
+      if (!pick || nodes[i].docker_slots - used[i] > nodes[*pick].docker_slots - used[*pick]) {
+        pick = i;
+      }
+    }
+    return pick;
+  };
+
+  std::vector<std::pair<Pod*, std::size_t>> bindings;
+  // PS pods first, spread out.
+  for (auto& pod : pods) {
+    if (pod.role != PodRole::ParameterServer) continue;
+    auto slot = try_place(/*spread=*/true);
+    if (!slot) return false;
+    ++used[*slot];
+    bindings.emplace_back(&pod, *slot);
+  }
+  for (auto& pod : pods) {
+    if (pod.role != PodRole::Worker) continue;
+    auto slot = try_place(/*spread=*/false);
+    if (!slot) return false;
+    ++used[*slot];
+    bindings.emplace_back(&pod, *slot);
+  }
+
+  for (auto& [pod, idx] : bindings) {
+    pod->node = nodes[idx].id;
+    ++nodes[idx].used_slots;
+  }
+  return true;
+}
+
+}  // namespace cynthia::orch

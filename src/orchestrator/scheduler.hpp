@@ -1,0 +1,39 @@
+// Pod scheduler: binds PS/worker dockers onto ready nodes.
+//
+// Placement policy mirrors the paper's testbed: one docker per physical
+// core (so dockers never contend for a core), and PS pods are spread across
+// instances before workers fill the remaining slots so a PS never shares an
+// instance NIC with more co-located workers than necessary.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "orchestrator/node.hpp"
+
+namespace cynthia::orch {
+
+enum class PodRole { ParameterServer, Worker };
+
+std::string to_string(PodRole role);
+
+struct Pod {
+  std::uint64_t id = 0;
+  PodRole role = PodRole::Worker;
+  NodeId node = 0;  ///< 0 = unbound
+  [[nodiscard]] bool bound() const { return node != 0; }
+};
+
+class Scheduler {
+ public:
+  /// Binds `pods` (mutating their node field) onto `nodes` (mutating slot
+  /// counts). Returns false (binding nothing) if capacity is insufficient.
+  /// PS pods are placed round-robin across distinct nodes first.
+  static bool bind(std::vector<Pod>& pods, std::vector<Node>& nodes);
+
+  /// Total free docker slots across ready nodes.
+  static int free_capacity(const std::vector<Node>& nodes);
+};
+
+}  // namespace cynthia::orch

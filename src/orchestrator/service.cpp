@@ -1,0 +1,59 @@
+#include "orchestrator/service.hpp"
+
+#include <chrono>
+
+#include "ddnn/loss.hpp"
+#include "orchestrator/cluster_manager.hpp"
+#include "sim/simulator.hpp"
+
+namespace cynthia::orch {
+
+TrainingService::TrainingService(const cloud::Catalog& catalog, ServiceOptions options)
+    : catalog_(&catalog), options_(std::move(options)) {}
+
+std::optional<JobReport> TrainingService::submit(const ddnn::WorkloadSpec& workload,
+                                                 const core::ProvisionGoal& goal) {
+  JobReport report;
+
+  // 1+2: performance predictor (profile + loss fit).
+  const auto& baseline = catalog_->at(options_.baseline_type);
+  core::Predictor predictor = core::Predictor::build(workload, baseline, options_.predictor);
+  report.profiling_seconds = predictor.profile().profiling_time.value();
+
+  // 3: Algorithm 1 (timed with the host clock — the paper's Sec. 5.3
+  // overhead metric).
+  auto types = options_.instance_types;
+  if (types.empty()) types = catalog_->provisionable();
+  core::Provisioner provisioner(predictor.model(), predictor.loss(), types);
+  const auto t0 = std::chrono::steady_clock::now();
+  report.plan = provisioner.plan(workload.sync, goal);
+  report.planning_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (!report.plan.feasible) return std::nullopt;
+
+  // 4: provision through the control plane.
+  sim::Simulator control_plane;
+  cloud::BillingMeter billing;
+  ClusterManager manager(control_plane, billing, options_.seed);
+  Deployment deployment = manager.deploy(report.plan);
+  report.provisioning_seconds = deployment.provisioning_seconds();
+
+  // 5: train for the planned iteration budget.
+  ddnn::TrainOptions train = options_.training;
+  train.iterations = report.plan.total_iterations;
+  train.seed = options_.seed;
+  report.training = ddnn::run_training(deployment.spec, workload, train);
+  report.achieved_loss = report.training.final_loss;
+
+  // 6: teardown at provisioning time + training wall time and settle the
+  // bill (the cluster exists for provisioning + training).
+  control_plane.run_until(deployment.ready_at + report.training.total_time);
+  manager.teardown(deployment);
+  report.actual_cost = billing.total(control_plane.now());
+
+  report.time_goal_met = report.training.total_time <= goal.time_goal.value();
+  report.loss_goal_met = report.achieved_loss <= goal.target_loss * 1.05;  // noise tolerance
+  return report;
+}
+
+}  // namespace cynthia::orch

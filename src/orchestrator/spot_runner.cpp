@@ -1,0 +1,99 @@
+#include "orchestrator/spot_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cynthia::orch {
+
+SpotRunReport run_on_spot(const cloud::SpotMarket& market, const ddnn::WorkloadSpec& workload,
+                          const cloud::InstanceType& type, int n_workers, int n_ps,
+                          long total_iterations, const SpotRunOptions& options) {
+  if (total_iterations <= 0) throw std::invalid_argument("run_on_spot: no iterations");
+  if (options.bid_multiplier <= 0.0 || options.checkpoint_interval <= 0.0) {
+    throw std::invalid_argument("run_on_spot: bad bid/checkpoint options");
+  }
+
+  SpotRunReport report;
+  report.bid = market.mean_price(type.name) * options.bid_multiplier;
+
+  // Steady-state iteration time, measured once on the simulated cluster
+  // (exactly how Cynthia measures everything else: a short profiling run).
+  const auto cluster = ddnn::ClusterSpec::homogeneous(type, n_workers, n_ps);
+  ddnn::TrainOptions probe = options.training;
+  probe.iterations = std::min<long>(total_iterations, 200);
+  probe.seed = options.seed;
+  const auto measured = ddnn::run_training(cluster, workload, probe);
+  const double t_iter = measured.total_time / static_cast<double>(probe.iterations);
+
+  // Checkpoint cost: the full parameter payload to durable storage.
+  const double ckpt_seconds =
+      workload.gparam.value() / std::max(1.0, options.checkpoint_bandwidth_mbps);
+  const long iters_per_ckpt =
+      std::max<long>(1, static_cast<long>(options.checkpoint_interval / t_iter));
+
+  const int dockers = n_workers + n_ps;
+  const int slots = std::max(1, type.physical_cores);
+  const int instances = (dockers + slots - 1) / slots;
+
+  double now = 0.0;
+  long done = 0;            // durable progress (as of the last checkpoint)
+  long since_ckpt = 0;      // iterations completed but not yet checkpointed
+  // Acquire initial capacity.
+  now = market.next_availability_after(type.name, now, report.bid);
+  if (!std::isfinite(now)) return report;  // bid below the market forever
+
+  while (done + since_ckpt < total_iterations && now < options.max_wall_time) {
+    const double segment_start = now;
+    const double revoked_at =
+        market.next_revocation_after(type.name, now, report.bid);
+
+    // Run until the next checkpoint, the end of the job, or revocation.
+    while (done + since_ckpt < total_iterations) {
+      const long until_ckpt = iters_per_ckpt - since_ckpt;
+      const long until_end = total_iterations - done - since_ckpt;
+      const long chunk = std::min(until_ckpt, until_end);
+      const double chunk_end = now + chunk * t_iter;
+      if (chunk_end > revoked_at) {
+        // Revoked mid-chunk: progress since the last checkpoint is lost.
+        const long survived = static_cast<long>((revoked_at - now) / t_iter);
+        report.lost_work += (since_ckpt + std::min<long>(survived, chunk)) * t_iter;
+        since_ckpt = 0;
+        now = revoked_at;
+        break;
+      }
+      now = chunk_end;
+      since_ckpt += chunk;
+      if (done + since_ckpt >= total_iterations) break;
+      if (since_ckpt >= iters_per_ckpt) {
+        now += ckpt_seconds;
+        report.checkpoint_overhead += ckpt_seconds;
+        done += since_ckpt;
+        since_ckpt = 0;
+      }
+    }
+    // Account the segment we just held capacity for.
+    report.busy_time += now - segment_start;
+    report.cost += util::Dollars{market.cost(type.name, segment_start, now).value() * instances};
+
+    if (done + since_ckpt >= total_iterations) {
+      done += since_ckpt;
+      since_ckpt = 0;
+      report.completed = true;
+      break;
+    }
+    // We were revoked: wait for capacity, pay the restart delay.
+    ++report.revocations;
+    double available = market.next_availability_after(type.name, now, report.bid);
+    if (!std::isfinite(available)) break;
+    now = available + options.restart_delay;
+  }
+
+  report.wall_time = now;
+  report.iterations = done;
+  report.on_demand_cost =
+      util::Dollars{type.price.value() * instances * report.busy_time / 3600.0};
+  return report;
+}
+
+}  // namespace cynthia::orch

@@ -1,0 +1,59 @@
+// Checkpointed DDNN training on spot instances (Proteus-style execution).
+//
+// Runs a provisioned plan on spot capacity: the whole cluster is bought at
+// one bid; when the market price crosses the bid the cluster is revoked,
+// work since the last checkpoint is lost, and training resumes (from the
+// checkpoint) once capacity is available again. Checkpoints write the
+// model parameters to durable storage at a configurable cadence, trading
+// steady-state overhead against revocation loss.
+#pragma once
+
+#include <cstdint>
+
+#include "cloud/instance.hpp"
+#include "cloud/spot.hpp"
+#include "ddnn/cluster.hpp"
+#include "ddnn/trainer.hpp"
+#include "ddnn/workload.hpp"
+#include "util/units.hpp"
+
+namespace cynthia::orch {
+
+struct SpotRunOptions {
+  /// Bid as a multiple of the long-run mean spot price (>1 = headroom).
+  double bid_multiplier = 1.6;
+  /// Seconds between checkpoints of the model parameters.
+  double checkpoint_interval = 600.0;
+  /// Durable-storage write bandwidth for checkpoints (MB/s).
+  double checkpoint_bandwidth_mbps = 200.0;
+  /// Re-provisioning delay after capacity becomes available again.
+  double restart_delay = 180.0;
+  /// Give up after this much wall time (safety for absurd bids).
+  double max_wall_time = 30.0 * 24 * 3600;
+  std::uint64_t seed = 17;
+  /// Forwarded to the training simulator for the rate measurement.
+  ddnn::TrainOptions training;
+};
+
+struct SpotRunReport {
+  bool completed = false;
+  double wall_time = 0.0;      ///< submit -> final iteration (incl. outages)
+  double busy_time = 0.0;      ///< time actually holding instances
+  util::Dollars cost;          ///< integral of the spot price while holding
+  util::Dollars on_demand_cost;  ///< what the same busy time costs on-demand
+  int revocations = 0;
+  double lost_work = 0.0;          ///< seconds of progress thrown away
+  double checkpoint_overhead = 0.0;  ///< seconds spent writing checkpoints
+  double bid = 0.0;                ///< $/h per instance actually bid
+  long iterations = 0;
+};
+
+/// Executes `total_iterations` of `workload` on `n_workers`+`n_ps` spot
+/// dockers of `type`, bought as ceil(dockers/slots) instances. The
+/// steady-state iteration rate comes from one simulated measurement run;
+/// the revocation/checkpoint timeline is then composed against the market.
+SpotRunReport run_on_spot(const cloud::SpotMarket& market, const ddnn::WorkloadSpec& workload,
+                          const cloud::InstanceType& type, int n_workers, int n_ps,
+                          long total_iterations, const SpotRunOptions& options = {});
+
+}  // namespace cynthia::orch

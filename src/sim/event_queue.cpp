@@ -1,0 +1,41 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace cynthia::sim {
+
+EventId EventQueue::schedule(double time, std::function<void()> action) {
+  const EventId id = next_id_++;
+  heap_.push({time, id, std::move(action)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // Entries stay in the heap; drop_cancelled() skips anything no longer in
+  // pending_. Cancelling a fired or unknown id is a harmless no-op.
+  return pending_.erase(id) > 0;
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) heap_.pop();
+}
+
+double EventQueue::next_time() const {
+  auto& self = const_cast<EventQueue&>(*this);
+  self.drop_cancelled();
+  if (self.heap_.empty()) throw std::logic_error("EventQueue: next_time on empty queue");
+  return self.heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue: pop on empty queue");
+  // priority_queue::top() is const; the entry is moved out right before pop.
+  Entry top = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  pending_.erase(top.id);
+  return {top.time, top.id, std::move(top.action)};
+}
+
+}  // namespace cynthia::sim

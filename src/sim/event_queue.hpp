@@ -1,0 +1,63 @@
+// Time-ordered event queue with stable tie-breaking and O(log n)
+// cancellation via lazy deletion.
+//
+// Determinism matters: two events at the same timestamp fire in scheduling
+// order (FIFO), so simulation runs are bit-reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace cynthia::sim {
+
+using EventId = std::uint64_t;
+
+/// Priority queue of (time, seq, action) with cancellation.
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute `time`; returns a handle for cancel().
+  EventId schedule(double time, std::function<void()> action);
+
+  /// Cancels a pending event; returns false if already fired/cancelled.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+  [[nodiscard]] bool is_pending(EventId id) const { return pending_.contains(id); }
+
+  /// Time of the next live event; throws std::logic_error when empty.
+  [[nodiscard]] double next_time() const;
+
+  /// Pops and returns the next live event, advancing past any cancelled
+  /// entries. Throws std::logic_error when empty.
+  struct Fired {
+    double time;
+    EventId id;
+    std::function<void()> action;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    double time;
+    EventId id;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among equal timestamps
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;  ///< ids scheduled but not yet fired/cancelled
+  EventId next_id_ = 1;
+
+  void drop_cancelled();
+};
+
+}  // namespace cynthia::sim

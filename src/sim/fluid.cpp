@@ -1,0 +1,218 @@
+#include "sim/fluid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cynthia::sim {
+
+ResourceId FluidSystem::add_resource(std::string name, double capacity,
+                                     double trace_bucket_seconds) {
+  if (capacity <= 0.0) throw std::invalid_argument("FluidSystem: capacity must be > 0");
+  Resource r;
+  r.name = std::move(name);
+  r.capacity = capacity;
+  if (trace_bucket_seconds > 0.0) {
+    r.trace = std::make_unique<util::RateTrace>(trace_bucket_seconds);
+  }
+  resources_.push_back(std::move(r));
+  return resources_.size() - 1;
+}
+
+JobId FluidSystem::start_job(double volume, std::vector<ResourceId> resources,
+                             std::function<void(double)> on_complete) {
+  for (ResourceId rid : resources) {
+    if (rid >= resources_.size()) throw std::out_of_range("FluidSystem: bad resource id");
+  }
+  const JobId id = next_job_id_++;
+  if (volume <= kEpsilonVolume) {
+    // Degenerate job: complete "immediately" but still through the event
+    // queue so callers observe a consistent callback ordering.
+    if (on_complete) {
+      sim_->after(0.0, [cb = std::move(on_complete), t = sim_->now()] { cb(t); });
+    }
+    return id;
+  }
+  if (resources.empty()) {
+    throw std::invalid_argument("FluidSystem: job must traverse at least one resource");
+  }
+  settle();
+  Job job;
+  job.id = id;
+  job.remaining = volume;
+  job.resources = std::move(resources);
+  job.on_complete = std::move(on_complete);
+  jobs_.push_back(std::move(job));
+  reallocate();
+  return id;
+}
+
+void FluidSystem::cancel_job(JobId id) {
+  auto it = std::find_if(jobs_.begin(), jobs_.end(), [&](const Job& j) { return j.id == id; });
+  if (it == jobs_.end()) return;
+  settle();
+  jobs_.erase(it);
+  reallocate();
+}
+
+const FluidSystem::Job* FluidSystem::find_job(JobId id) const {
+  auto it = std::find_if(jobs_.begin(), jobs_.end(), [&](const Job& j) { return j.id == id; });
+  return it == jobs_.end() ? nullptr : &*it;
+}
+
+double FluidSystem::job_remaining(JobId id) const {
+  const Job* j = find_job(id);
+  if (!j) return 0.0;
+  // Account for progress since the last settle without mutating state.
+  const double dt = sim_->now() - last_settle_;
+  return std::max(0.0, j->remaining - j->rate * dt);
+}
+
+double FluidSystem::job_rate(JobId id) const {
+  const Job* j = find_job(id);
+  return j ? j->rate : 0.0;
+}
+
+const std::string& FluidSystem::resource_name(ResourceId id) const {
+  return resources_.at(id).name;
+}
+
+double FluidSystem::resource_capacity(ResourceId id) const { return resources_.at(id).capacity; }
+
+double FluidSystem::resource_used(ResourceId id) const { return resources_.at(id).used_rate; }
+
+double FluidSystem::resource_utilization(ResourceId id, double until) const {
+  const Resource& r = resources_.at(id);
+  if (until <= 0.0) return 0.0;
+  // Include progress since the last settle.
+  const double dt = std::max(0.0, std::min(sim_->now(), until) - last_settle_);
+  const double busy = r.busy_integral + r.used_rate * dt;
+  return std::clamp(busy / (r.capacity * until), 0.0, 1.0);
+}
+
+double FluidSystem::resource_volume_served(ResourceId id) const {
+  const Resource& r = resources_.at(id);
+  const double dt = std::max(0.0, sim_->now() - last_settle_);
+  return r.busy_integral + r.used_rate * dt;
+}
+
+const util::RateTrace* FluidSystem::resource_trace(ResourceId id) const {
+  return resources_.at(id).trace.get();
+}
+
+void FluidSystem::settle_now() { settle(); }
+
+void FluidSystem::settle() {
+  const double now = sim_->now();
+  const double dt = now - last_settle_;
+  if (dt <= 0.0) {
+    last_settle_ = now;
+    return;
+  }
+  for (auto& job : jobs_) {
+    job.remaining = std::max(0.0, job.remaining - job.rate * dt);
+  }
+  for (auto& r : resources_) {
+    r.busy_integral += r.used_rate * dt;
+    if (r.trace) r.trace->add_segment(last_settle_, now, r.used_rate);
+  }
+  last_settle_ = now;
+}
+
+std::vector<double> FluidSystem::compute_maxmin_rates() const {
+  // Progressive water-filling: repeatedly saturate the tightest resource.
+  const std::size_t n = jobs_.size();
+  std::vector<double> rates(n, 0.0);
+  std::vector<bool> frozen(n, false);
+  std::vector<double> rem_cap(resources_.size());
+  std::vector<int> unfrozen_on(resources_.size(), 0);
+  for (std::size_t r = 0; r < resources_.size(); ++r) rem_cap[r] = resources_[r].capacity;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (ResourceId rid : jobs_[j].resources) ++unfrozen_on[rid];
+  }
+
+  std::size_t frozen_count = 0;
+  while (frozen_count < n) {
+    // Find the resource granting the smallest fair share.
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best_r = resources_.size();
+    for (std::size_t r = 0; r < resources_.size(); ++r) {
+      if (unfrozen_on[r] == 0) continue;
+      const double share = rem_cap[r] / unfrozen_on[r];
+      if (share < best_share) {
+        best_share = share;
+        best_r = r;
+      }
+    }
+    if (best_r == resources_.size()) break;  // remaining jobs use no resources
+    best_share = std::max(0.0, best_share);
+    // Freeze every unfrozen job crossing the bottleneck at that share.
+    for (std::size_t j = 0; j < n; ++j) {
+      if (frozen[j]) continue;
+      const auto& rs = jobs_[j].resources;
+      if (std::find(rs.begin(), rs.end(), best_r) == rs.end()) continue;
+      frozen[j] = true;
+      ++frozen_count;
+      rates[j] = best_share;
+      for (ResourceId rid : rs) {
+        rem_cap[rid] = std::max(0.0, rem_cap[rid] - best_share);
+        --unfrozen_on[rid];
+      }
+    }
+  }
+  return rates;
+}
+
+void FluidSystem::reallocate() {
+  const auto rates = compute_maxmin_rates();
+  for (auto& r : resources_) r.used_rate = 0.0;
+  double min_finish = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    jobs_[j].rate = rates[j];
+    for (ResourceId rid : jobs_[j].resources) resources_[rid].used_rate += rates[j];
+    if (rates[j] > 0.0) {
+      min_finish = std::min(min_finish, jobs_[j].remaining / rates[j]);
+    }
+  }
+  if (completion_event_ != 0) {
+    sim_->cancel(completion_event_);
+    completion_event_ = 0;
+  }
+  if (std::isfinite(min_finish)) {
+    // Tiny relative+absolute slack guarantees the earliest job's remaining
+    // volume is <= epsilon when the event fires, so every completion event
+    // retires at least one job (no zero-progress event loops).
+    const double slack = min_finish * 1e-12 + 1e-9;
+    completion_event_ =
+        sim_->after(std::max(0.0, min_finish + slack), [this] { on_completion_event(); });
+  } else if (!jobs_.empty()) {
+    // All active jobs starved (zero rate) — only possible if every resource
+    // they use has zero remaining capacity, which cannot happen under
+    // max-min with positive capacities. Treat as a logic error loudly.
+    throw std::logic_error("FluidSystem: active jobs with zero allocation");
+  }
+}
+
+void FluidSystem::on_completion_event() {
+  completion_event_ = 0;
+  settle();
+  // Collect all jobs that finished (ties complete together), remove them
+  // from the active set *before* running callbacks so callbacks observe a
+  // consistent system and may start new jobs.
+  std::vector<Job> finished;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->remaining <= kEpsilonVolume) {
+      finished.push_back(std::move(*it));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reallocate();
+  const double now = sim_->now();
+  for (auto& job : finished) {
+    if (job.on_complete) job.on_complete(now);
+  }
+}
+
+}  // namespace cynthia::sim

@@ -1,0 +1,106 @@
+// Fluid-flow resource sharing on top of the event clock.
+//
+// CPUs and NIC links are both modeled as capacity-constrained resources;
+// concurrently active work items ("jobs": a gradient push flow, a compute
+// task, a parameter-apply on the PS) share them max-min fairly, the standard
+// fluid approximation of processor sharing and of per-flow TCP fairness.
+// This is what makes the paper's phenomena *emerge*: with n workers pushing
+// through one PS NIC each flow gets ~1/n of the link, with many apply tasks
+// the PS CPU queue stretches, and worker utilization drops accordingly —
+// none of it is hard-coded from Cynthia's own formulas, so the model's
+// prediction error against this "testbed" is a meaningful quantity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/time_series.hpp"
+
+namespace cynthia::sim {
+
+using ResourceId = std::size_t;
+using JobId = std::uint64_t;
+
+/// Max-min fair fluid system. One instance per experiment; owns its
+/// resources and active jobs and drives itself via the Simulator.
+class FluidSystem {
+ public:
+  explicit FluidSystem(Simulator& sim) : sim_(&sim) {}
+
+  FluidSystem(const FluidSystem&) = delete;
+  FluidSystem& operator=(const FluidSystem&) = delete;
+
+  /// Registers a resource with the given capacity (units/second).
+  /// If `trace_bucket_seconds` > 0, the used rate is recorded into a
+  /// RateTrace with that bucket width (used for Figs. 2 and 7).
+  ResourceId add_resource(std::string name, double capacity, double trace_bucket_seconds = 0.0);
+
+  /// Starts a job of `volume` units traversing all of `resources`
+  /// simultaneously (a network flow crossing two NICs, or a CPU task on one
+  /// core). `on_complete(finish_time)` fires when the volume drains.
+  /// A job with volume <= epsilon completes via a zero-delay event.
+  JobId start_job(double volume, std::vector<ResourceId> resources,
+                  std::function<void(double)> on_complete);
+
+  /// Removes an active job without firing its callback; no-op if finished.
+  void cancel_job(JobId id);
+
+  [[nodiscard]] std::size_t active_jobs() const { return jobs_.size(); }
+  [[nodiscard]] double job_remaining(JobId id) const;
+  [[nodiscard]] double job_rate(JobId id) const;
+
+  [[nodiscard]] const std::string& resource_name(ResourceId id) const;
+  [[nodiscard]] double resource_capacity(ResourceId id) const;
+  /// Currently allocated rate on the resource (after the last reallocation).
+  [[nodiscard]] double resource_used(ResourceId id) const;
+  /// Time-averaged utilization in [0,1] over [0, until].
+  [[nodiscard]] double resource_utilization(ResourceId id, double until) const;
+  /// Busy integral: total units served so far.
+  [[nodiscard]] double resource_volume_served(ResourceId id) const;
+  /// Trace of the used rate, or nullptr if tracing was not enabled.
+  [[nodiscard]] const util::RateTrace* resource_trace(ResourceId id) const;
+
+  /// Settles utilization integrals up to the current simulation time
+  /// (call before reading utilization mid-run).
+  void settle_now();
+
+  static constexpr double kEpsilonVolume = 1e-9;
+
+ private:
+  struct Resource {
+    std::string name;
+    double capacity = 0.0;
+    double busy_integral = 0.0;   // sum of rate*dt
+    double used_rate = 0.0;       // current allocation
+    std::unique_ptr<util::RateTrace> trace;
+  };
+
+  struct Job {
+    JobId id = 0;
+    double remaining = 0.0;
+    double rate = 0.0;
+    std::vector<ResourceId> resources;
+    std::function<void(double)> on_complete;
+  };
+
+  Simulator* sim_;
+  std::vector<Resource> resources_;
+  std::vector<Job> jobs_;  // insertion order; ids strictly increasing
+  JobId next_job_id_ = 1;
+  double last_settle_ = 0.0;
+  EventId completion_event_ = 0;
+
+  void settle();
+  void reallocate();
+  void on_completion_event();
+  [[nodiscard]] std::vector<double> compute_maxmin_rates() const;
+  [[nodiscard]] const Job* find_job(JobId id) const;
+};
+
+}  // namespace cynthia::sim

@@ -1,0 +1,47 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace cynthia::sim {
+
+EventId Simulator::at(double time, std::function<void()> action) {
+  if (time < now_) throw std::invalid_argument("Simulator::at: time in the past");
+  return queue_.schedule(time, std::move(action));
+}
+
+EventId Simulator::after(double delay, std::function<void()> action) {
+  if (delay < 0.0) throw std::invalid_argument("Simulator::after: negative delay");
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  fired.action();
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (fired < max_events && step()) ++fired;
+  if (fired == max_events && !idle()) {
+    throw std::runtime_error("Simulator::run: event budget exhausted (runaway simulation?)");
+  }
+  return fired;
+}
+
+std::size_t Simulator::run_until(double until, std::size_t max_events) {
+  std::size_t fired = 0;
+  while (fired < max_events && !queue_.empty() && queue_.next_time() <= until) {
+    step();
+    ++fired;
+  }
+  if (fired == max_events && !queue_.empty() && queue_.next_time() <= until) {
+    throw std::runtime_error("Simulator::run_until: event budget exhausted");
+  }
+  now_ = std::max(now_, until);
+  return fired;
+}
+
+}  // namespace cynthia::sim

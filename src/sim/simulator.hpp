@@ -1,0 +1,47 @@
+// Discrete-event simulation clock.
+//
+// Single-threaded by design: one Simulator per experiment run; parallelism
+// across runs comes from util::ThreadPool in benches (each thread owns an
+// independent Simulator), so no locking is needed here.
+#pragma once
+
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+
+namespace cynthia::sim {
+
+class Simulator {
+ public:
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Schedules `action` at absolute time `time` (>= now).
+  EventId at(double time, std::function<void()> action);
+
+  /// Schedules `action` `delay` seconds from now (delay >= 0).
+  EventId after(double delay, std::function<void()> action);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Fires the next event; returns false when the queue is drained.
+  bool step();
+
+  /// Runs until the queue drains or `max_events` fire (runaway guard).
+  /// Returns the number of events fired.
+  std::size_t run(std::size_t max_events = kDefaultMaxEvents);
+
+  /// Runs events with time <= `until`, then advances the clock to `until`.
+  std::size_t run_until(double until, std::size_t max_events = kDefaultMaxEvents);
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.pending(); }
+
+  static constexpr std::size_t kDefaultMaxEvents = 200'000'000;
+
+ private:
+  EventQueue queue_;
+  double now_ = 0.0;
+};
+
+}  // namespace cynthia::sim

@@ -1,0 +1,50 @@
+#include "util/csv.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace cynthia::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path, std::ios::trunc) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) { emit(names); }
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  emit(cells);
+  ++rows_;
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << v;
+    cells.push_back(os.str());
+  }
+  row(cells);
+}
+
+}  // namespace cynthia::util

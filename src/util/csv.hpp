@@ -1,0 +1,32 @@
+// Minimal CSV writer so benches can dump figure series for external plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cynthia::util {
+
+/// Streams rows to a CSV file with RFC-4180 quoting where needed.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void header(const std::vector<std::string>& names);
+  void row(const std::vector<std::string>& cells);
+  void row_numeric(const std::vector<double>& values, int precision = 6);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+  /// Quotes a single field if it contains separators/quotes/newlines.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+
+  void emit(const std::vector<std::string>& cells);
+};
+
+}  // namespace cynthia::util

@@ -1,0 +1,171 @@
+#include "util/least_squares.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cynthia::util {
+
+std::vector<double> solve_linear_system(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("solve_linear_system: dimensions mismatch");
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    }
+    if (std::abs(a(pivot, col)) < 1e-14) {
+      throw std::runtime_error("solve_linear_system: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a(ri, c) * x[c];
+    x[ri] = acc / a(ri, ri);
+  }
+  return x;
+}
+
+std::vector<double> least_squares(const Matrix& x, std::span<const double> y, double ridge) {
+  const std::size_t rows = x.rows();
+  const std::size_t k = x.cols();
+  if (y.size() != rows) throw std::invalid_argument("least_squares: y size mismatch");
+  if (rows < k) throw std::invalid_argument("least_squares: underdetermined system");
+  Matrix xtx(k, k);
+  std::vector<double> xty(k, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t i = 0; i < k; ++i) {
+      xty[i] += x(r, i) * y[r];
+      for (std::size_t j = 0; j < k; ++j) xtx(i, j) += x(r, i) * x(r, j);
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) xtx(i, i) += ridge;
+  return solve_linear_system(std::move(xtx), std::move(xty));
+}
+
+std::vector<double> nnls(const Matrix& x, std::span<const double> y, int max_iters, double tol) {
+  const std::size_t rows = x.rows();
+  const std::size_t k = x.cols();
+  if (y.size() != rows) throw std::invalid_argument("nnls: y size mismatch");
+  // Projected coordinate descent on the normal equations.
+  Matrix xtx(k, k);
+  std::vector<double> xty(k, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t i = 0; i < k; ++i) {
+      xty[i] += x(r, i) * y[r];
+      for (std::size_t j = 0; j < k; ++j) xtx(i, j) += x(r, i) * x(r, j);
+    }
+  }
+  std::vector<double> beta(k, 0.0);
+  for (int it = 0; it < max_iters; ++it) {
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (xtx(i, i) <= 0.0) continue;
+      double grad = xty[i];
+      for (std::size_t j = 0; j < k; ++j) grad -= xtx(i, j) * beta[j];
+      const double candidate = std::max(0.0, beta[i] + grad / xtx(i, i));
+      max_delta = std::max(max_delta, std::abs(candidate - beta[i]));
+      beta[i] = candidate;
+    }
+    if (max_delta < tol) break;
+  }
+  return beta;
+}
+
+std::vector<double> polyfit(std::span<const double> t, std::span<const double> y, int degree) {
+  if (t.size() != y.size()) throw std::invalid_argument("polyfit: size mismatch");
+  if (degree < 0) throw std::invalid_argument("polyfit: negative degree");
+  const auto k = static_cast<std::size_t>(degree) + 1;
+  Matrix x(t.size(), k);
+  for (std::size_t r = 0; r < t.size(); ++r) {
+    double p = 1.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      x(r, c) = p;
+      p *= t[r];
+    }
+  }
+  return least_squares(x, y);
+}
+
+double polyval(std::span<const double> coeffs, double t) {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * t + coeffs[i];
+  return acc;
+}
+
+GaussNewtonResult gauss_newton(
+    const std::function<double(std::span<const double>, double)>& f, std::span<const double> x,
+    std::span<const double> y, std::vector<double> initial, int max_iters, double tol) {
+  if (x.size() != y.size()) throw std::invalid_argument("gauss_newton: size mismatch");
+  const std::size_t k = initial.size();
+  const std::size_t n = x.size();
+  GaussNewtonResult result;
+  result.params = std::move(initial);
+
+  auto rss = [&](std::span<const double> p) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = y[i] - f(p, x[i]);
+      total += r * r;
+    }
+    return total;
+  };
+
+  double prev = rss(result.params);
+  for (int it = 0; it < max_iters; ++it) {
+    result.iterations = it + 1;
+    Matrix jac(n, k);
+    std::vector<double> residual(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      residual[i] = y[i] - f(result.params, x[i]);
+      for (std::size_t j = 0; j < k; ++j) {
+        const double h = std::max(1e-7, std::abs(result.params[j]) * 1e-7);
+        auto bumped = result.params;
+        bumped[j] += h;
+        jac(i, j) = (f(bumped, x[i]) - f(result.params, x[i])) / h;
+      }
+    }
+    std::vector<double> step;
+    try {
+      step = least_squares(jac, residual, 1e-9);
+    } catch (const std::exception&) {
+      break;  // Jacobian degenerate; report best-so-far.
+    }
+    // Damped update: halve until the step improves the objective.
+    double scale = 1.0;
+    std::vector<double> candidate(k);
+    double cand_rss = prev;
+    for (int halvings = 0; halvings < 20; ++halvings) {
+      for (std::size_t j = 0; j < k; ++j) candidate[j] = result.params[j] + scale * step[j];
+      cand_rss = rss(candidate);
+      if (cand_rss < prev) break;
+      scale *= 0.5;
+    }
+    if (cand_rss >= prev) break;
+    result.params = candidate;
+    if (prev - cand_rss < tol * (1.0 + prev)) {
+      result.converged = true;
+      prev = cand_rss;
+      break;
+    }
+    prev = cand_rss;
+  }
+  result.final_rss = prev;
+  return result;
+}
+
+}  // namespace cynthia::util

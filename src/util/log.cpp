@@ -1,0 +1,40 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace cynthia::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_sink_mutex;
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF";
+  }
+  return "?";
+}
+
+void log_message(LogLevel level, std::string_view component, std::string_view message) {
+  if (level < log_level()) return;
+  std::lock_guard lock(g_sink_mutex);
+  std::cerr << '[' << to_string(level) << "] " << component << ": " << message << '\n';
+}
+
+}  // namespace cynthia::util

@@ -1,0 +1,58 @@
+// Leveled logging with a process-wide threshold.
+//
+// The simulator and orchestrator are chatty at Debug level (per-event) and
+// quiet by default; benches run with Warn so their stdout stays a clean
+// reproduction of the paper's tables.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace cynthia::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets/gets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+std::string_view to_string(LogLevel level);
+
+/// Core sink: writes "[level] component: message" to stderr when enabled.
+void log_message(LogLevel level, std::string_view component, std::string_view message);
+
+/// Stream-style helper: Logger("sim").info() << "t=" << t;
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  class Line {
+   public:
+    Line(LogLevel level, const std::string& component) : level_(level), component_(component) {}
+    Line(const Line&) = delete;
+    Line& operator=(const Line&) = delete;
+    ~Line() { log_message(level_, component_, stream_.str()); }
+
+    template <class T>
+    Line& operator<<(const T& value) {
+      stream_ << value;
+      return *this;
+    }
+
+   private:
+    LogLevel level_;
+    const std::string& component_;
+    std::ostringstream stream_;
+  };
+
+  [[nodiscard]] Line debug() const { return Line(LogLevel::Debug, component_); }
+  [[nodiscard]] Line info() const { return Line(LogLevel::Info, component_); }
+  [[nodiscard]] Line warn() const { return Line(LogLevel::Warn, component_); }
+  [[nodiscard]] Line error() const { return Line(LogLevel::Error, component_); }
+
+ private:
+  std::string component_;
+};
+
+}  // namespace cynthia::util

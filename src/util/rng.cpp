@@ -1,0 +1,33 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+
+namespace cynthia::util {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(gen_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(gen_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(gen_);
+}
+
+double Rng::bounded_normal(double mean, double stddev, double bound) {
+  return std::clamp(normal(mean, stddev), mean - bound, mean + bound);
+}
+
+double Rng::jitter(double eps) { return uniform(1.0 - eps, 1.0 + eps); }
+
+bool Rng::chance(double p) {
+  std::bernoulli_distribution d(p);
+  return d(gen_);
+}
+
+}  // namespace cynthia::util

@@ -1,0 +1,38 @@
+// ASCII table rendering for bench output.
+//
+// Every bench binary regenerates one of the paper's tables/figures as rows
+// on stdout; this formatter keeps them aligned and diff-friendly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cynthia::util {
+
+/// Column-aligned text table with a title, header row, and data rows.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> names);
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  /// Formats a value as a percentage string, e.g. "42.3%".
+  static std::string pct(double v, int precision = 1);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with box-drawing separators.
+  [[nodiscard]] std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cynthia::util

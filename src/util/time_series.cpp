@@ -1,0 +1,54 @@
+#include "util/time_series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cynthia::util {
+
+RateTrace::RateTrace(double bucket_width) : width_(bucket_width) {
+  if (bucket_width <= 0.0) throw std::invalid_argument("RateTrace: bucket width must be > 0");
+}
+
+void RateTrace::ensure_bucket(std::size_t idx) {
+  if (idx >= integral_.size()) integral_.resize(idx + 1, 0.0);
+}
+
+void RateTrace::add_segment(double t0, double t1, double rate) {
+  if (t1 <= t0) return;
+  end_ = std::max(end_, t1);
+  volume_ += rate * (t1 - t0);
+  if (rate == 0.0) return;
+  auto first = static_cast<std::size_t>(t0 / width_);
+  auto last = static_cast<std::size_t>((t1 - 1e-12) / width_);
+  ensure_bucket(last);
+  for (std::size_t b = first; b <= last; ++b) {
+    const double lo = std::max(t0, static_cast<double>(b) * width_);
+    const double hi = std::min(t1, static_cast<double>(b + 1) * width_);
+    if (hi > lo) integral_[b] += rate * (hi - lo);
+  }
+}
+
+std::vector<TimeBucket> RateTrace::buckets() const {
+  std::vector<TimeBucket> out;
+  if (end_ <= 0.0) return out;
+  const auto count = static_cast<std::size_t>(std::ceil(end_ / width_));
+  out.reserve(count);
+  for (std::size_t b = 0; b < count; ++b) {
+    const double start = static_cast<double>(b) * width_;
+    const double span = std::min(width_, end_ - start);
+    const double vol = b < integral_.size() ? integral_[b] : 0.0;
+    out.push_back({start, span, span > 0.0 ? vol / span : 0.0});
+  }
+  return out;
+}
+
+double RateTrace::average() const { return end_ > 0.0 ? volume_ / end_ : 0.0; }
+
+double RateTrace::peak() const {
+  double best = 0.0;
+  for (const auto& b : buckets()) best = std::max(best, b.value);
+  return best;
+}
+
+}  // namespace cynthia::util

@@ -1,0 +1,53 @@
+// Bucketed time-series recorder.
+//
+// The paper's Figs. 2 and 7 plot PS network throughput over wall-clock time;
+// the simulator integrates instantaneous rates into fixed-width buckets so
+// those traces can be reproduced without storing every fluid-rate change.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cynthia::util {
+
+/// One bucket of an integrated-rate trace.
+struct TimeBucket {
+  double start = 0.0;  ///< Bucket start time (seconds).
+  double width = 0.0;  ///< Bucket width (seconds).
+  double value = 0.0;  ///< Average rate over the bucket.
+};
+
+/// Integrates a piecewise-constant rate signal into fixed-width buckets.
+/// Feed it (interval, rate) segments in nondecreasing time order.
+class RateTrace {
+ public:
+  explicit RateTrace(double bucket_width = 1.0);
+
+  /// Accumulates `rate` held constant over [t0, t1).
+  void add_segment(double t0, double t1, double rate);
+
+  /// Average rate per bucket, up to the last time seen.
+  [[nodiscard]] std::vector<TimeBucket> buckets() const;
+
+  /// Overall time-average rate across [0, end).
+  [[nodiscard]] double average() const;
+
+  /// Maximum single-bucket average rate.
+  [[nodiscard]] double peak() const;
+
+  [[nodiscard]] double end_time() const { return end_; }
+  [[nodiscard]] double bucket_width() const { return width_; }
+
+  /// Total integrated volume (rate x time).
+  [[nodiscard]] double total_volume() const { return volume_; }
+
+ private:
+  double width_;
+  double end_ = 0.0;
+  double volume_ = 0.0;
+  std::vector<double> integral_;  // volume per bucket
+
+  void ensure_bucket(std::size_t idx);
+};
+
+}  // namespace cynthia::util

@@ -1,0 +1,94 @@
+// Strong unit types for the quantities that flow through Cynthia.
+//
+// The paper's model mixes FLOP counts, FLOP/s rates, bytes, byte/s rates,
+// seconds and dollars; mixing those up silently is the classic bug in
+// re-implementations, so each gets a distinct arithmetic wrapper. The
+// wrappers are intentionally thin (a single double) and constexpr so they
+// optimize away entirely.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace cynthia::util {
+
+/// CRTP base providing the arithmetic shared by all scalar unit types.
+/// `Derived` is the concrete unit (e.g. GFlops); ratios of two identical
+/// units yield a plain double.
+template <class Derived>
+struct UnitBase {
+  double v{0.0};
+
+  constexpr UnitBase() = default;
+  constexpr explicit UnitBase(double value) : v(value) {}
+
+  [[nodiscard]] constexpr double value() const { return v; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) { return Derived{a.v + b.v}; }
+  friend constexpr Derived operator-(Derived a, Derived b) { return Derived{a.v - b.v}; }
+  friend constexpr Derived operator*(Derived a, double s) { return Derived{a.v * s}; }
+  friend constexpr Derived operator*(double s, Derived a) { return Derived{a.v * s}; }
+  friend constexpr Derived operator/(Derived a, double s) { return Derived{a.v / s}; }
+  friend constexpr double operator/(Derived a, Derived b) { return a.v / b.v; }
+  friend constexpr auto operator<=>(Derived a, Derived b) { return a.v <=> b.v; }
+  friend constexpr bool operator==(Derived a, Derived b) { return a.v == b.v; }
+
+  constexpr Derived& operator+=(Derived b) {
+    v += b.v;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(Derived b) {
+    v -= b.v;
+    return static_cast<Derived&>(*this);
+  }
+};
+
+/// Work measured in giga floating point operations (the paper's w_iter).
+struct GFlops : UnitBase<GFlops> {
+  using UnitBase::UnitBase;
+};
+
+/// Processing rate in GFLOP/s (the paper's c_wk, c_ps, r_wk).
+struct GFlopsRate : UnitBase<GFlopsRate> {
+  using UnitBase::UnitBase;
+};
+
+/// Data volume in megabytes (the paper's g_param).
+struct MegaBytes : UnitBase<MegaBytes> {
+  using UnitBase::UnitBase;
+};
+
+/// Bandwidth in MB/s (the paper's b_ps).
+struct MBps : UnitBase<MBps> {
+  using UnitBase::UnitBase;
+};
+
+/// Wall-clock duration in seconds.
+struct Seconds : UnitBase<Seconds> {
+  using UnitBase::UnitBase;
+};
+
+/// Money in US dollars.
+struct Dollars : UnitBase<Dollars> {
+  using UnitBase::UnitBase;
+};
+
+/// Hourly price in $/h.
+struct DollarsPerHour : UnitBase<DollarsPerHour> {
+  using UnitBase::UnitBase;
+};
+
+// Cross-unit arithmetic that is physically meaningful.
+constexpr Seconds operator/(GFlops w, GFlopsRate r) { return Seconds{w.v / r.v}; }
+constexpr Seconds operator/(MegaBytes d, MBps b) { return Seconds{d.v / b.v}; }
+constexpr GFlops operator*(GFlopsRate r, Seconds t) { return GFlops{r.v * t.v}; }
+constexpr GFlops operator*(Seconds t, GFlopsRate r) { return GFlops{r.v * t.v}; }
+constexpr MegaBytes operator*(MBps b, Seconds t) { return MegaBytes{b.v * t.v}; }
+constexpr MegaBytes operator*(Seconds t, MBps b) { return MegaBytes{b.v * t.v}; }
+constexpr Dollars operator*(DollarsPerHour p, Seconds t) { return Dollars{p.v * t.v / 3600.0}; }
+constexpr Dollars operator*(Seconds t, DollarsPerHour p) { return Dollars{p.v * t.v / 3600.0}; }
+
+constexpr Seconds minutes(double m) { return Seconds{m * 60.0}; }
+constexpr Seconds hours(double h) { return Seconds{h * 3600.0}; }
+
+}  // namespace cynthia::util

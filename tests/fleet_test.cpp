@@ -1,0 +1,121 @@
+// Tests for the fleet planner: multiple jobs sharing one instance quota.
+#include <gtest/gtest.h>
+
+#include "cloud/instance.hpp"
+#include "ddnn/workload.hpp"
+#include "orchestrator/fleet.hpp"
+
+namespace orch = cynthia::orch;
+namespace cd = cynthia::ddnn;
+namespace cc = cynthia::cloud;
+namespace cu = cynthia::util;
+
+namespace {
+orch::FleetJob job(const char* id, const char* workload, double minutes, double loss) {
+  return {id, cd::workload_by_name(workload), {cu::minutes(minutes), loss}};
+}
+}  // namespace
+
+TEST(Fleet, SingleJobAdmittedAtTimeZero) {
+  orch::FleetPlanner planner(cc::Catalog::aws(), "m4.xlarge", 32);
+  const auto plan = planner.plan({job("a", "cifar10", 120, 0.8)});
+  ASSERT_EQ(plan.decisions.size(), 1u);
+  const auto& d = plan.decisions[0];
+  ASSERT_TRUE(d.admitted) << d.reason;
+  EXPECT_DOUBLE_EQ(d.start_time, 0.0);
+  EXPECT_LE(d.finish_time, 120 * 60.0);
+  EXPECT_EQ(plan.admitted, 1);
+  EXPECT_EQ(plan.peak_dockers, d.dockers());
+  EXPECT_NEAR(plan.total_cost, d.plan.predicted_cost.value(), 1e-9);
+}
+
+TEST(Fleet, ParallelJobsWhenQuotaAllows) {
+  orch::FleetPlanner planner(cc::Catalog::aws(), "m4.xlarge", 32);
+  const auto plan = planner.plan(
+      {job("a", "cifar10", 120, 0.8), job("b", "resnet32", 180, 0.6)});
+  EXPECT_EQ(plan.admitted, 2);
+  // Both start immediately: the quota holds both plans at once.
+  for (const auto& d : plan.decisions) {
+    EXPECT_DOUBLE_EQ(d.start_time, 0.0) << d.id;
+  }
+  EXPECT_LE(plan.peak_dockers, 32);
+}
+
+TEST(Fleet, SerializesUnderTightQuota) {
+  // A quota that fits either job alone but not both together must stagger
+  // them, and the later one still has to make its (looser) deadline.
+  orch::FleetPlanner wide(cc::Catalog::aws(), "m4.xlarge", 64);
+  const auto solo = wide.plan({job("a", "cifar10", 90, 0.8)});
+  ASSERT_TRUE(solo.decisions[0].admitted);
+  const int need = solo.decisions[0].dockers();
+
+  orch::FleetPlanner tight(cc::Catalog::aws(), "m4.xlarge", need + 1);
+  const auto plan = tight.plan(
+      {job("a", "cifar10", 90, 0.8), job("b", "cifar10", 400, 0.8)});
+  ASSERT_TRUE(plan.decisions[0].admitted) << plan.decisions[0].reason;
+  ASSERT_TRUE(plan.decisions[1].admitted) << plan.decisions[1].reason;
+  EXPECT_DOUBLE_EQ(plan.decisions[0].start_time, 0.0);
+  EXPECT_GE(plan.decisions[1].start_time, plan.decisions[0].finish_time - 1e-6);
+  EXPECT_LE(plan.decisions[1].finish_time, 400 * 60.0);
+}
+
+TEST(Fleet, RejectsWhenContentionBreaksDeadline) {
+  // Two jobs with the same tight deadline cannot both run on a quota that
+  // only fits one: EDF admits the first, rejects the second with a reason.
+  orch::FleetPlanner wide(cc::Catalog::aws(), "m4.xlarge", 64);
+  const auto solo = wide.plan({job("a", "cifar10", 90, 0.8)});
+  const int need = solo.decisions[0].dockers();
+
+  orch::FleetPlanner tight(cc::Catalog::aws(), "m4.xlarge", need + 1);
+  const auto plan = tight.plan(
+      {job("a", "cifar10", 90, 0.8), job("b", "cifar10", 90, 0.8)});
+  EXPECT_EQ(plan.admitted, 1);
+  EXPECT_EQ(plan.rejected, 1);
+  const auto& rejected = plan.decisions[1];
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_NE(rejected.reason.find("quota contention"), std::string::npos);
+}
+
+TEST(Fleet, RejectsImpossibleGoalWithReason) {
+  orch::FleetPlanner planner(cc::Catalog::aws(), "m4.xlarge", 32);
+  const auto plan = planner.plan({job("a", "vgg19", 0.2, 0.8)});
+  EXPECT_EQ(plan.rejected, 1);
+  EXPECT_FALSE(plan.decisions[0].reason.empty());
+  EXPECT_DOUBLE_EQ(plan.total_cost, 0.0);
+}
+
+TEST(Fleet, EarliestDeadlineFirstOrdering) {
+  // With contention, the tighter-deadline job wins the early slot even if
+  // submitted later.
+  orch::FleetPlanner wide(cc::Catalog::aws(), "m4.xlarge", 64);
+  const auto solo = wide.plan({job("x", "cifar10", 90, 0.8)});
+  const int need = solo.decisions[0].dockers();
+
+  orch::FleetPlanner tight(cc::Catalog::aws(), "m4.xlarge", need + 1);
+  const auto plan = tight.plan(
+      {job("loose", "cifar10", 400, 0.8), job("tight", "cifar10", 90, 0.8)});
+  ASSERT_TRUE(plan.decisions[1].admitted) << plan.decisions[1].reason;
+  EXPECT_DOUBLE_EQ(plan.decisions[1].start_time, 0.0) << "tight deadline should go first";
+  ASSERT_TRUE(plan.decisions[0].admitted) << plan.decisions[0].reason;
+  EXPECT_GT(plan.decisions[0].start_time, 0.0);
+}
+
+TEST(Fleet, InvalidConstructionThrows) {
+  EXPECT_THROW(orch::FleetPlanner(cc::Catalog::aws(), "m4.xlarge", 0), std::invalid_argument);
+  EXPECT_THROW(orch::FleetPlanner(cc::Catalog::aws(), "z9.mega", 8), std::out_of_range);
+}
+
+TEST(Fleet, Deterministic) {
+  orch::FleetPlanner planner(cc::Catalog::aws(), "m4.xlarge", 24);
+  const std::vector<orch::FleetJob> jobs{job("a", "cifar10", 120, 0.8),
+                                         job("b", "resnet32", 180, 0.6),
+                                         job("c", "vgg19", 60, 0.8)};
+  const auto p1 = planner.plan(jobs);
+  const auto p2 = planner.plan(jobs);
+  ASSERT_EQ(p1.decisions.size(), p2.decisions.size());
+  for (std::size_t i = 0; i < p1.decisions.size(); ++i) {
+    EXPECT_EQ(p1.decisions[i].admitted, p2.decisions[i].admitted);
+    EXPECT_DOUBLE_EQ(p1.decisions[i].start_time, p2.decisions[i].start_time);
+  }
+  EXPECT_DOUBLE_EQ(p1.total_cost, p2.total_cost);
+}

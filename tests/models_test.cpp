@@ -1,0 +1,208 @@
+// Unit tests for the layer IR, shape inference, FLOP/parameter counting,
+// and the model zoo's agreement with the paper's workloads.
+#include <gtest/gtest.h>
+
+#include "models/layer.hpp"
+#include "models/network.hpp"
+#include "models/zoo.hpp"
+
+namespace cm = cynthia::models;
+
+// ----------------------------------------------------------- layer math
+
+TEST(LayerMath, ConvOutputSamePadding) {
+  cm::Shape in{32, 32, 3};
+  auto out = cm::conv2d_output(in, 64, 3, 1);
+  EXPECT_EQ(out, (cm::Shape{32, 32, 64}));
+  out = cm::conv2d_output(in, 64, 3, 2);
+  EXPECT_EQ(out, (cm::Shape{16, 16, 64}));
+  out = cm::conv2d_output({5, 5, 1}, 8, 3, 2);  // ceil(5/2) = 3
+  EXPECT_EQ(out, (cm::Shape{3, 3, 8}));
+}
+
+TEST(LayerMath, ConvParamsAndFlops) {
+  cm::Shape in{32, 32, 3};
+  // 3x3x3x64 weights + 64 biases.
+  EXPECT_EQ(cm::conv2d_params(in, 64, 3), 3 * 3 * 3 * 64 + 64);
+  // 2 * H*W*K*K*Cin*Cout MACs at stride 1.
+  EXPECT_EQ(cm::conv2d_forward_flops(in, 64, 3, 1), 2LL * 32 * 32 * 64 * 3 * 3 * 3);
+}
+
+TEST(LayerMath, DenseParamsAndFlops) {
+  EXPECT_EQ(cm::dense_params(784, 100), 784 * 100 + 100);
+  EXPECT_EQ(cm::dense_forward_flops(784, 100), 2 * 784 * 100);
+}
+
+TEST(LayerMath, PoolOutput) {
+  EXPECT_EQ(cm::pool_output({32, 32, 64}, 3, 2), (cm::Shape{16, 16, 64}));
+}
+
+TEST(LayerMath, InvalidGeometryThrows) {
+  EXPECT_THROW(cm::conv2d_output({8, 8, 3}, 0, 3, 1), std::invalid_argument);
+  EXPECT_THROW(cm::conv2d_output({8, 8, 3}, 4, 3, 0), std::invalid_argument);
+  EXPECT_THROW(cm::pool_output({8, 8, 3}, -1, 2), std::invalid_argument);
+}
+
+TEST(Layer, BackwardFlopsRule) {
+  cm::Layer with_params;
+  with_params.params = 10;
+  with_params.forward_flops = 100;
+  EXPECT_EQ(with_params.backward_flops(), 200);
+  EXPECT_EQ(with_params.training_flops(), 300);
+  cm::Layer no_params;
+  no_params.forward_flops = 100;
+  EXPECT_EQ(no_params.backward_flops(), 100);
+  EXPECT_EQ(no_params.training_flops(), 200);
+}
+
+// -------------------------------------------------------------- builder
+
+TEST(NetworkBuilder, ShapeInferenceThreadsThrough) {
+  auto net = cm::NetworkBuilder("t")
+                 .input(28, 28, 1)
+                 .conv2d(32, 3)
+                 .max_pool(2, 2)
+                 .flatten()
+                 .dense(10)
+                 .build();
+  EXPECT_EQ(net.input_shape(), (cm::Shape{28, 28, 1}));
+  EXPECT_EQ(net.output_shape(), (cm::Shape{1, 1, 10}));
+  // Flatten must have seen 14*14*32.
+  EXPECT_EQ(net.layers()[3].out.c, 14 * 14 * 32);
+}
+
+TEST(NetworkBuilder, RequiresInputFirst) {
+  cm::NetworkBuilder b("t");
+  EXPECT_THROW(b.dense(10), std::logic_error);
+}
+
+TEST(NetworkBuilder, DoubleInputThrows) {
+  cm::NetworkBuilder b("t");
+  b.input(8, 8, 1);
+  EXPECT_THROW(b.input(8, 8, 1), std::logic_error);
+}
+
+TEST(NetworkBuilder, UnclosedBlockThrows) {
+  cm::NetworkBuilder b("t");
+  b.input(8, 8, 4).begin_block().conv2d(4, 3);
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(NetworkBuilder, ResidualAddKeepsShape) {
+  auto net = cm::NetworkBuilder("t")
+                 .input(8, 8, 16)
+                 .begin_block()
+                 .conv2d(16, 3)
+                 .conv2d(16, 3)
+                 .end_block_add()
+                 .build();
+  EXPECT_EQ(net.output_shape(), (cm::Shape{8, 8, 16}));
+  EXPECT_EQ(net.layers().back().kind, cm::LayerKind::Add);
+}
+
+TEST(NetworkBuilder, ProjectionShortcutAddsConvParams) {
+  // Stride-2 block: shortcut needs a 1x1 projection conv.
+  auto plain = cm::NetworkBuilder("p")
+                   .input(8, 8, 16)
+                   .conv2d(32, 3, 2)
+                   .build();
+  auto res = cm::NetworkBuilder("r")
+                 .input(8, 8, 16)
+                 .begin_block()
+                 .conv2d(32, 3, 2)
+                 .end_block_add()
+                 .build();
+  // Projection adds 1x1x16x32 + 32 params over the plain conv.
+  EXPECT_EQ(res.total_params() - plain.total_params(), 16 * 32 + 32);
+  EXPECT_EQ(res.output_shape(), (cm::Shape{4, 4, 32}));
+}
+
+TEST(NetworkDef, AggregatesMatchLayerSums) {
+  auto net = cm::build_cifar10_dnn();
+  std::int64_t params = 0, fwd = 0;
+  for (const auto& l : net.layers()) {
+    params += l.params;
+    fwd += l.forward_flops;
+  }
+  EXPECT_EQ(net.total_params(), params);
+  EXPECT_EQ(net.forward_flops_per_sample(), fwd);
+  EXPECT_GT(net.training_flops_per_sample(), net.forward_flops_per_sample());
+}
+
+TEST(NetworkDef, SummaryMentionsEveryLayer) {
+  auto net = cm::build_mnist_dnn();
+  const auto s = net.summary();
+  for (const auto& l : net.layers()) {
+    EXPECT_NE(s.find(l.name), std::string::npos) << l.name;
+  }
+}
+
+// ------------------------------------------------------------------ zoo
+
+TEST(Zoo, BuildByName) {
+  EXPECT_EQ(cm::build_by_name("mnist").name(), "mnist-dnn");
+  EXPECT_EQ(cm::build_by_name("resnet-32").name(), "resnet-32");
+  EXPECT_THROW(cm::build_by_name("bert-large"), std::invalid_argument);
+}
+
+TEST(Zoo, MnistMatchesPaperParameterPayload) {
+  // Paper Table 4: g_param = 0.33 MB. The 784-100-10 MLP has 79,510
+  // parameters = 0.318 MB fp32.
+  auto net = cm::build_mnist_dnn();
+  EXPECT_EQ(net.total_params(), 784 * 100 + 100 + 100 * 10 + 10);
+  EXPECT_NEAR(net.param_megabytes().value(), 0.33, 0.05);
+}
+
+TEST(Zoo, Cifar10DnnNearPaperPayload) {
+  // Paper Table 4: 4.94 MB. The TF tutorial net is ~1.07M params = 4.3 MB.
+  auto net = cm::build_cifar10_dnn();
+  EXPECT_GT(net.param_megabytes().value(), 3.0);
+  EXPECT_LT(net.param_megabytes().value(), 6.5);
+}
+
+TEST(Zoo, Resnet32HasThirtyTwoWeightedConvDenseLayers) {
+  auto net = cm::build_resnet32();
+  int weighted = 0;
+  for (const auto& l : net.layers()) {
+    // Count conv + dense on the main path (projection shortcuts excluded:
+    // they are the 1x1 convs, kernel == 1).
+    if (l.kind == cm::LayerKind::Conv2D && l.kernel > 1) ++weighted;
+    if (l.kind == cm::LayerKind::Dense) ++weighted;
+  }
+  EXPECT_EQ(weighted, 32);
+  // CIFAR ResNet-32 is famously ~0.46M parameters (~1.9 MB); the paper
+  // profiled 2.22 MB on the wire.
+  EXPECT_NEAR(net.param_megabytes().value(), 1.9, 0.4);
+}
+
+TEST(Zoo, Vgg19HasNineteenWeightLayers) {
+  auto net = cm::build_vgg19();
+  int weighted = 0;
+  for (const auto& l : net.layers()) {
+    if (l.kind == cm::LayerKind::Conv2D || l.kind == cm::LayerKind::Dense) ++weighted;
+  }
+  EXPECT_EQ(weighted, 19);
+  // Dominated by the dense head; paper profiled 135.84 MB.
+  EXPECT_GT(net.param_megabytes().value(), 100.0);
+  EXPECT_LT(net.param_megabytes().value(), 200.0);
+}
+
+TEST(Zoo, RelativeComputeOrdering) {
+  // Per-sample training cost must order mnist << cifar10 < resnet32 < vgg19,
+  // consistent with Table 4's w_iter ordering after batch normalization
+  // (mnist/cifar batch 512, resnet/vgg batch 128).
+  const auto mnist = cm::build_mnist_dnn().training_flops_per_sample();
+  const auto cifar = cm::build_cifar10_dnn().training_flops_per_sample();
+  const auto resnet = cm::build_resnet32().training_flops_per_sample();
+  const auto vgg = cm::build_vgg19().training_flops_per_sample();
+  EXPECT_LT(mnist * 20, cifar);
+  EXPECT_LT(cifar, resnet);
+  EXPECT_LT(resnet, vgg);
+}
+
+TEST(Zoo, PerIterationGFlopsScaleWithBatch) {
+  auto net = cm::build_cifar10_dnn();
+  const double one = net.training_gflops_per_iteration(1).value();
+  const double many = net.training_gflops_per_iteration(512).value();
+  EXPECT_NEAR(many, 512.0 * one, 1e-9);
+}

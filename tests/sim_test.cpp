@@ -1,0 +1,363 @@
+// Unit + property tests for the discrete-event engine and the max-min fair
+// fluid system — the substrate every experiment stands on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/fluid.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace cs = cynthia::sim;
+
+// ------------------------------------------------------------ event queue
+
+TEST(EventQueue, FiresInTimeOrder) {
+  cs::EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  cs::EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  cs::EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  auto id = q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double cancel is a no-op
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelFiredIsNoop) {
+  cs::EventQueue q;
+  auto id = q.schedule(1.0, [] {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PendingCountTracksLiveEvents) {
+  cs::EventQueue q;
+  auto a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+  q.pop();
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EmptyPopThrows) {
+  cs::EventQueue q;
+  EXPECT_THROW(q.pop(), std::logic_error);
+  EXPECT_THROW(q.next_time(), std::logic_error);
+}
+
+// ------------------------------------------------------------- simulator
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  cs::Simulator sim;
+  double seen = -1.0;
+  sim.at(5.0, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, AfterIsRelative) {
+  cs::Simulator sim;
+  std::vector<double> times;
+  sim.at(2.0, [&] {
+    times.push_back(sim.now());
+    sim.after(3.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{2.0, 5.0}));
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  cs::Simulator sim;
+  sim.at(1.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(0.5, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  cs::Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunawayGuardThrows) {
+  cs::Simulator sim;
+  std::function<void()> loop = [&] { sim.after(0.0, loop); };
+  sim.after(0.0, loop);
+  EXPECT_THROW(sim.run(1000), std::runtime_error);
+}
+
+// ------------------------------------------------------------ fluid: basics
+
+TEST(Fluid, SingleJobRunsAtCapacity) {
+  cs::Simulator sim;
+  cs::FluidSystem fs(sim);
+  auto r = fs.add_resource("cpu", 2.0);
+  double finish = -1.0;
+  fs.start_job(10.0, {r}, [&](double t) { finish = t; });
+  sim.run();
+  EXPECT_NEAR(finish, 5.0, 1e-6);
+}
+
+TEST(Fluid, TwoJobsShareEqually) {
+  cs::Simulator sim;
+  cs::FluidSystem fs(sim);
+  auto r = fs.add_resource("link", 10.0);
+  std::vector<double> finishes;
+  fs.start_job(10.0, {r}, [&](double t) { finishes.push_back(t); });
+  fs.start_job(10.0, {r}, [&](double t) { finishes.push_back(t); });
+  sim.run();
+  ASSERT_EQ(finishes.size(), 2u);
+  // Each gets 5 units/s: both finish at t=2.
+  EXPECT_NEAR(finishes[0], 2.0, 1e-6);
+  EXPECT_NEAR(finishes[1], 2.0, 1e-6);
+}
+
+TEST(Fluid, ShorterJobReleasesCapacity) {
+  cs::Simulator sim;
+  cs::FluidSystem fs(sim);
+  auto r = fs.add_resource("link", 10.0);
+  double short_f = -1, long_f = -1;
+  fs.start_job(5.0, {r}, [&](double t) { short_f = t; });
+  fs.start_job(20.0, {r}, [&](double t) { long_f = t; });
+  sim.run();
+  // Shared at 5/s until t=1 (short done), then long runs alone:
+  // long has 15 left at t=1 -> finishes at t=2.5.
+  EXPECT_NEAR(short_f, 1.0, 1e-6);
+  EXPECT_NEAR(long_f, 2.5, 1e-6);
+}
+
+TEST(Fluid, MultiResourceJobLimitedByTightestLink) {
+  cs::Simulator sim;
+  cs::FluidSystem fs(sim);
+  auto wide = fs.add_resource("wide", 100.0);
+  auto narrow = fs.add_resource("narrow", 5.0);
+  double finish = -1;
+  fs.start_job(10.0, {wide, narrow}, [&](double t) { finish = t; });
+  sim.run();
+  EXPECT_NEAR(finish, 2.0, 1e-6);
+}
+
+TEST(Fluid, ZeroVolumeCompletesViaEventQueue) {
+  cs::Simulator sim;
+  cs::FluidSystem fs(sim);
+  fs.add_resource("r", 1.0);
+  bool done = false;
+  fs.start_job(0.0, {}, [&](double) { done = true; });
+  EXPECT_FALSE(done);  // not synchronous
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Fluid, InvalidInputsThrow) {
+  cs::Simulator sim;
+  cs::FluidSystem fs(sim);
+  EXPECT_THROW(fs.add_resource("bad", 0.0), std::invalid_argument);
+  auto r = fs.add_resource("ok", 1.0);
+  EXPECT_THROW(fs.start_job(1.0, {}, nullptr), std::invalid_argument);
+  EXPECT_THROW(fs.start_job(1.0, {r + 100}, nullptr), std::out_of_range);
+}
+
+TEST(Fluid, CancelJobFreesCapacity) {
+  cs::Simulator sim;
+  cs::FluidSystem fs(sim);
+  auto r = fs.add_resource("link", 10.0);
+  double keep_f = -1;
+  auto cancel_me = fs.start_job(1000.0, {r}, [&](double) { FAIL() << "cancelled job completed"; });
+  fs.start_job(10.0, {r}, [&](double t) { keep_f = t; });
+  sim.after(1.0, [&] { fs.cancel_job(cancel_me); });
+  sim.run();
+  // Shared 5/s for 1s (5 done), then full 10/s for remaining 5 -> t=1.5.
+  EXPECT_NEAR(keep_f, 1.5, 1e-6);
+}
+
+TEST(Fluid, JobRemainingAndRateQueries) {
+  cs::Simulator sim;
+  cs::FluidSystem fs(sim);
+  auto r = fs.add_resource("link", 4.0);
+  auto id = fs.start_job(8.0, {r}, nullptr);
+  EXPECT_DOUBLE_EQ(fs.job_rate(id), 4.0);
+  sim.run_until(1.0);
+  EXPECT_NEAR(fs.job_remaining(id), 4.0, 1e-6);
+  sim.run();
+  EXPECT_DOUBLE_EQ(fs.job_remaining(id), 0.0);
+  EXPECT_DOUBLE_EQ(fs.job_rate(id), 0.0);
+}
+
+// ------------------------------------------------ fluid: max-min property
+
+namespace {
+
+/// Randomized topology: jobs crossing random subsets of links. Verifies the
+/// two defining max-min properties on the instantaneous allocation:
+/// feasibility (no link over capacity) and bottleneck justification (every
+/// job is capped by at least one saturated link, or runs at link speed).
+void check_maxmin_invariants(std::uint64_t seed) {
+  cynthia::util::Rng rng(seed);
+  cs::Simulator sim;
+  cs::FluidSystem fs(sim);
+  const int n_links = static_cast<int>(rng.uniform_int(2, 6));
+  std::vector<cs::ResourceId> links;
+  std::vector<double> caps;
+  for (int i = 0; i < n_links; ++i) {
+    const double cap = rng.uniform(1.0, 20.0);
+    links.push_back(fs.add_resource("l" + std::to_string(i), cap));
+    caps.push_back(cap);
+  }
+  const int n_jobs = static_cast<int>(rng.uniform_int(2, 10));
+  std::vector<cs::JobId> jobs;
+  std::vector<std::vector<cs::ResourceId>> paths;
+  for (int j = 0; j < n_jobs; ++j) {
+    std::vector<cs::ResourceId> path;
+    for (int l = 0; l < n_links; ++l) {
+      if (rng.chance(0.4)) path.push_back(links[l]);
+    }
+    if (path.empty()) path.push_back(links[0]);
+    paths.push_back(path);
+    jobs.push_back(fs.start_job(1e9, path, nullptr));  // long-lived
+  }
+
+  // Feasibility.
+  for (int l = 0; l < n_links; ++l) {
+    EXPECT_LE(fs.resource_used(links[l]), caps[l] + 1e-6);
+  }
+  // Bottleneck justification: each job crosses some link that is saturated
+  // and on which the job's rate is maximal among that link's jobs.
+  for (int j = 0; j < n_jobs; ++j) {
+    const double rate = fs.job_rate(jobs[j]);
+    EXPECT_GT(rate, 0.0);
+    bool justified = false;
+    for (auto l : paths[j]) {
+      if (fs.resource_used(l) < fs.resource_capacity(l) - 1e-6) continue;
+      // saturated link: is this job among its fastest?
+      bool is_max = true;
+      for (int k = 0; k < n_jobs; ++k) {
+        if (std::find(paths[k].begin(), paths[k].end(), l) == paths[k].end()) continue;
+        if (fs.job_rate(jobs[k]) > rate + 1e-6) {
+          is_max = false;
+          break;
+        }
+      }
+      if (is_max) {
+        justified = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(justified) << "job " << j << " rate " << rate << " not bottleneck-justified";
+  }
+}
+
+}  // namespace
+
+class MaxMinProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinProperty, AllocationIsMaxMinFair) { check_maxmin_invariants(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologies, MaxMinProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233));
+
+// ----------------------------------------------- fluid: conservation laws
+
+class FluidConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(FluidConservation, ServedVolumeEqualsInjectedVolume) {
+  const int n_jobs = GetParam();
+  cs::Simulator sim;
+  cs::FluidSystem fs(sim);
+  auto link = fs.add_resource("link", 7.0, /*trace bucket=*/0.5);
+  cynthia::util::Rng rng(n_jobs * 1000 + 7);
+  double injected = 0.0;
+  int completed = 0;
+  for (int j = 0; j < n_jobs; ++j) {
+    const double vol = rng.uniform(0.5, 30.0);
+    injected += vol;
+    const double start = rng.uniform(0.0, 5.0);
+    sim.at(start, [&fs, &completed, vol, link] {
+      fs.start_job(vol, {link}, [&completed](double) { ++completed; });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, n_jobs);
+  EXPECT_NEAR(fs.resource_volume_served(link), injected, injected * 1e-6 + 1e-6);
+  // Trace agrees with the busy integral.
+  const auto* trace = fs.resource_trace(link);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_NEAR(trace->total_volume(), injected, injected * 1e-6 + 1e-6);
+  // Utilization is consistent: served / (capacity * makespan).
+  const double util = fs.resource_utilization(link, sim.now());
+  EXPECT_NEAR(util, injected / (7.0 * sim.now()), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(JobCounts, FluidConservation, ::testing::Values(1, 2, 5, 10, 25, 60));
+
+TEST(Fluid, CompletionOrderRespectsVolumes) {
+  cs::Simulator sim;
+  cs::FluidSystem fs(sim);
+  auto r = fs.add_resource("r", 1.0);
+  std::vector<int> order;
+  fs.start_job(3.0, {r}, [&](double) { order.push_back(3); });
+  fs.start_job(1.0, {r}, [&](double) { order.push_back(1); });
+  fs.start_job(2.0, {r}, [&](double) { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Fluid, CallbackCanStartNewJobs) {
+  cs::Simulator sim;
+  cs::FluidSystem fs(sim);
+  auto r = fs.add_resource("r", 1.0);
+  int chain = 0;
+  std::function<void(double)> next = [&](double) {
+    if (++chain < 5) fs.start_job(1.0, {r}, next);
+  };
+  fs.start_job(1.0, {r}, next);
+  sim.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_NEAR(sim.now(), 5.0, 1e-5);
+}
+
+TEST(Fluid, UtilizationOfIdleResourceIsZero) {
+  cs::Simulator sim;
+  cs::FluidSystem fs(sim);
+  auto r = fs.add_resource("idle", 3.0);
+  auto busy = fs.add_resource("busy", 3.0);
+  fs.start_job(9.0, {busy}, nullptr);
+  sim.run();
+  EXPECT_DOUBLE_EQ(fs.resource_utilization(r, sim.now()), 0.0);
+  EXPECT_NEAR(fs.resource_utilization(busy, sim.now()), 1.0, 1e-9);
+}

@@ -1,0 +1,176 @@
+// Tests for the spot-market substrate and the checkpointed spot execution
+// layer (Proteus-style related work).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cloud/instance.hpp"
+#include "cloud/spot.hpp"
+#include "ddnn/workload.hpp"
+#include "orchestrator/spot_runner.hpp"
+
+namespace cc = cynthia::cloud;
+namespace cd = cynthia::ddnn;
+namespace orch = cynthia::orch;
+
+namespace {
+const cc::InstanceType& m4() { return cc::Catalog::aws().at("m4.xlarge"); }
+}  // namespace
+
+// -------------------------------------------------------------- market
+
+TEST(SpotMarket, DeterministicForSeed) {
+  cc::SpotMarket a(cc::Catalog::aws(), 5), b(cc::Catalog::aws(), 5);
+  for (double t : {0.0, 1000.0, 86400.0}) {
+    EXPECT_DOUBLE_EQ(a.price_at("m4.xlarge", t), b.price_at("m4.xlarge", t));
+  }
+  cc::SpotMarket c(cc::Catalog::aws(), 6);
+  bool any_diff = false;
+  for (double t = 0; t < 50000; t += 300) {
+    any_diff |= a.price_at("m4.xlarge", t) != c.price_at("m4.xlarge", t);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SpotMarket, PricesBoundedAndDiscounted) {
+  cc::SpotMarket market;
+  const double od = m4().price.value();
+  double sum = 0.0;
+  int n = 0;
+  for (double t = 0; t < 7 * 86400; t += 300) {
+    const double p = market.price_at("m4.xlarge", t);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, od * 1.2 + 1e-9);
+    sum += p;
+    ++n;
+  }
+  const double avg = sum / n;
+  // Long-run average near the configured discount.
+  EXPECT_NEAR(avg, od * market.options().mean_discount, od * 0.25);
+  EXPECT_LT(avg, od * 0.7) << "spot must be substantially cheaper than on-demand";
+}
+
+TEST(SpotMarket, TypesHaveIndependentTraces) {
+  cc::SpotMarket market;
+  bool differ = false;
+  for (double t = 0; t < 20000; t += 300) {
+    const double a = market.price_at("m4.xlarge", t) / m4().price.value();
+    const double b =
+        market.price_at("r3.xlarge", t) / cc::Catalog::aws().at("r3.xlarge").price.value();
+    differ |= std::abs(a - b) > 1e-9;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(SpotMarket, CostIntegratesPrice) {
+  cc::SpotMarket market;
+  // Cost over an hour equals the average price over that hour.
+  const double c = market.cost("m4.xlarge", 0.0, 3600.0).value();
+  double avg = 0.0;
+  for (int i = 0; i < 12; ++i) avg += market.price_at("m4.xlarge", i * 300.0);
+  avg /= 12.0;
+  EXPECT_NEAR(c, avg, 1e-9);
+  EXPECT_DOUBLE_EQ(market.cost("m4.xlarge", 500.0, 500.0).value(), 0.0);
+  EXPECT_THROW(market.cost("m4.xlarge", 100.0, 50.0), std::invalid_argument);
+}
+
+TEST(SpotMarket, RevocationAndAvailabilityAreConsistent) {
+  cc::SpotMarket market;
+  const double bid = market.mean_price("m4.xlarge") * 1.3;
+  const double revoked = market.next_revocation_after("m4.xlarge", 0.0, bid);
+  if (std::isfinite(revoked)) {
+    EXPECT_GT(market.price_at("m4.xlarge", revoked), bid);
+    const double back = market.next_availability_after("m4.xlarge", revoked, bid);
+    ASSERT_TRUE(std::isfinite(back));
+    EXPECT_GT(back, revoked);
+    EXPECT_LE(market.price_at("m4.xlarge", back), bid);
+  }
+}
+
+TEST(SpotMarket, HighBidNeverRevoked) {
+  cc::SpotMarket market;
+  // Above the 1.2x on-demand cap, a bid can never be crossed.
+  const double bid = m4().price.value() * 1.3;
+  EXPECT_TRUE(std::isinf(
+      market.next_revocation_after("m4.xlarge", 0.0, bid, /*horizon=*/3 * 86400)));
+}
+
+TEST(SpotMarket, InvalidOptionsThrow) {
+  cc::SpotTraceOptions bad;
+  bad.step_seconds = 0.0;
+  EXPECT_THROW(cc::SpotMarket(cc::Catalog::aws(), 1, bad), std::invalid_argument);
+  cc::SpotTraceOptions bad2;
+  bad2.mean_discount = 0.0;
+  EXPECT_THROW(cc::SpotMarket(cc::Catalog::aws(), 1, bad2), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- runner
+
+TEST(SpotRunner, CompletesAndUndercutsOnDemand) {
+  cc::SpotMarket market(cc::Catalog::aws(), 11);
+  const auto& w = cd::workload_by_name("cifar10");
+  orch::SpotRunOptions o;
+  o.bid_multiplier = 1.8;
+  const auto r = orch::run_on_spot(market, w, m4(), 6, 1, 3000, o);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.iterations, 3000);
+  EXPECT_GT(r.cost.value(), 0.0);
+  EXPECT_LT(r.cost.value(), r.on_demand_cost.value())
+      << "spot must be cheaper than on-demand for the same busy time";
+  EXPECT_GE(r.wall_time, r.busy_time);
+}
+
+TEST(SpotRunner, LowBidMeansMoreRevocationsAndWall) {
+  cc::SpotMarket market(cc::Catalog::aws(), 11);
+  const auto& w = cd::workload_by_name("cifar10");
+  orch::SpotRunOptions tight;
+  tight.bid_multiplier = 1.05;
+  orch::SpotRunOptions generous;
+  generous.bid_multiplier = 2.6;
+  const auto a = orch::run_on_spot(market, w, m4(), 6, 1, 3000, tight);
+  const auto b = orch::run_on_spot(market, w, m4(), 6, 1, 3000, generous);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_GE(a.revocations, b.revocations);
+  EXPECT_GE(a.wall_time, b.wall_time);
+}
+
+TEST(SpotRunner, CheckpointCadenceTradesOverheadForLoss) {
+  cc::SpotMarket market(cc::Catalog::aws(), 23);
+  const auto& w = cd::workload_by_name("cifar10");
+  orch::SpotRunOptions frequent;
+  frequent.bid_multiplier = 1.1;  // stormy: revocations will happen
+  frequent.checkpoint_interval = 120.0;
+  orch::SpotRunOptions rare = frequent;
+  rare.checkpoint_interval = 3600.0;
+  const auto f = orch::run_on_spot(market, w, m4(), 6, 1, 6000, frequent);
+  const auto r = orch::run_on_spot(market, w, m4(), 6, 1, 6000, rare);
+  ASSERT_TRUE(f.completed);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(f.checkpoint_overhead, r.checkpoint_overhead);
+  if (r.revocations > 0) {
+    EXPECT_GE(r.lost_work, f.lost_work);
+  }
+}
+
+TEST(SpotRunner, AccountingIsCoherent) {
+  cc::SpotMarket market(cc::Catalog::aws(), 31);
+  const auto& w = cd::workload_by_name("cifar10");
+  orch::SpotRunOptions o;
+  o.bid_multiplier = 1.3;
+  const auto r = orch::run_on_spot(market, w, m4(), 4, 1, 2000, o);
+  ASSERT_TRUE(r.completed);
+  // busy time covers useful work + overhead + lost work.
+  EXPECT_GE(r.busy_time + 1e-6, r.checkpoint_overhead + r.lost_work);
+  // Wall time includes outages whenever there was a revocation.
+  if (r.revocations > 0) EXPECT_GT(r.wall_time, r.busy_time);
+}
+
+TEST(SpotRunner, InvalidArgumentsThrow) {
+  cc::SpotMarket market;
+  const auto& w = cd::workload_by_name("cifar10");
+  EXPECT_THROW(orch::run_on_spot(market, w, m4(), 4, 1, 0), std::invalid_argument);
+  orch::SpotRunOptions bad;
+  bad.bid_multiplier = 0.0;
+  EXPECT_THROW(orch::run_on_spot(market, w, m4(), 4, 1, 100, bad), std::invalid_argument);
+}

@@ -1,0 +1,461 @@
+// Unit tests for the util library: units, rng, stats, least squares,
+// table/CSV formatting, rate traces, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/least_squares.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/time_series.hpp"
+#include "util/units.hpp"
+
+namespace cu = cynthia::util;
+
+// ---------------------------------------------------------------- units
+
+TEST(Units, ArithmeticAndComparison) {
+  cu::GFlops a{10.0}, b{2.5};
+  EXPECT_DOUBLE_EQ((a + b).value(), 12.5);
+  EXPECT_DOUBLE_EQ((a - b).value(), 7.5);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 20.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value(), 20.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).value(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(a, cu::GFlops{10.0});
+}
+
+TEST(Units, CompoundAssignment) {
+  cu::MegaBytes m{1.0};
+  m += cu::MegaBytes{2.0};
+  EXPECT_DOUBLE_EQ(m.value(), 3.0);
+  m -= cu::MegaBytes{0.5};
+  EXPECT_DOUBLE_EQ(m.value(), 2.5);
+}
+
+TEST(Units, PhysicalCrossUnitOps) {
+  // 10 GFLOPs at 2 GFLOPS takes 5 s.
+  EXPECT_DOUBLE_EQ((cu::GFlops{10} / cu::GFlopsRate{2}).value(), 5.0);
+  // 100 MB at 50 MB/s takes 2 s.
+  EXPECT_DOUBLE_EQ((cu::MegaBytes{100} / cu::MBps{50}).value(), 2.0);
+  // rate x time = volume, both orders.
+  EXPECT_DOUBLE_EQ((cu::GFlopsRate{2} * cu::Seconds{3}).value(), 6.0);
+  EXPECT_DOUBLE_EQ((cu::Seconds{3} * cu::MBps{4}).value(), 12.0);
+  // $0.36/h for 100 s costs one cent.
+  EXPECT_NEAR((cu::DollarsPerHour{0.36} * cu::Seconds{100}).value(), 0.01, 1e-12);
+}
+
+TEST(Units, MinutesHoursHelpers) {
+  EXPECT_DOUBLE_EQ(cu::minutes(2).value(), 120.0);
+  EXPECT_DOUBLE_EQ(cu::hours(1.5).value(), 5400.0);
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed) {
+  cu::Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  cu::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform(0, 1) == b.uniform(0, 1)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+  cu::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  cu::Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(1, 4);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 4);
+    saw_lo |= v == 1;
+    saw_hi |= v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BoundedNormalRespectsBound) {
+  cu::Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.bounded_normal(1.0, 0.5, 0.2);
+    EXPECT_GE(x, 0.8);
+    EXPECT_LE(x, 1.2);
+  }
+}
+
+TEST(Rng, JitterAroundUnity) {
+  cu::Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double j = rng.jitter(0.1);
+    EXPECT_GE(j, 0.9);
+    EXPECT_LE(j, 1.1);
+    sum += j;
+  }
+  EXPECT_NEAR(sum / 5000.0, 1.0, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  cu::Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  cu::RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  cu::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  cu::RunningStats a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 10; i < 25; ++i) {
+    b.add(i * 1.5);
+    all.add(i * 1.5);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(cu::percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cu::percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(cu::percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(cu::percentile(xs, 25), 2.0);
+  EXPECT_DOUBLE_EQ(cu::median(xs), 3.0);
+}
+
+TEST(Stats, MapeSkipsZeroObservations) {
+  std::vector<double> obs{100, 0, 200};
+  std::vector<double> pred{110, 50, 180};
+  // (10% + 10%) / 2 = 10%.
+  EXPECT_NEAR(cu::mape_percent(obs, pred), 10.0, 1e-9);
+}
+
+TEST(Stats, MapeSizeMismatchThrows) {
+  std::vector<double> a{1.0}, b{1.0, 2.0};
+  EXPECT_THROW(cu::mape_percent(a, b), std::invalid_argument);
+}
+
+TEST(Stats, RSquaredPerfectAndPoor) {
+  std::vector<double> obs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(cu::r_squared(obs, obs), 1.0);
+  std::vector<double> flat{2.5, 2.5, 2.5, 2.5};
+  EXPECT_NEAR(cu::r_squared(obs, flat), 0.0, 1e-12);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_NEAR(cu::relative_error_percent(200.0, 210.0), 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cu::relative_error_percent(0.0, 5.0), 0.0);
+}
+
+// ------------------------------------------------------- least squares
+
+TEST(LeastSquares, SolvesExactSystem) {
+  cu::Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  auto x = cu::solve_linear_system(a, {5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+TEST(LeastSquares, SingularThrows) {
+  cu::Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(cu::solve_linear_system(a, {1, 2}), std::runtime_error);
+}
+
+TEST(LeastSquares, RecoversLinearCoefficients) {
+  // y = 3 + 2x sampled exactly.
+  cu::Matrix x(5, 2);
+  std::vector<double> y(5);
+  for (int i = 0; i < 5; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = i;
+    y[i] = 3.0 + 2.0 * i;
+  }
+  auto beta = cu::least_squares(x, y);
+  EXPECT_NEAR(beta[0], 3.0, 1e-6);
+  EXPECT_NEAR(beta[1], 2.0, 1e-6);
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  cu::Matrix x(1, 2);
+  std::vector<double> y{1.0};
+  EXPECT_THROW(cu::least_squares(x, y), std::invalid_argument);
+}
+
+TEST(Nnls, ClampsNegativeCoefficients) {
+  // y = -1 * x best fit is negative; NNLS must return 0.
+  cu::Matrix x(3, 1);
+  x(0, 0) = 1;
+  x(1, 0) = 2;
+  x(2, 0) = 3;
+  auto beta = cu::nnls(x, std::vector<double>{-1, -2, -3});
+  EXPECT_DOUBLE_EQ(beta[0], 0.0);
+}
+
+TEST(Nnls, MatchesOlsWhenPositive) {
+  cu::Matrix x(4, 2);
+  std::vector<double> y(4);
+  for (int i = 0; i < 4; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = i + 1.0;
+    y[i] = 0.5 + 1.5 * (i + 1.0);
+  }
+  auto beta = cu::nnls(x, y);
+  EXPECT_NEAR(beta[0], 0.5, 1e-5);
+  EXPECT_NEAR(beta[1], 1.5, 1e-5);
+}
+
+TEST(Polyfit, QuadraticExact) {
+  std::vector<double> t{0, 1, 2, 3, 4};
+  std::vector<double> y;
+  for (double v : t) y.push_back(1.0 - 2.0 * v + 0.5 * v * v);
+  auto c = cu::polyfit(t, y, 2);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_NEAR(c[0], 1.0, 1e-8);
+  EXPECT_NEAR(c[1], -2.0, 1e-8);
+  EXPECT_NEAR(c[2], 0.5, 1e-8);
+  EXPECT_NEAR(cu::polyval(c, 10.0), 1.0 - 20.0 + 50.0, 1e-6);
+}
+
+TEST(GaussNewton, FitsExponentialDecay) {
+  // y = a * exp(-b x), a=4, b=0.5.
+  auto f = [](std::span<const double> p, double x) { return p[0] * std::exp(-p[1] * x); };
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i * 0.3);
+    ys.push_back(4.0 * std::exp(-0.5 * i * 0.3));
+  }
+  auto r = cu::gauss_newton(f, xs, ys, {1.0, 1.0});
+  EXPECT_NEAR(r.params[0], 4.0, 1e-4);
+  EXPECT_NEAR(r.params[1], 0.5, 1e-4);
+  EXPECT_LT(r.final_rss, 1e-8);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, RendersAlignedCells) {
+  cu::Table t("Demo");
+  t.header({"a", "long-column"});
+  t.row({"1", "2"});
+  t.row({"333", "4"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("long-column"), std::string::npos);
+  EXPECT_NE(s.find("| 333 |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(cu::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(cu::Table::pct(42.345, 1), "42.3%");
+}
+
+TEST(Table, RaggedRowsPadded) {
+  cu::Table t;
+  t.header({"x", "y", "z"});
+  t.row({"only-one"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+// ---------------------------------------------------------------- csv
+
+TEST(Csv, WritesAndEscapes) {
+  const auto path = std::filesystem::temp_directory_path() / "cynthia_csv_test.csv";
+  {
+    cu::CsvWriter w(path.string());
+    w.header({"name", "value"});
+    w.row({"plain", "1"});
+    w.row({"with,comma", "quote\"inside"});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",\"quote\"\"inside\"");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, NumericRows) {
+  const auto path = std::filesystem::temp_directory_path() / "cynthia_csv_num.csv";
+  {
+    cu::CsvWriter w(path.string());
+    w.row_numeric({1.5, 2.25});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2.25");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, BadPathThrows) {
+  EXPECT_THROW(cu::CsvWriter("/nonexistent_dir_xyz/file.csv"), std::runtime_error);
+}
+
+// ----------------------------------------------------------- rate trace
+
+TEST(RateTrace, IntegratesIntoBuckets) {
+  cu::RateTrace t(1.0);
+  t.add_segment(0.0, 0.5, 10.0);  // 5 units in bucket 0
+  t.add_segment(0.5, 2.0, 2.0);   // 1 unit in bucket 0, 2 in bucket 1
+  auto b = t.buckets();
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_NEAR(b[0].value, 6.0, 1e-9);
+  EXPECT_NEAR(b[1].value, 2.0, 1e-9);
+  EXPECT_NEAR(t.total_volume(), 8.0, 1e-9);
+  EXPECT_NEAR(t.average(), 4.0, 1e-9);
+  EXPECT_NEAR(t.peak(), 6.0, 1e-9);
+}
+
+TEST(RateTrace, ZeroRateSegmentsExtendTime) {
+  cu::RateTrace t(1.0);
+  t.add_segment(0.0, 1.0, 4.0);
+  t.add_segment(1.0, 4.0, 0.0);
+  EXPECT_DOUBLE_EQ(t.end_time(), 4.0);
+  EXPECT_NEAR(t.average(), 1.0, 1e-9);
+  EXPECT_EQ(t.buckets().size(), 4u);
+}
+
+TEST(RateTrace, EmptySegmentIgnored) {
+  cu::RateTrace t(1.0);
+  t.add_segment(1.0, 1.0, 100.0);
+  EXPECT_DOUBLE_EQ(t.total_volume(), 0.0);
+  EXPECT_TRUE(t.buckets().empty());
+}
+
+TEST(RateTrace, InvalidBucketWidthThrows) {
+  EXPECT_THROW(cu::RateTrace(0.0), std::invalid_argument);
+}
+
+TEST(RateTrace, VolumeConservedAcrossBucketBoundaries) {
+  cu::RateTrace t(0.7);
+  double expected = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double t0 = i * 0.31;
+    const double t1 = t0 + 0.31;
+    const double rate = (i % 5) * 1.7;
+    t.add_segment(t0, t1, rate);
+    expected += rate * 0.31;
+  }
+  double bucket_volume = 0.0;
+  for (const auto& b : t.buckets()) bucket_volume += b.value * b.width;
+  EXPECT_NEAR(bucket_volume, expected, 1e-6);
+  EXPECT_NEAR(t.total_volume(), expected, 1e-6);
+}
+
+// ----------------------------------------------------------- thread pool
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  cu::ThreadPool pool(4);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  cu::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  cu::ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksComplete) {
+  cu::ThreadPool pool(8);
+  std::atomic<long> total{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 500; ++i) {
+    futs.push_back(pool.submit([&total, i] { total.fetch_add(i); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(total.load(), 500L * 499 / 2);
+}
+
+// ---------------------------------------------------------------- log
+
+TEST(Log, LevelThresholdRespected) {
+  const auto prev = cu::log_level();
+  cu::set_log_level(cu::LogLevel::Error);
+  EXPECT_EQ(cu::log_level(), cu::LogLevel::Error);
+  // No crash on suppressed and emitted paths.
+  cu::log_message(cu::LogLevel::Debug, "test", "suppressed");
+  cu::log_message(cu::LogLevel::Error, "test", "emitted");
+  cu::Logger logger("test");
+  logger.debug() << "suppressed " << 42;
+  cu::set_log_level(prev);
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_EQ(cu::to_string(cu::LogLevel::Debug), "DEBUG");
+  EXPECT_EQ(cu::to_string(cu::LogLevel::Warn), "WARN");
+  EXPECT_EQ(cu::to_string(cu::LogLevel::Off), "OFF");
+}
