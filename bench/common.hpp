@@ -12,13 +12,16 @@
 // full count come from the workload's (noiseless) loss law.
 #pragma once
 
+#include <cstdio>
 #include <filesystem>
 #include <string>
+#include <string_view>
 
 #include "cloud/instance.hpp"
 #include "ddnn/loss.hpp"
 #include "ddnn/trainer.hpp"
 #include "ddnn/workload.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -36,6 +39,73 @@ inline std::string out_dir() {
   std::filesystem::create_directories(dir);
   return dir;
 }
+
+/// Opt-in telemetry for bench binaries: construct from main's argv and pass
+/// TrainOptions through apply(). Enabled by --trace-out F / --metrics-out F
+/// (or the CYNTHIA_TRACE_OUT / CYNTHIA_METRICS_OUT environment variables);
+/// disabled — the default — it is inert and the bench output is unchanged.
+/// Successive runs within one bench land sequentially on a single trace
+/// timeline; the files are written when the scope is destroyed.
+class TelemetryScope {
+ public:
+  TelemetryScope(int argc, char** argv)
+      : trace_path_(option(argc, argv, "--trace-out", "CYNTHIA_TRACE_OUT")),
+        metrics_path_(option(argc, argv, "--metrics-out", "CYNTHIA_METRICS_OUT")) {}
+
+  ~TelemetryScope() { flush(); }
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+  [[nodiscard]] bool enabled() const { return !trace_path_.empty() || !metrics_path_.empty(); }
+
+  /// Attaches the sink to `options` when enabled; identity otherwise.
+  [[nodiscard]] ddnn::TrainOptions apply(ddnn::TrainOptions options) {
+    if (enabled()) options.telemetry = &tel_;
+    return options;
+  }
+
+  [[nodiscard]] telemetry::Telemetry& sink() { return tel_; }
+
+  /// Advances the trace clock past a run driven directly through
+  /// run_training (run_scaled sequences its own runs), so the next run's
+  /// spans start after this one on the shared timeline.
+  void advance_timeline(double seconds) {
+    tel_.tracer.set_time_offset(tel_.tracer.time_offset() + seconds);
+  }
+
+  /// Writes the trace/metrics files (idempotent; never throws — a failed
+  /// write at exit only warns).
+  void flush() noexcept {
+    if (!enabled() || flushed_) return;
+    flushed_ = true;
+    try {
+      if (!trace_path_.empty()) {
+        tel_.tracer.write_chrome_json_file(trace_path_);
+        std::printf("[trace] %s (%zu events)\n", trace_path_.c_str(), tel_.tracer.events().size());
+      }
+      if (!metrics_path_.empty()) {
+        tel_.metrics.write_csv_file(metrics_path_);
+        std::printf("[metrics] %s\n", metrics_path_.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "telemetry flush failed: %s\n", e.what());
+    }
+  }
+
+ private:
+  static std::string option(int argc, char** argv, std::string_view flag, const char* env) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (flag == argv[i]) return argv[i + 1];
+    }
+    const char* v = std::getenv(env);
+    return v ? v : "";
+  }
+
+  telemetry::Telemetry tel_;
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool flushed_ = false;
+};
 
 struct ScaledResult {
   ddnn::TrainResult run;   ///< the simulated window (times already scaled)
@@ -56,6 +126,12 @@ inline ScaledResult run_scaled(const ddnn::ClusterSpec& cluster, const ddnn::Wor
   out.simulated_iterations = std::min(full_iterations, window);
   options.iterations = out.simulated_iterations;
   out.run = ddnn::run_training(cluster, w, options);
+  if (options.telemetry != nullptr) {
+    // Sequence the next instrumented run after this one (unscaled window
+    // time — that is how long the recorded spans actually cover).
+    auto& tracer = options.telemetry->tracer;
+    tracer.set_time_offset(tracer.time_offset() + out.run.total_time);
+  }
   out.scale = static_cast<double>(full_iterations) / out.simulated_iterations;
   out.run.total_time *= out.scale;
   out.run.computation_time *= out.scale;

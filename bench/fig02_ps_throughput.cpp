@@ -10,7 +10,8 @@
 
 using namespace cynthia;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope tel(argc, argv);  // --trace-out / --metrics-out
   std::puts("=== Fig. 2: PS network-in throughput over time, mnist DNN (BSP) ===");
   const auto& w = ddnn::workload_by_name("mnist");
   util::CsvWriter csv(bench::out_dir() + "/fig02_ps_throughput.csv");
@@ -22,7 +23,9 @@ int main() {
     ddnn::TrainOptions o;
     o.iterations = 2500;
     o.trace_bucket_seconds = 1.0;
-    const auto r = ddnn::run_training(ddnn::ClusterSpec::homogeneous(bench::m4(), n, 1), w, o);
+    const auto r =
+        ddnn::run_training(ddnn::ClusterSpec::homogeneous(bench::m4(), n, 1), w, tel.apply(o));
+    if (tel.enabled()) tel.advance_timeline(r.total_time);
     t.row({std::to_string(n), util::Table::num(r.ps_ingress_avg_mbps, 1),
            util::Table::num(r.ps_ingress_peak_mbps, 1),
            util::Table::num(bench::m4().nic_mbps.value(), 0)});
@@ -42,7 +45,8 @@ int main() {
     cluster.ps.front().cpu = util::GFlopsRate{bench::m4().core_gflops.value() * mult};
     ddnn::TrainOptions o;
     o.iterations = 2500;
-    const auto r = ddnn::run_training(cluster, w, o);
+    const auto r = ddnn::run_training(cluster, w, tel.apply(o));
+    if (tel.enabled()) tel.advance_timeline(r.total_time);
     c.row({util::Table::num(cluster.ps.front().cpu.value(), 2),
            util::Table::num(r.ps_ingress_avg_mbps, 1),
            util::Table::pct(100 * r.avg_worker_cpu_util)});

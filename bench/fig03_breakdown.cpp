@@ -9,7 +9,8 @@
 
 using namespace cynthia;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope tel(argc, argv);  // --trace-out / --metrics-out
   std::puts("=== Fig. 3: comp/comm breakdown, cifar10 DNN (BSP), 10000 iterations ===");
   std::puts("(1500-iteration window, extrapolated)");
   const auto& w = ddnn::workload_by_name("cifar10");
@@ -21,7 +22,7 @@ int main() {
   int crossover = -1;
   for (int n = 9; n <= 17; n += 2) {
     const auto r = bench::run_scaled(ddnn::ClusterSpec::homogeneous(bench::m4(), n, 1), w,
-                                     10000, 1500);
+                                     10000, 1500, tel.apply({}));
     t.row({std::to_string(n), util::Table::num(r.run.computation_time, 0),
            util::Table::num(r.run.communication_time, 0),
            util::Table::num(r.run.total_time, 0)});

@@ -6,7 +6,14 @@
 //   cynthiactl plan <workload> --minutes M --loss L [--gpu] [--type T]
 //                                              run Algorithm 1
 //   cynthiactl simulate <workload> --workers N [--ps K] [--type T]
-//              [--iterations S] [--stragglers]  run the training simulator
+//              [--iterations S] [--stragglers]
+//              [--trace-out F] [--metrics-out F]  run the training simulator
+//
+// --trace-out / --metrics-out enable the telemetry layer: the run is
+// provisioned through the orchestrator (so the trace carries node-lifecycle
+// spans ahead of the training spans), the trace is written as Chrome
+// trace_event JSON (open in chrome://tracing or ui.perfetto.dev), metrics as
+// CSV, and a Fig. 3-style breakdown table is printed.
 //
 // Workloads: mnist | cifar10 | resnet32 | vgg19, or any zoo model name
 // (resnet50, alexnet, lstm) which is derived via workload_from_network.
@@ -15,15 +22,19 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "cloud/instance.hpp"
+#include "cloud/pricing.hpp"
 #include "core/predictor.hpp"
 #include "core/provisioner.hpp"
 #include "ddnn/trainer.hpp"
 #include "models/zoo.hpp"
+#include "orchestrator/cluster_manager.hpp"
 #include "profiler/profiler.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
 
 using namespace cynthia;
@@ -73,7 +84,22 @@ ddnn::WorkloadSpec resolve_workload(const std::string& name) {
     if (w.name == name) return w;
   }
   // Fall back to the model zoo via the structural bridge.
-  return ddnn::workload_from_network(models::build_by_name(name));
+  try {
+    return ddnn::workload_from_network(models::build_by_name(name));
+  } catch (const std::exception&) {
+    throw std::invalid_argument(
+        "unknown workload '" + name +
+        "' (try one of: mnist, cifar10, resnet32, vgg19, resnet50, alexnet, lstm)");
+  }
+}
+
+const cloud::InstanceType& resolve_type(const std::string& name) {
+  const auto& catalog = cloud::Catalog::aws();
+  if (!catalog.contains(name)) {
+    throw std::invalid_argument("unknown instance type '" + name +
+                                "' (run 'cynthiactl catalog' for the list)");
+  }
+  return catalog.at(name);
 }
 
 int cmd_catalog() {
@@ -109,7 +135,7 @@ int cmd_profile(const Args& args) {
     return 2;
   }
   const auto w = resolve_workload(args.positional[1]);
-  const auto& baseline = cloud::Catalog::aws().at(args.text("type", "m4.xlarge"));
+  const auto& baseline = resolve_type(args.text("type", "m4.xlarge"));
   const auto p = profiler::profile_workload(w, baseline);
   util::Table t("Profile of " + w.name + " on " + baseline.name);
   t.header({"quantity", "value"});
@@ -129,7 +155,7 @@ int cmd_plan(const Args& args) {
   }
   const auto w = resolve_workload(args.positional[1]);
   const auto& catalog = cloud::Catalog::aws();
-  const auto pred = core::Predictor::build(w, catalog.at(args.text("type", "m4.xlarge")));
+  const auto pred = core::Predictor::build(w, resolve_type(args.text("type", "m4.xlarge")));
   auto types = args.flag("gpu") ? catalog.provisionable_with_accelerators()
                                 : catalog.provisionable();
   core::Provisioner prov(pred.model(), pred.loss(), std::move(types));
@@ -146,16 +172,53 @@ int cmd_plan(const Args& args) {
   return plan.feasible ? 0 : 1;
 }
 
+/// Provisions the cluster through the orchestrator so the trace records the
+/// node-lifecycle and provisioning spans, then offsets the tracer clock so
+/// training telemetry lands after provisioning on one sequential timeline.
+/// Returns the provisioning wall-clock seconds; `billing` keeps accruing
+/// while the (simulated) training runs.
+double provision_for_telemetry(telemetry::Telemetry& tel, cloud::BillingMeter& billing,
+                               const cloud::InstanceType& type, int n_workers, int n_ps,
+                               bool stragglers) {
+  sim::Simulator psim;
+  orch::ClusterManager manager(psim, billing);
+  manager.set_telemetry(&tel);
+  if (stragglers) {
+    // Two launch waves (fast + m1 stragglers); no single-type plan exists,
+    // so the provision span is recorded here instead of by deploy().
+    const auto& slow = cloud::Catalog::aws().at("m1.xlarge");
+    const int n_slow = n_workers / 2;
+    const int n_fast = n_workers - n_slow + n_ps;  // PS pods live on the fast type
+    const int fast_instances = (n_fast + type.physical_cores - 1) / type.physical_cores;
+    const int slow_instances =
+        n_slow > 0 ? (n_slow + slow.physical_cores - 1) / slow.physical_cores : 0;
+    manager.launch(type, fast_instances);
+    if (slow_instances > 0) manager.launch(slow, slow_instances);
+    if (!manager.wait_all_ready()) throw std::runtime_error("provisioning failed");
+    tel.tracer.span("orchestrator", "provision", "orch", 0.0, psim.now());
+    tel.metrics.counter(telemetry::metric::kProvisionSeconds).inc(psim.now());
+  } else {
+    core::ProvisionPlan plan;
+    plan.feasible = true;
+    plan.type = type;
+    plan.n_workers = n_workers;
+    plan.n_ps = n_ps;
+    manager.deploy(plan);
+  }
+  tel.tracer.set_time_offset(psim.now());
+  return psim.now();
+}
+
 int cmd_simulate(const Args& args) {
   if (args.positional.size() < 2 || !args.number("workers")) {
     std::puts(
         "usage: cynthiactl simulate <workload> --workers N [--ps K] [--type T]"
-        " [--iterations S] [--stragglers]");
+        " [--iterations S] [--stragglers] [--trace-out F] [--metrics-out F]");
     return 2;
   }
   const auto w = resolve_workload(args.positional[1]);
   const auto& catalog = cloud::Catalog::aws();
-  const auto& type = catalog.at(args.text("type", "m4.xlarge"));
+  const auto& type = resolve_type(args.text("type", "m4.xlarge"));
   const int n = static_cast<int>(*args.number("workers"));
   const int ps = static_cast<int>(args.number("ps").value_or(1));
   const auto cluster =
@@ -164,7 +227,27 @@ int cmd_simulate(const Args& args) {
           : ddnn::ClusterSpec::homogeneous(type, n, ps);
   ddnn::TrainOptions o;
   o.iterations = static_cast<long>(args.number("iterations").value_or(0));
+
+  const std::string trace_out = args.text("trace-out", "");
+  const std::string metrics_out = args.text("metrics-out", "");
+  const bool telemetry_on = !trace_out.empty() || !metrics_out.empty();
+  telemetry::Telemetry tel;
+  cloud::BillingMeter billing;
+  double provision_seconds = 0.0;
+  if (telemetry_on) {
+    o.telemetry = &tel;
+    o.trace_bucket_seconds = 1.0;  // feed the PS ingress RateTrace snapshots
+    provision_seconds =
+        provision_for_telemetry(tel, billing, type, n, ps, args.flag("stragglers"));
+  }
+
   const auto r = ddnn::run_training(cluster, w, o);
+
+  if (telemetry_on) {
+    // Instances billed from launch through end of training.
+    tel.metrics.gauge(telemetry::metric::kBillingDollars)
+        .set(billing.total(provision_seconds + r.total_time).value());
+  }
   util::Table t("Simulation: " + w.name + " on " + std::to_string(n) + "x " + type.name +
                 " + " + std::to_string(ps) + " PS");
   t.header({"metric", "value"});
@@ -180,6 +263,18 @@ int cmd_simulate(const Args& args) {
          util::Table::num(
              core::plan_cost(type, n, ps, util::Seconds{r.total_time}).value(), 3)});
   t.print(std::cout);
+  if (telemetry_on) {
+    telemetry::TelemetrySummary::from(tel.metrics).table().print(std::cout);
+    if (!trace_out.empty()) {
+      tel.tracer.write_chrome_json_file(trace_out);
+      std::printf("[trace] %s (%zu events; open in chrome://tracing)\n", trace_out.c_str(),
+                  tel.tracer.events().size());
+    }
+    if (!metrics_out.empty()) {
+      tel.metrics.write_csv_file(metrics_out);
+      std::printf("[metrics] %s\n", metrics_out.c_str());
+    }
+  }
   return 0;
 }
 

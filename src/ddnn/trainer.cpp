@@ -9,12 +9,15 @@
 #include "ddnn/loss.hpp"
 #include "sim/fluid.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace cynthia::ddnn {
 
 namespace {
+
+namespace metric = telemetry::metric;
 
 /// Shared plumbing for both sync engines: builds the per-docker resources
 /// and provides the push -> apply -> pull communication chain.
@@ -26,7 +29,8 @@ class Session {
         opts_(options),
         fluid_(sim_),
         rng_(options.seed),
-        loss_(workload, cluster.n_workers(), options.seed ^ 0xA5A55A5A12345678ULL) {}
+        loss_(workload, cluster.n_workers(), options.seed ^ 0xA5A55A5A12345678ULL),
+        tel_(options.telemetry) {}
 
   virtual ~Session() = default;
 
@@ -52,6 +56,25 @@ class Session {
   std::vector<std::function<void(double)>> chain_done_;
 
   TrainResult result_;
+
+  // Telemetry (all instrumentation is a no-op when tel_ is null). tel_done_
+  // closes the recording window at finalize so events from chains that are
+  // still draining past the recorded end time don't skew the breakdown.
+  telemetry::Telemetry* tel_;
+  bool tel_done_ = false;
+  std::vector<std::string> tracks_cpu_, tracks_comm_;  ///< "wk<j>.cpu"/".comm"
+  struct ChainTel {
+    double start = 0.0;
+    double last_push_end = 0.0;
+    double first_pull_start = -1.0;
+  };
+  std::vector<ChainTel> chain_tel_;  ///< per worker, reset by start_chain
+
+  [[nodiscard]] bool tel_on() const { return tel_ != nullptr && !tel_done_; }
+  void record_chain_spans(int w, double t_end);
+  /// Engine hook: account per-worker idle time between the last completed
+  /// cycle and the run's end so the breakdown tiles [0, end] (ASP/SSP).
+  virtual void record_tail_telemetry(double /*end_time*/) {}
 
   void build_resources();
   [[nodiscard]] double comp_volume_bsp() {
@@ -103,12 +126,32 @@ void Session::build_resources() {
   }
   pending_subchains_.assign(n, 0);
   chain_done_.assign(n, nullptr);
+  if (tel_) {
+    chain_tel_.assign(n, ChainTel{});
+    tracks_cpu_.reserve(n);
+    tracks_comm_.reserve(n);
+    for (int j = 0; j < n; ++j) {
+      const std::string tag = "wk" + std::to_string(j);
+      tracks_cpu_.push_back(tag + ".cpu");
+      tracks_comm_.push_back(tag + ".comm");
+    }
+  }
 }
 
 void Session::start_chain(int w, std::function<void(double)> done) {
   chain_done_[w] = std::move(done);
   pending_subchains_[w] = cluster_.n_ps();
+  if (tel_on()) chain_tel_[w] = {sim_.now(), sim_.now(), -1.0};
   for (int k = 0; k < cluster_.n_ps(); ++k) launch_subchain(w, k);
+}
+
+void Session::record_chain_spans(int w, double t_end) {
+  const ChainTel& c = chain_tel_[w];
+  const double pull_start = c.first_pull_start < 0.0 ? c.start : c.first_pull_start;
+  tel_->tracer.span(tracks_comm_[w], "push", "trainer", c.start, c.last_push_end);
+  tel_->tracer.span(tracks_comm_[w], "pull", "trainer", pull_start, t_end);
+  tel_->metrics.counter(metric::kPushSeconds).inc(c.last_push_end - c.start);
+  tel_->metrics.counter(metric::kPullSeconds).inc(t_end - pull_start);
 }
 
 void Session::launch_subchain(int w, int k) {
@@ -120,16 +163,26 @@ void Session::issue_push(int w, int k, int block, const std::shared_ptr<int>& pu
   const int blocks = std::max(1, opts_.comm_pipeline_blocks);
   const double push_vol = push_volume_per_ps() / blocks;
   const double apply_vol = apply_volume_per_ps() / blocks;
-  fluid_.start_job(push_vol, {worker_eg_[w], ps_in_[k]}, [=, this](double) {
+  fluid_.start_job(push_vol, {worker_eg_[w], ps_in_[k]}, [=, this](double t_push) {
+    if (tel_on()) {
+      chain_tel_[w].last_push_end = std::max(chain_tel_[w].last_push_end, t_push);
+    }
     // The next block's push streams out while this block is being applied —
     // the parameter-sharding pipeline that hides PS latency.
     if (block + 1 < blocks) issue_push(w, k, block + 1, pulls_done);
-    fluid_.start_job(apply_vol, {ps_cpu_[k]}, [=, this](double) {
+    fluid_.start_job(apply_vol, {ps_cpu_[k]}, [=, this](double t_apply) {
+      if (tel_on()) {
+        ChainTel& c = chain_tel_[w];
+        if (c.first_pull_start < 0.0 || t_apply < c.first_pull_start) {
+          c.first_pull_start = t_apply;
+        }
+      }
       fluid_.start_job(push_vol, {ps_eg_[k], worker_in_[w]}, [=, this](double t) {
         if (++*pulls_done == blocks) {
           // Sub-chain to PS k finished; the worker's chain completes when
           // every PS shard has round-tripped.
           if (--pending_subchains_[w] == 0) {
+            if (tel_on()) record_chain_spans(w, t);
             auto done = std::move(chain_done_[w]);
             chain_done_[w] = nullptr;
             if (done) done(t);
@@ -204,6 +257,37 @@ void Session::finalize(double end_time) {
   } else {
     result_.ps_ingress_peak_mbps = result_.ps_ingress_avg_mbps;
   }
+
+  if (tel_on()) {
+    record_tail_telemetry(end_time);
+    auto& mtr = tel_->metrics;
+    mtr.gauge(metric::kTrainSeconds).set(end_time);
+    mtr.gauge(metric::kTrainWorkers).set(n);
+    mtr.counter(metric::kIterations).inc(static_cast<double>(total_iterations_));
+    mtr.counter(metric::kSimEvents).inc(static_cast<double>(sim_.events_fired()));
+    mtr.counter(metric::kFluidSettles).inc(static_cast<double>(fluid_.settle_count()));
+    auto snapshot_util = [&](const std::vector<sim::ResourceId>& ids) {
+      for (sim::ResourceId id : ids) {
+        mtr.gauge("fluid.util." + fluid_.resource_name(id))
+            .set(fluid_.resource_utilization(id, end_time));
+      }
+    };
+    snapshot_util(worker_cpu_);
+    snapshot_util(worker_eg_);
+    snapshot_util(worker_in_);
+    snapshot_util(ps_cpu_);
+    snapshot_util(ps_in_);
+    snapshot_util(ps_eg_);
+    for (sim::ResourceId id : ps_in_) {
+      if (const auto* trace = fluid_.resource_trace(id)) {
+        mtr.gauge("fluid.trace_peak." + fluid_.resource_name(id)).set(trace->peak());
+        mtr.gauge("fluid.trace_avg." + fluid_.resource_name(id)).set(trace->average());
+      }
+    }
+    // Close the recording window: chains still draining past end_time (ASP
+    // tail) must not leak into the breakdown.
+    tel_done_ = true;
+  }
 }
 
 TrainResult Session::run() {
@@ -239,6 +323,7 @@ class BspSession final : public Session {
   int comm_remaining_ = 0;
   double iter_start_ = 0.0;
   double end_time_ = 0.0;
+  std::vector<double> tel_comp_done_, tel_comm_done_;  // per worker, -1 = absent
 
   void start_engine() override { begin_iteration(0); }
 
@@ -247,10 +332,18 @@ class BspSession final : public Session {
     iter_start_ = sim_.now();
     comp_remaining_ = 0;
     comm_remaining_ = 0;
+    if (tel_on()) {
+      tel_comp_done_.assign(cluster_.n_workers(), -1.0);
+      tel_comm_done_.assign(cluster_.n_workers(), -1.0);
+    }
     if (i < total_iterations_) {
       comp_remaining_ = cluster_.n_workers();
       for (int j = 0; j < cluster_.n_workers(); ++j) {
-        fluid_.start_job(comp_volume_bsp(), {worker_cpu_[j]}, [this](double t) {
+        fluid_.start_job(comp_volume_bsp(), {worker_cpu_[j]}, [this, j](double t) {
+          if (tel_on()) {
+            tel_comp_done_[j] = t;
+            tel_->tracer.span(tracks_cpu_[j], "compute", "trainer", iter_start_, t);
+          }
           if (--comp_remaining_ == 0) {
             result_.computation_time += t - iter_start_;
             maybe_advance();
@@ -261,7 +354,8 @@ class BspSession final : public Session {
     if (i >= 1) {
       comm_remaining_ = cluster_.n_workers();
       for (int j = 0; j < cluster_.n_workers(); ++j) {
-        start_chain(j, [this](double t) {
+        start_chain(j, [this, j](double t) {
+          if (tel_on()) tel_comm_done_[j] = t;
           if (--comm_remaining_ == 0) {
             result_.communication_time += t - iter_start_;
             maybe_advance();
@@ -271,8 +365,31 @@ class BspSession final : public Session {
     }
   }
 
+  /// Per-worker accounting at the barrier: a worker's iteration tiles into
+  /// compute, communication not hidden by compute, and barrier wait — the
+  /// three parts sum to the iteration span exactly, so the run-level
+  /// breakdown sums to total training time by construction. Barrier spans
+  /// are per worker, so stragglers are attributable by name in the trace.
+  void record_iteration_telemetry() {
+    const double t_close = sim_.now();
+    const int n = cluster_.n_workers();
+    auto& mtr = tel_->metrics;
+    for (int j = 0; j < n; ++j) {
+      const double comp_end = tel_comp_done_[j] >= 0.0 ? tel_comp_done_[j] : iter_start_;
+      const double comm_end = tel_comm_done_[j] >= 0.0 ? tel_comm_done_[j] : iter_start_;
+      const double busy_end = std::max(comp_end, comm_end);
+      mtr.counter(metric::kCompSeconds).inc((comp_end - iter_start_) / n);
+      mtr.counter(metric::kCommExposedSeconds).inc(std::max(0.0, comm_end - comp_end) / n);
+      mtr.counter(metric::kBarrierSeconds).inc((t_close - busy_end) / n);
+      if (t_close - busy_end > 1e-12) {
+        tel_->tracer.span(tracks_cpu_[j], "barrier", "trainer", busy_end, t_close);
+      }
+    }
+  }
+
   void maybe_advance() {
     if (comp_remaining_ != 0 || comm_remaining_ != 0) return;
+    if (tel_on()) record_iteration_telemetry();
     // Iteration `iter_` closed: the parameter updates of iteration
     // iter_ - 1 are now applied globally.
     if (iter_ >= 1) sample_loss(iter_);
@@ -297,11 +414,17 @@ class AspSession : public Session {
   long completed_ = 0;
   std::vector<double> cycle_start_;
   std::vector<long> worker_completed_;
+  std::vector<double> tel_comp_end_;   // current cycle's compute finish
+  std::vector<double> tel_last_busy_;  // end of the last *completed* cycle
 
   void start_engine() override {
     const int n = cluster_.n_workers();
     cycle_start_.assign(n, 0.0);
     worker_completed_.assign(n, 0);
+    if (tel_) {
+      tel_comp_end_.assign(n, 0.0);
+      tel_last_busy_.assign(n, 0.0);
+    }
     // Stagger worker starts across one compute interval: pods never come up
     // in lockstep on a real cluster, and without the offset all n pushes
     // collide at the PS every cycle, which a fluid model would overstate.
@@ -322,13 +445,27 @@ class AspSession : public Session {
     if (!admit(w)) return;                     // parked by the staleness gate
     ++issued_;
     cycle_start_[w] = sim_.now();
+    if (tel_on()) {
+      // Idle gap since the last completed cycle: the start stagger, or an
+      // SSP park waiting for stragglers.
+      const double gap = sim_.now() - tel_last_busy_[w];
+      if (gap > 1e-12) {
+        tel_->metrics.counter(metric::kBarrierSeconds).inc(gap / cluster_.n_workers());
+        tel_->tracer.span(tracks_cpu_[w], "wait", "trainer", tel_last_busy_[w], sim_.now());
+      }
+    }
     fluid_.start_job(comp_volume_asp(), {worker_cpu_[w]}, [this, w](double t) {
       result_.computation_time += t - cycle_start_[w];
+      if (tel_on()) {
+        tel_comp_end_[w] = t;
+        tel_->tracer.span(tracks_cpu_[w], "compute", "trainer", cycle_start_[w], t);
+      }
       const double chain_begin = t;
       start_chain(w, [this, w, chain_begin](double t_done) {
         result_.communication_time += t_done - chain_begin;
         ++completed_;
         ++worker_completed_[w];
+        if (tel_on()) record_cycle_telemetry(w, t_done);
         sample_loss(completed_);
         if (completed_ == total_iterations_) {
           finalize(t_done);
@@ -338,6 +475,33 @@ class AspSession : public Session {
         next_iteration(w);
       });
     });
+  }
+
+  /// Cycle accounting at completion only (an in-flight cycle at run end
+  /// contributes nothing — its window is closed out as wait by the tail
+  /// hook), so comp + comm + wait tiles each worker's timeline exactly.
+  void record_cycle_telemetry(int w, double t_done) {
+    const int n = cluster_.n_workers();
+    auto& mtr = tel_->metrics;
+    mtr.counter(metric::kCompSeconds).inc((tel_comp_end_[w] - cycle_start_[w]) / n);
+    mtr.counter(metric::kCommExposedSeconds).inc((t_done - tel_comp_end_[w]) / n);
+    tel_last_busy_[w] = t_done;
+    long lead_max = worker_completed_[0], lead_min = worker_completed_[0];
+    for (int j = 1; j < n; ++j) {
+      lead_max = std::max(lead_max, worker_completed_[j]);
+      lead_min = std::min(lead_min, worker_completed_[j]);
+    }
+    mtr.gauge(metric::kStaleness).set(static_cast<double>(lead_max - lead_min));
+  }
+
+  void record_tail_telemetry(double end_time) override {
+    const int n = cluster_.n_workers();
+    for (int j = 0; j < n; ++j) {
+      const double gap = end_time - tel_last_busy_[j];
+      if (gap > 1e-12) {
+        tel_->metrics.counter(metric::kBarrierSeconds).inc(gap / n);
+      }
+    }
   }
 };
 
@@ -355,6 +519,7 @@ class SspSession final : public AspSession {
   bool admit(int w) override {
     const long lead = worker_completed_[w] - min_active_completed(w);
     if (lead < effective_bound()) return true;
+    if (tel_on()) tel_->tracer.instant(tracks_cpu_[w], "parked", "trainer", sim_.now());
     parked_.push_back(w);
     return false;
   }

@@ -27,6 +27,10 @@
 #include "ddnn/workload.hpp"
 #include "util/time_series.hpp"
 
+namespace cynthia::telemetry {
+struct Telemetry;
+}
+
 namespace cynthia::ddnn {
 
 struct TrainOptions {
@@ -53,6 +57,12 @@ struct TrainOptions {
   /// frameworks hide the apply latency). 1 disables pipelining — the
   /// ablation knob for bench/ablation_model.
   int comm_pipeline_blocks = 8;
+
+  /// Optional per-run telemetry sink (metrics + simulation-time trace); not
+  /// owned. nullptr (default) disables instrumentation entirely — every
+  /// instrument site reduces to one pointer test, and results are identical
+  /// either way. See telemetry/telemetry.hpp for what gets recorded.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 struct LossSample {

@@ -19,6 +19,10 @@
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
+namespace cynthia::telemetry {
+struct Telemetry;
+}
+
 namespace cynthia::orch {
 
 /// A provisioned, scheduled training cluster.
@@ -65,6 +69,12 @@ class ClusterManager {
   [[nodiscard]] Master& master() { return master_; }
   [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
 
+  /// Attaches a per-run telemetry sink (not owned; nullptr detaches). Node
+  /// lifecycle states become spans on track "i-<id>", join failures instant
+  /// events + a retry counter, deploy() a "provision" span, and the billing
+  /// total a gauge.
+  void set_telemetry(telemetry::Telemetry* telemetry) { tel_ = telemetry; }
+
  private:
   sim::Simulator* sim_;
   cloud::BillingMeter* billing_;
@@ -75,8 +85,10 @@ class ClusterManager {
   NodeId next_id_ = 1;
   JoinCredentials creds_;
   bool creds_issued_ = false;
+  telemetry::Telemetry* tel_ = nullptr;
 
   Node& node_mut(NodeId id);
+  void record_state_span(const Node& node) const;
   void advance(NodeId id, NodeState next);
   [[nodiscard]] ddnn::ClusterSpec build_spec(const core::ProvisionPlan& plan) const;
 };

@@ -56,6 +56,7 @@ struct Node {
   NodeState state = NodeState::Requested;
   double requested_at = 0.0;
   double ready_at = -1.0;
+  double state_since = 0.0;  ///< when the current state was entered (telemetry)
   int docker_slots = 0;  ///< one docker per physical core (paper's pinning)
   int used_slots = 0;
 

@@ -96,13 +96,18 @@ double FluidSystem::resource_volume_served(ResourceId id) const {
   return r.busy_integral + r.used_rate * dt;
 }
 
-const util::RateTrace* FluidSystem::resource_trace(ResourceId id) const {
+const util::RateTrace* FluidSystem::resource_trace(ResourceId id) {
+  // Flush the open rate segment first: after the last completion event the
+  // clock may have advanced (or the queue drained) without another settle,
+  // and peak/average reads from a truncated trace would miss that tail.
+  settle();
   return resources_.at(id).trace.get();
 }
 
 void FluidSystem::settle_now() { settle(); }
 
 void FluidSystem::settle() {
+  ++settle_count_;
   const double now = sim_->now();
   const double dt = now - last_settle_;
   if (dt <= 0.0) {

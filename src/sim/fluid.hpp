@@ -64,11 +64,17 @@ class FluidSystem {
   /// Busy integral: total units served so far.
   [[nodiscard]] double resource_volume_served(ResourceId id) const;
   /// Trace of the used rate, or nullptr if tracing was not enabled.
-  [[nodiscard]] const util::RateTrace* resource_trace(ResourceId id) const;
+  /// Settles first so the trace includes the open segment since the last
+  /// reallocation — without this, reads taken after the simulation drains
+  /// (or mid-run) were truncated at the final settle.
+  [[nodiscard]] const util::RateTrace* resource_trace(ResourceId id);
 
   /// Settles utilization integrals up to the current simulation time
   /// (call before reading utilization mid-run).
   void settle_now();
+
+  /// Number of settle passes performed (telemetry: fluid hot-path count).
+  [[nodiscard]] std::size_t settle_count() const { return settle_count_; }
 
   static constexpr double kEpsilonVolume = 1e-9;
 
@@ -95,6 +101,7 @@ class FluidSystem {
   JobId next_job_id_ = 1;
   double last_settle_ = 0.0;
   EventId completion_event_ = 0;
+  std::size_t settle_count_ = 0;
 
   void settle();
   void reallocate();

@@ -18,6 +18,7 @@ bool Simulator::step() {
   if (queue_.empty()) return false;
   auto fired = queue_.pop();
   now_ = fired.time;
+  ++events_fired_;
   fired.action();
   return true;
 }

@@ -37,11 +37,15 @@ class Simulator {
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending_events() const { return queue_.pending(); }
 
+  /// Total events fired over the simulator's lifetime (telemetry).
+  [[nodiscard]] std::size_t events_fired() const { return events_fired_; }
+
   static constexpr std::size_t kDefaultMaxEvents = 200'000'000;
 
  private:
   EventQueue queue_;
   double now_ = 0.0;
+  std::size_t events_fired_ = 0;
 };
 
 }  // namespace cynthia::sim

@@ -1,0 +1,127 @@
+#include "telemetry/metrics.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace cynthia::telemetry {
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+void csv_row(std::ostream& os, const std::string& kind, const std::string& name,
+             const std::string& field, double value) {
+  os << util::CsvWriter::escape(kind) << ',' << util::CsvWriter::escape(name) << ','
+     << util::CsvWriter::escape(field) << ',' << fmt(value) << '\n';
+}
+
+}  // namespace
+
+std::vector<double> Histogram::make_bounds(const HistogramOptions& options) {
+  if (options.lowest_bound <= 0.0 || options.growth <= 1.0 || options.bucket_count <= 0) {
+    throw std::invalid_argument("Histogram: need lowest_bound > 0, growth > 1, buckets > 0");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(options.bucket_count);
+  double bound = options.lowest_bound;
+  for (int i = 0; i < options.bucket_count; ++i) {
+    bounds.push_back(bound);
+    bound *= options.growth;
+  }
+  return bounds;
+}
+
+Histogram::Histogram(HistogramOptions options)
+    : bounds_(make_bounds(options)), counts_(bounds_.size() + 1, 0) {}
+
+void Histogram::observe(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  sum_ += value;
+  // First bucket whose upper bound admits the value; past the last bound the
+  // observation lands in the overflow bucket.
+  std::size_t idx = bounds_.size();
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      idx = i;
+      break;
+    }
+  }
+  ++counts_[idx];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, HistogramOptions options) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(options)).first;
+  }
+  return it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+double MetricsRegistry::counter_value(const std::string& name, double fallback) const {
+  const Counter* c = find_counter(name);
+  return c ? c->value() : fallback;
+}
+
+double MetricsRegistry::gauge_value(const std::string& name, double fallback) const {
+  const Gauge* g = find_gauge(name);
+  return g ? g->value() : fallback;
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  os << "kind,name,field,value\n";
+  for (const auto& [name, c] : counters_) csv_row(os, "counter", name, "value", c.value());
+  for (const auto& [name, g] : gauges_) csv_row(os, "gauge", name, "value", g.value());
+  for (const auto& [name, h] : histograms_) {
+    csv_row(os, "histogram", name, "count", static_cast<double>(h.count()));
+    csv_row(os, "histogram", name, "sum", h.sum());
+    csv_row(os, "histogram", name, "min", h.min());
+    csv_row(os, "histogram", name, "max", h.max());
+    std::uint64_t cumulative = 0;
+    const auto& bounds = h.upper_bounds();
+    const auto& counts = h.bucket_counts();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      csv_row(os, "histogram", name, "le_" + fmt(bounds[i]), static_cast<double>(cumulative));
+    }
+    cumulative += counts.back();
+    csv_row(os, "histogram", name, "le_inf", static_cast<double>(cumulative));
+  }
+}
+
+void MetricsRegistry::write_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("MetricsRegistry: cannot open " + path);
+  write_csv(out);
+}
+
+}  // namespace cynthia::telemetry

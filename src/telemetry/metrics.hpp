@@ -1,0 +1,109 @@
+// Process-light metrics registry: counters, gauges, log-scale histograms.
+//
+// One MetricsRegistry per experiment run, mirroring the one-Simulator-per-run
+// design: every Simulator is single-threaded, so the registry needs no locks
+// and instrument sites are a plain double add. Metrics are exported in the
+// repo's CSV table format (kind,name,field,value) for external tooling.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cynthia::telemetry {
+
+/// Monotonically increasing value (events fired, seconds accumulated).
+class Counter {
+ public:
+  void inc(double amount = 1.0) {
+    if (amount > 0.0) value_ += amount;
+  }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Last-write-wins instantaneous value (utilization, staleness, dollars).
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed log-scale bucket layout: upper bounds at lowest_bound * growth^i.
+struct HistogramOptions {
+  double lowest_bound = 1e-6;  ///< upper bound of the first bucket
+  double growth = 10.0;        ///< ratio between consecutive bounds
+  int bucket_count = 14;       ///< finite bounds; one overflow bucket on top
+};
+
+/// Histogram over fixed log-scale buckets (latencies span decades, so linear
+/// buckets would waste resolution at one end; the layout is fixed up front
+/// so merging/export never rebuckets).
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+
+  void observe(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+
+  /// Finite bucket upper bounds, ascending; size == options.bucket_count.
+  [[nodiscard]] const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket counts; size == bucket_count + 1, last entry is overflow.
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  /// Computes the bound layout for the given options (also used by tests).
+  static std::vector<double> make_bounds(const HistogramOptions& options);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Name -> metric map with stable references (node-based storage) and
+/// deterministic (sorted) export order.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name, HistogramOptions options = {});
+
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// Value lookups with a fallback for absent metrics (summary convenience).
+  [[nodiscard]] double counter_value(const std::string& name, double fallback = 0.0) const;
+  [[nodiscard]] double gauge_value(const std::string& name, double fallback = 0.0) const;
+
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// CSV export: header "kind,name,field,value"; histograms emit count/sum/
+  /// min/max plus cumulative le_<bound> rows (Prometheus-style).
+  void write_csv(std::ostream& os) const;
+  void write_csv_file(const std::string& path) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace cynthia::telemetry

@@ -1,0 +1,39 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+
+namespace cynthia::telemetry {
+
+TelemetrySummary TelemetrySummary::from(const MetricsRegistry& metrics) {
+  TelemetrySummary s;
+  s.train_seconds = metrics.gauge_value(metric::kTrainSeconds);
+  s.provisioning_seconds = metrics.counter_value(metric::kProvisionSeconds);
+  s.billing_dollars = metrics.gauge_value(metric::kBillingDollars);
+  s.iterations = static_cast<long>(metrics.counter_value(metric::kIterations));
+  s.workers = static_cast<int>(metrics.gauge_value(metric::kTrainWorkers));
+  if (s.train_seconds > 0.0) {
+    s.comp_fraction = metrics.counter_value(metric::kCompSeconds) / s.train_seconds;
+    s.comm_fraction = metrics.counter_value(metric::kCommExposedSeconds) / s.train_seconds;
+    s.barrier_fraction = metrics.counter_value(metric::kBarrierSeconds) / s.train_seconds;
+  }
+  const double end_to_end = s.provisioning_seconds + s.train_seconds;
+  if (end_to_end > 0.0) s.provisioning_fraction = s.provisioning_seconds / end_to_end;
+  return s;
+}
+
+util::Table TelemetrySummary::table(const std::string& title) const {
+  util::Table t(title);
+  t.header({"quantity", "value"});
+  t.row({"iterations", std::to_string(iterations)});
+  t.row({"workers", std::to_string(workers)});
+  t.row({"training time (s)", util::Table::num(train_seconds, 1)});
+  t.row({"provisioning time (s)", util::Table::num(provisioning_seconds, 1)});
+  t.row({"computation", util::Table::pct(100.0 * comp_fraction)});
+  t.row({"communication (exposed)", util::Table::pct(100.0 * comm_fraction)});
+  t.row({"barrier / wait", util::Table::pct(100.0 * barrier_fraction)});
+  t.row({"provisioning overhead", util::Table::pct(100.0 * provisioning_fraction)});
+  if (billing_dollars > 0.0) t.row({"billing ($)", util::Table::num(billing_dollars, 3)});
+  return t;
+}
+
+}  // namespace cynthia::telemetry

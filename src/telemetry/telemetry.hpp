@@ -1,0 +1,75 @@
+// Per-run telemetry bundle threaded through the instrumented layers.
+//
+// A Telemetry* is nullable everywhere it is accepted (TrainOptions,
+// ClusterManager): nullptr — the default — means every instrument site is a
+// single pointer test and the run behaves byte-identically to an
+// uninstrumented build. One Telemetry per run, like one Simulator per run;
+// no locks by the same argument.
+//
+// Layer conventions (what the instrumented code records):
+//   * ddnn::trainer — spans "compute"/"barrier"/"wait" on track "wk<j>.cpu",
+//     "push"/"pull" on "wk<j>.comm"; breakdown counters below.
+//   * orchestrator — node lifecycle spans ("Booting"/"Installing"/"Joining"/
+//     "Ready") on track "i-<id>", "provision" span on track "orchestrator",
+//     join failures as instants + kJoinRetries.
+//   * sim — kSimEvents / kFluidSettles counters and per-resource
+//     "fluid.util.<resource>" gauges snapshotted at the end of a run.
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+#include "util/table.hpp"
+
+namespace cynthia::telemetry {
+
+/// Well-known metric names shared by the instrumented layers and the
+/// summary. The three trainer breakdown counters are normalized per worker
+/// (each worker contributes dt / n_workers), so
+///   comp + comm_exposed + barrier ~= train total seconds
+/// holds by construction and the Fig. 3-style percentages fall out directly.
+namespace metric {
+inline constexpr char kCompSeconds[] = "trainer.comp_seconds";
+inline constexpr char kCommExposedSeconds[] = "trainer.comm_exposed_seconds";
+inline constexpr char kBarrierSeconds[] = "trainer.barrier_seconds";
+inline constexpr char kPushSeconds[] = "trainer.push_seconds";
+inline constexpr char kPullSeconds[] = "trainer.pull_seconds";
+inline constexpr char kTrainSeconds[] = "trainer.total_seconds";  // gauge
+inline constexpr char kTrainWorkers[] = "trainer.workers";        // gauge
+inline constexpr char kIterations[] = "trainer.iterations";
+inline constexpr char kStaleness[] = "trainer.asp_staleness";  // gauge
+inline constexpr char kSimEvents[] = "sim.events_fired";
+inline constexpr char kFluidSettles[] = "sim.fluid_settles";
+inline constexpr char kProvisionSeconds[] = "orch.provisioning_seconds";
+inline constexpr char kJoinRetries[] = "orch.join_retries";
+inline constexpr char kBillingDollars[] = "cloud.billing_dollars";  // gauge
+}  // namespace metric
+
+/// Metrics + trace for one experiment run.
+struct Telemetry {
+  MetricsRegistry metrics;
+  Tracer tracer;
+};
+
+/// Per-run breakdown in the shape of the paper's Fig. 3 decomposition:
+/// where did the time go — compute, exposed communication, barrier waits —
+/// plus the provisioning overhead relative to the whole job.
+struct TelemetrySummary {
+  double train_seconds = 0.0;
+  double provisioning_seconds = 0.0;
+  double comp_fraction = 0.0;     ///< of train_seconds
+  double comm_fraction = 0.0;     ///< exposed (not hidden by compute)
+  double barrier_fraction = 0.0;  ///< BSP barrier / SSP park / idle waits
+  double provisioning_fraction = 0.0;  ///< of provisioning + training
+  double billing_dollars = 0.0;
+  long iterations = 0;
+  int workers = 0;
+
+  static TelemetrySummary from(const MetricsRegistry& metrics);
+
+  /// Renders the breakdown as the repo's standard ASCII table.
+  [[nodiscard]] util::Table table(const std::string& title = "Telemetry summary") const;
+};
+
+}  // namespace cynthia::telemetry

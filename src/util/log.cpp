@@ -1,6 +1,11 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <iostream>
 #include <mutex>
 
@@ -8,12 +13,59 @@ namespace cynthia::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::atomic<bool> g_timestamps{false};
 std::mutex g_sink_mutex;
+
+/// One-time startup override from the environment, so benches/tests can
+/// flip verbosity without recompiling. Lives in this TU after the atomics
+/// it writes, so static initialization order is well defined.
+struct EnvInit {
+  EnvInit() {
+    if (const char* level = std::getenv("CYNTHIA_LOG_LEVEL")) {
+      if (const auto parsed = parse_log_level(level)) g_level.store(*parsed);
+    }
+    if (const char* ts = std::getenv("CYNTHIA_LOG_TIMESTAMPS")) {
+      const std::string_view v = ts;
+      g_timestamps.store(!v.empty() && v != "0" && v != "false" && v != "off");
+    }
+  }
+};
+const EnvInit g_env_init;
+
+std::string wall_clock_prefix() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const auto ms = duration_cast<milliseconds>(now.time_since_epoch()) % 1000;
+  const std::time_t secs = system_clock::to_time_t(now);
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  char buf[40];
+  const std::size_t n = std::strftime(buf, sizeof buf, "%FT%T", &tm);
+  std::snprintf(buf + n, sizeof buf - n, ".%03d ", static_cast<int>(ms.count()));
+  return buf;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return std::nullopt;
+}
+
+void set_log_timestamps(bool enabled) { g_timestamps.store(enabled, std::memory_order_relaxed); }
+
+bool log_timestamps() { return g_timestamps.load(std::memory_order_relaxed); }
 
 std::string_view to_string(LogLevel level) {
   switch (level) {
@@ -34,6 +86,7 @@ std::string_view to_string(LogLevel level) {
 void log_message(LogLevel level, std::string_view component, std::string_view message) {
   if (level < log_level()) return;
   std::lock_guard lock(g_sink_mutex);
+  if (log_timestamps()) std::cerr << wall_clock_prefix();
   std::cerr << '[' << to_string(level) << "] " << component << ": " << message << '\n';
 }
 

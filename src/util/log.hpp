@@ -5,6 +5,7 @@
 // reproduction of the paper's tables.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -14,8 +15,19 @@ namespace cynthia::util {
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
 /// Sets/gets the global threshold; messages below it are dropped.
+/// The initial threshold is Warn, overridable without recompiling via the
+/// CYNTHIA_LOG_LEVEL environment variable (debug|info|warn|error|off),
+/// parsed once at startup; set_log_level() still wins afterwards.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parses a level name ("debug", "INFO", ...); nullopt if unrecognized.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// Enables/disables a wall-clock "YYYY-MM-DDTHH:MM:SS.mmm" prefix on every
+/// line (off by default; also switchable via CYNTHIA_LOG_TIMESTAMPS=1).
+void set_log_timestamps(bool enabled);
+bool log_timestamps();
 
 std::string_view to_string(LogLevel level);
 

@@ -325,6 +325,27 @@ TEST_P(FluidConservation, ServedVolumeEqualsInjectedVolume) {
 
 INSTANTIATE_TEST_SUITE_P(JobCounts, FluidConservation, ::testing::Values(1, 2, 5, 10, 25, 60));
 
+TEST(Fluid, TraceIncludesTheOpenSegment) {
+  cs::Simulator sim;
+  cs::FluidSystem fs(sim);
+  auto link = fs.add_resource("link", 2.0, /*trace bucket=*/0.5);
+  bool done = false;
+  fs.start_job(20.0, {link}, [&done](double) { done = true; });  // 10 s at full rate
+  sim.run_until(3.0);
+  ASSERT_FALSE(done);
+  // No settle has happened since the allocation, yet the trace read must
+  // cover the open segment [0, now) instead of stopping at the last settle.
+  const auto* trace = fs.resource_trace(link);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_NEAR(trace->end_time(), 3.0, 1e-9);
+  EXPECT_NEAR(trace->total_volume(), 6.0, 1e-9);
+  sim.run();
+  EXPECT_TRUE(done);
+  // After the queue drains the trace reaches the completion and conserves
+  // the full injected volume (up to the scheduler's completion slack).
+  EXPECT_NEAR(fs.resource_trace(link)->total_volume(), 20.0, 1e-6);
+}
+
 TEST(Fluid, CompletionOrderRespectsVolumes) {
   cs::Simulator sim;
   cs::FluidSystem fs(sim);

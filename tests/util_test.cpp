@@ -459,3 +459,21 @@ TEST(Log, LevelNames) {
   EXPECT_EQ(cu::to_string(cu::LogLevel::Warn), "WARN");
   EXPECT_EQ(cu::to_string(cu::LogLevel::Off), "OFF");
 }
+
+TEST(Log, ParseLevelAcceptsAnyCaseAndAliases) {
+  EXPECT_EQ(cu::parse_log_level("debug"), cu::LogLevel::Debug);
+  EXPECT_EQ(cu::parse_log_level("INFO"), cu::LogLevel::Info);
+  EXPECT_EQ(cu::parse_log_level("Warning"), cu::LogLevel::Warn);
+  EXPECT_EQ(cu::parse_log_level("error"), cu::LogLevel::Error);
+  EXPECT_EQ(cu::parse_log_level("none"), cu::LogLevel::Off);
+  EXPECT_EQ(cu::parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(cu::parse_log_level(""), std::nullopt);
+}
+
+TEST(Log, TimestampToggle) {
+  const bool prev = cu::log_timestamps();
+  cu::set_log_timestamps(true);
+  EXPECT_TRUE(cu::log_timestamps());
+  cu::log_message(cu::LogLevel::Error, "test", "timestamped line, no crash");
+  cu::set_log_timestamps(prev);
+}
