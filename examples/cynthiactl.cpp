@@ -9,6 +9,12 @@
 //              [--iterations S] [--stragglers]
 //              [--trace-out F] [--metrics-out F]  run the training simulator
 //
+// The global --check flag turns on the runtime invariant checker
+// (util/check.hpp) for the whole invocation: fluid-solver conservation
+// laws, event-clock monotonicity, BSP tiling, SSP staleness and billing
+// monotonicity are asserted as the simulation runs, at a small CPU cost and
+// with bit-identical results.
+//
 // --trace-out / --metrics-out enable the telemetry layer: the run is
 // provisioned through the orchestrator (so the trace carries node-lifecycle
 // spans ahead of the training spans), the trace is written as Chrome
@@ -22,6 +28,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -35,6 +42,7 @@
 #include "orchestrator/cluster_manager.hpp"
 #include "profiler/profiler.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/check.hpp"
 #include "util/table.hpp"
 
 using namespace cynthia;
@@ -48,12 +56,17 @@ struct Args {
   std::map<std::string, bool> flags;
 
   static Args parse(int argc, char** argv) {
+    // Boolean flags must be declared here, or a following positional (e.g.
+    // the command in `--check simulate ...`) is swallowed as their value.
+    static const std::set<std::string> kBoolFlags = {"check", "gpu", "stragglers"};
     Args a;
     for (int i = 1; i < argc; ++i) {
       std::string tok = argv[i];
       if (tok.rfind("--", 0) == 0) {
         const std::string name = tok.substr(2);
-        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        if (kBoolFlags.count(name)) {
+          a.flags[name] = true;
+        } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
           a.options[name] = argv[++i];
         } else {
           a.flags[name] = true;
@@ -285,8 +298,10 @@ int main(int argc, char** argv) {
   if (args.positional.empty()) {
     std::puts("cynthiactl — cost-efficient DDNN provisioning toolkit");
     std::puts("commands: catalog | models | profile | plan | simulate");
+    std::puts("global flags: --check (enable runtime invariant checking)");
     return 2;
   }
+  if (args.flag("check")) util::set_invariants_enabled(true);
   const std::string& cmd = args.positional[0];
   try {
     if (cmd == "catalog") return cmd_catalog();

@@ -9,11 +9,11 @@ namespace cynthia::baselines {
 OptimusModel::OptimusModel(ddnn::SyncMode mode, std::vector<double> theta)
     : mode_(mode), theta_(std::move(theta)) {}
 
-std::vector<double> OptimusModel::regressors(ddnn::SyncMode mode, double w, double p) {
+std::vector<double> OptimusModel::regressors(ddnn::SyncMode mode, double worker_count, double p) {
   if (mode == ddnn::SyncMode::BSP) {
-    return {1.0, 1.0 / w, w / p, w};
+    return {1.0, 1.0 / worker_count, worker_count / p, worker_count};
   }
-  return {1.0, w / p};
+  return {1.0, worker_count / p};
 }
 
 OptimusModel OptimusModel::fit(ddnn::SyncMode mode, std::vector<SpeedSample> samples) {

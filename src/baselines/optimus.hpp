@@ -65,7 +65,7 @@ class OptimusModel {
   ddnn::SyncMode mode_;
   std::vector<double> theta_;
 
-  static std::vector<double> regressors(ddnn::SyncMode mode, double w, double p);
+  static std::vector<double> regressors(ddnn::SyncMode mode, double worker_count, double p);
 };
 
 }  // namespace cynthia::baselines

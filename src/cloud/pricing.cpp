@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace cynthia::cloud {
 
 util::Dollars docker_cost(const InstanceType& type, int count, util::Seconds duration) {
@@ -55,6 +57,15 @@ util::Dollars BillingMeter::charge(const BillingRecord& r, double until) {
 util::Dollars BillingMeter::total(double now) const {
   util::Dollars sum{};
   for (const auto& r : records_) sum += charge(r, now);
+  if (util::invariants_enabled() && now >= last_total_time_) {
+    // Cost monotonicity: with the clock advanced (and records only ever
+    // added or stopped in between), the accrued bill can only grow.
+    CYNTHIA_CHECK(sum.value() >= last_total_value_ - 1e-9,
+                  "billing total shrank: $", sum.value(), " at t=", now, " after $",
+                  last_total_value_, " at t=", last_total_time_);
+    last_total_time_ = now;
+    last_total_value_ = sum.value();
+  }
   return sum;
 }
 

@@ -56,6 +56,12 @@ class BillingMeter {
  private:
   std::vector<BillingRecord> records_;
 
+  // Cost-monotonicity invariant state (util/check.hpp): accrued cost may
+  // never shrink as the clock advances. Mutable because total() is a const
+  // query; only touched when invariant checking is enabled.
+  mutable double last_total_time_ = 0.0;
+  mutable double last_total_value_ = 0.0;
+
   [[nodiscard]] static util::Dollars charge(const BillingRecord& r, double until);
 };
 

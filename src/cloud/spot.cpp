@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace cynthia::cloud {
 
 SpotMarket::SpotMarket(const Catalog& catalog, std::uint64_t seed, SpotTraceOptions options)
@@ -46,6 +48,8 @@ void SpotMarket::extend(Trace& trace, std::size_t steps_needed) const {
     double price = mean * (trace.level + trace.spike_pressure);
     // Spot never exceeds on-demand by much (users would switch).
     price = std::min(price, trace.on_demand * 1.2);
+    CYNTHIA_CHECK(price > 0.0 && price <= trace.on_demand * 1.2,
+                  "spot price out of bounds: $", price, "/h vs on-demand $", trace.on_demand);
     trace.steps.push_back(price);
   }
 }

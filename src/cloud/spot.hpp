@@ -8,8 +8,8 @@
 // and "when after t does the price next cross my bid?".
 #pragma once
 
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cloud/instance.hpp"
@@ -69,7 +69,11 @@ class SpotMarket {
   const Catalog* catalog_;
   std::uint64_t seed_;
   SpotTraceOptions options_;
-  mutable std::unordered_map<std::string, Trace> traces_;
+  // Ordered map, deliberately: any future iteration over the per-type
+  // traces (export, aggregate stats) must see a deterministic order, and
+  // each Trace carries its own name-seeded Rng, so trace contents are
+  // independent of lookup/creation order either way.
+  mutable std::map<std::string, Trace> traces_;
 
   Trace& trace_for(const std::string& type) const;
   void extend(Trace& trace, std::size_t steps_needed) const;

@@ -40,31 +40,31 @@ LossModel LossModel::fit_run(ddnn::SyncMode mode, const ddnn::TrainResult& run, 
   return fit(mode, samples);
 }
 
-double LossModel::loss_at(double s, int n_workers) const {
-  if (s <= 0.0 || n_workers <= 0) throw std::invalid_argument("LossModel::loss_at: bad inputs");
-  return beta0_ * ddnn::staleness_factor(mode_, n_workers, ssp_bound_) / s + beta1_;
+double LossModel::loss_at(double steps, int n_workers) const {
+  if (steps <= 0.0 || n_workers <= 0) throw std::invalid_argument("LossModel::loss_at: bad inputs");
+  return beta0_ * ddnn::staleness_factor(mode_, n_workers, ssp_bound_) / steps + beta1_;
 }
 
-long LossModel::iterations_for(double target, int n_workers) const {
+long LossModel::iterations_for(double target_loss, int n_workers) const {
   if (n_workers <= 0) throw std::invalid_argument("LossModel: workers must be > 0");
-  if (target <= beta1_) {
+  if (target_loss <= beta1_) {
     throw std::invalid_argument("LossModel: target loss below asymptote beta1");
   }
   if (mode_ == ddnn::SyncMode::BSP) {
     // Eq. 15: s = ceil(beta0 / (l_g - beta1)).
-    return static_cast<long>(std::ceil(beta0_ / (target - beta1_) - 1e-9));
+    return static_cast<long>(std::ceil(beta0_ / (target_loss - beta1_) - 1e-9));
   }
   // ASP/SSP: exact inversion of l = beta0 * phi(n) / s_total + beta1 with
   // the total split evenly across workers (see header for the Eq. 20 note).
   // phi is the staleness factor (sqrt(n) for ASP).
   const double phi = ddnn::staleness_factor(mode_, n_workers, ssp_bound_);
   return static_cast<long>(
-      std::ceil(beta0_ * phi / ((target - beta1_) * static_cast<double>(n_workers)) - 1e-9));
+      std::ceil(beta0_ * phi / ((target_loss - beta1_) * static_cast<double>(n_workers)) - 1e-9));
 }
 
-long LossModel::total_iterations_for(double target, int n_workers) const {
-  if (mode_ == ddnn::SyncMode::BSP) return iterations_for(target, n_workers);
-  return iterations_for(target, n_workers) * static_cast<long>(n_workers);
+long LossModel::total_iterations_for(double target_loss, int n_workers) const {
+  if (mode_ == ddnn::SyncMode::BSP) return iterations_for(target_loss, n_workers);
+  return iterations_for(target_loss, n_workers) * static_cast<long>(n_workers);
 }
 
 }  // namespace cynthia::core

@@ -41,18 +41,18 @@ class LossModel {
   [[nodiscard]] ddnn::SyncMode mode() const { return mode_; }
   [[nodiscard]] int ssp_bound() const { return ssp_bound_; }
 
-  /// Predicted loss after `s` iterations with `n` workers.
-  [[nodiscard]] double loss_at(double s, int n_workers) const;
+  /// Predicted loss after `steps` iterations with `n` workers.
+  [[nodiscard]] double loss_at(double steps, int n_workers) const;
 
-  /// Iterations required to reach `target` loss (Eq. 15 for BSP). For ASP
+  /// Iterations required to reach `target_loss` (Eq. 15 for BSP). For ASP
   /// this returns the *per-worker* iteration count; the paper's printed
   /// Eq. 20 under-provisions by construction (it divides by l_g instead of
   /// l_g - beta1 and so misses the target by ~beta1), so we invert the
   /// model exactly, matching the BSP treatment.
-  [[nodiscard]] long iterations_for(double target, int n_workers) const;
+  [[nodiscard]] long iterations_for(double target_loss, int n_workers) const;
 
-  /// Total iterations across the cluster to reach `target`.
-  [[nodiscard]] long total_iterations_for(double target, int n_workers) const;
+  /// Total iterations across the cluster to reach `target_loss`.
+  [[nodiscard]] long total_iterations_for(double target_loss, int n_workers) const;
 
  private:
   ddnn::SyncMode mode_;

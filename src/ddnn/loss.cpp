@@ -5,20 +5,20 @@
 
 namespace cynthia::ddnn {
 
-double loss_model(const LossCoefficients& c, SyncMode mode, double s, int n_workers,
+double loss_model(const LossCoefficients& c, SyncMode mode, double steps, int n_workers,
                   int ssp_bound) {
-  if (s <= 0.0) throw std::invalid_argument("loss_model: iterations must be > 0");
+  if (steps <= 0.0) throw std::invalid_argument("loss_model: iterations must be > 0");
   const double staleness = staleness_factor(mode, n_workers, ssp_bound);
-  return c.beta0 * staleness / s + c.beta1;
+  return c.beta0 * staleness / steps + c.beta1;
 }
 
-long iterations_to_reach(const LossCoefficients& c, SyncMode mode, double target, int n_workers,
+long iterations_to_reach(const LossCoefficients& c, SyncMode mode, double target_loss, int n_workers,
                          int ssp_bound) {
-  if (target <= c.beta1) {
+  if (target_loss <= c.beta1) {
     throw std::invalid_argument("iterations_to_reach: target loss below asymptote beta1");
   }
   const double staleness = staleness_factor(mode, n_workers, ssp_bound);
-  return static_cast<long>(std::ceil(c.beta0 * staleness / (target - c.beta1) - 1e-9));
+  return static_cast<long>(std::ceil(c.beta0 * staleness / (target_loss - c.beta1) - 1e-9));
 }
 
 LossProcess::LossProcess(const WorkloadSpec& workload, int n_workers, std::uint64_t seed)

@@ -15,15 +15,15 @@
 
 namespace cynthia::ddnn {
 
-/// Evaluates the noiseless loss model at iteration s with n workers.
+/// Evaluates the noiseless loss model at iteration `steps` with n workers.
 /// `ssp_bound` only matters for SyncMode::SSP.
-double loss_model(const LossCoefficients& c, SyncMode mode, double s, int n_workers,
+double loss_model(const LossCoefficients& c, SyncMode mode, double steps, int n_workers,
                   int ssp_bound = 3);
 
-/// Minimum iterations to reach `target` loss (inverts Eq. 1 exactly);
+/// Minimum iterations to reach `target_loss` (inverts Eq. 1 exactly);
 /// throws std::invalid_argument if the target is unreachable (<= beta1).
-long iterations_to_reach(const LossCoefficients& c, SyncMode mode, double target, int n_workers,
-                         int ssp_bound = 3);
+long iterations_to_reach(const LossCoefficients& c, SyncMode mode, double target_loss,
+                         int n_workers, int ssp_bound = 3);
 
 /// Emits noisy loss observations for a training run.
 class LossProcess {

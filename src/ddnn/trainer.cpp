@@ -10,6 +10,7 @@
 #include "sim/fluid.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -71,6 +72,11 @@ class Session {
   std::vector<ChainTel> chain_tel_;  ///< per worker, reset by start_chain
 
   [[nodiscard]] bool tel_on() const { return tel_ != nullptr && !tel_done_; }
+
+  /// Invariant checking, sampled once per run so the bookkeeping the checks
+  /// depend on cannot appear or vanish mid-run. Checks are read-only: they
+  /// must never perturb the simulated timeline (see util/check.hpp).
+  const bool checks_ = util::invariants_enabled();
   void record_chain_spans(int w, double t_end);
   /// Engine hook: account per-worker idle time between the last completed
   /// cycle and the run's end so the breakdown tiles [0, end] (ASP/SSP).
@@ -325,6 +331,17 @@ class BspSession final : public Session {
   double end_time_ = 0.0;
   std::vector<double> tel_comp_done_, tel_comm_done_;  // per worker, -1 = absent
 
+  // Tiling-identity accumulators (invariant checking): per-worker-averaged
+  // compute, exposed communication and barrier buckets, accumulated with
+  // the same formulas the telemetry counters use. Their sum must equal
+  // total training time exactly — BSP iterations are contiguous, so any
+  // drift means the Fig. 3 breakdown accounting is wrong.
+  double tiled_comp_ = 0.0;
+  double tiled_exposed_ = 0.0;
+  double tiled_barrier_ = 0.0;
+
+  [[nodiscard]] bool track_phases() const { return tel_on() || checks_; }
+
   void start_engine() override { begin_iteration(0); }
 
   void begin_iteration(long i) {
@@ -332,7 +349,7 @@ class BspSession final : public Session {
     iter_start_ = sim_.now();
     comp_remaining_ = 0;
     comm_remaining_ = 0;
-    if (tel_on()) {
+    if (track_phases()) {
       tel_comp_done_.assign(cluster_.n_workers(), -1.0);
       tel_comm_done_.assign(cluster_.n_workers(), -1.0);
     }
@@ -340,8 +357,8 @@ class BspSession final : public Session {
       comp_remaining_ = cluster_.n_workers();
       for (int j = 0; j < cluster_.n_workers(); ++j) {
         fluid_.start_job(comp_volume_bsp(), {worker_cpu_[j]}, [this, j](double t) {
+          if (track_phases()) tel_comp_done_[j] = t;
           if (tel_on()) {
-            tel_comp_done_[j] = t;
             tel_->tracer.span(tracks_cpu_[j], "compute", "trainer", iter_start_, t);
           }
           if (--comp_remaining_ == 0) {
@@ -355,7 +372,7 @@ class BspSession final : public Session {
       comm_remaining_ = cluster_.n_workers();
       for (int j = 0; j < cluster_.n_workers(); ++j) {
         start_chain(j, [this, j](double t) {
-          if (tel_on()) tel_comm_done_[j] = t;
+          if (track_phases()) tel_comm_done_[j] = t;
           if (--comm_remaining_ == 0) {
             result_.communication_time += t - iter_start_;
             maybe_advance();
@@ -387,15 +404,43 @@ class BspSession final : public Session {
     }
   }
 
+  /// Accumulates the iteration's per-worker tiles and checks their local
+  /// bounds; the run-level identity is asserted once at the end.
+  void record_iteration_tiles() {
+    const double t_close = sim_.now();
+    const int n = cluster_.n_workers();
+    for (int j = 0; j < n; ++j) {
+      const double comp_end = tel_comp_done_[j] >= 0.0 ? tel_comp_done_[j] : iter_start_;
+      const double comm_end = tel_comm_done_[j] >= 0.0 ? tel_comm_done_[j] : iter_start_;
+      const double busy_end = std::max(comp_end, comm_end);
+      CYNTHIA_CHECK(comp_end >= iter_start_ && comm_end >= iter_start_,
+                    "phase finished before iteration ", iter_, " started");
+      CYNTHIA_CHECK(busy_end <= t_close,
+                    "worker ", j, " still busy past the barrier of iteration ", iter_);
+      tiled_comp_ += (comp_end - iter_start_) / n;
+      tiled_exposed_ += std::max(0.0, comm_end - comp_end) / n;
+      tiled_barrier_ += (t_close - busy_end) / n;
+    }
+  }
+
   void maybe_advance() {
     if (comp_remaining_ != 0 || comm_remaining_ != 0) return;
     if (tel_on()) record_iteration_telemetry();
+    if (checks_) record_iteration_tiles();
     // Iteration `iter_` closed: the parameter updates of iteration
     // iter_ - 1 are now applied globally.
     if (iter_ >= 1) sample_loss(iter_);
     if (iter_ == total_iterations_) {
       end_time_ = sim_.now();
       finalize(end_time_);
+      // BSP tiling identity: compute + exposed communication + barrier must
+      // tile [0, end] exactly (iterations are contiguous and each worker's
+      // iteration decomposes into exactly these three phases).
+      const double tiled = tiled_comp_ + tiled_exposed_ + tiled_barrier_;
+      CYNTHIA_CHECK(std::abs(tiled - end_time_) <= end_time_ * 1e-7 + 1e-6,
+                    "BSP breakdown does not tile training time: comp ", tiled_comp_,
+                    " + exposed ", tiled_exposed_, " + barrier ", tiled_barrier_, " = ", tiled,
+                    " vs total ", end_time_);
       return;
     }
     begin_iteration(iter_ + 1);
@@ -465,6 +510,11 @@ class AspSession : public Session {
         result_.communication_time += t_done - chain_begin;
         ++completed_;
         ++worker_completed_[w];
+        // Iteration-counter conservation: completions never outrun issues,
+        // and issues never exceed the budget.
+        CYNTHIA_CHECK(completed_ <= issued_ && issued_ <= total_iterations_,
+                      "iteration accounting broke: completed ", completed_, ", issued ",
+                      issued_, ", budget ", total_iterations_);
         if (tel_on()) record_cycle_telemetry(w, t_done);
         sample_loss(completed_);
         if (completed_ == total_iterations_) {
@@ -525,6 +575,19 @@ class SspSession final : public AspSession {
   }
 
   void on_cycle_complete(int /*w*/) override {
+    // Bounded staleness is SSP's whole contract: the admit gate parks any
+    // worker whose lead would reach the bound, so after every completed
+    // cycle the iteration gap across workers stays within it.
+    if (checks_) {
+      long lead_max = worker_completed_[0], lead_min = worker_completed_[0];
+      for (int j = 1; j < cluster_.n_workers(); ++j) {
+        lead_max = std::max(lead_max, worker_completed_[j]);
+        lead_min = std::min(lead_min, worker_completed_[j]);
+      }
+      CYNTHIA_CHECK(lead_max - lead_min <= effective_bound(),
+                    "SSP staleness bound violated: gap ", lead_max - lead_min,
+                    " exceeds bound ", effective_bound());
+    }
     // A straggler advanced; wake every parked worker whose gap closed.
     std::vector<int> still_parked;
     std::vector<int> release = std::move(parked_);

@@ -25,9 +25,12 @@ std::optional<JobReport> TrainingService::submit(const ddnn::WorkloadSpec& workl
   auto types = options_.instance_types;
   if (types.empty()) types = catalog_->provisionable();
   core::Provisioner provisioner(predictor.model(), predictor.loss(), types);
-  const auto t0 = std::chrono::steady_clock::now();
+  // Wall-clock here times the planner itself (an overhead metric reported to
+  // the operator); it never feeds back into simulated time, so determinism of
+  // the simulation is unaffected.
+  const auto t0 = std::chrono::steady_clock::now();  // cynthia-lint: allow(DET-001) — self-timing
   report.plan = provisioner.plan(workload.sync, goal);
-  report.planning_seconds =
+  report.planning_seconds =  // cynthia-lint: allow(DET-001) — self-timing, not simulated time
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   if (!report.plan.feasible) return std::nullopt;
 

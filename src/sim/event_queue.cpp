@@ -2,11 +2,13 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace cynthia::sim {
 
 EventId EventQueue::schedule(double time, std::function<void()> action) {
   const EventId id = next_id_++;
-  heap_.push({time, id, std::move(action)});
+  heap_.push({time, next_seq_++, id, std::move(action)});
   pending_.insert(id);
   return id;
 }
@@ -35,6 +37,14 @@ EventQueue::Fired EventQueue::pop() {
   Entry top = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
   pending_.erase(top.id);
+  // Pop order is the determinism contract: time never decreases, and among
+  // equal timestamps events fire in scheduling (seq) order.
+  CYNTHIA_CHECK(top.time >= last_pop_time_, "event time ran backwards: ", top.time, " after ",
+                last_pop_time_);
+  CYNTHIA_CHECK(top.time > last_pop_time_ || top.seq > last_pop_seq_,
+                "same-timestamp events fired out of scheduling order at t=", top.time);
+  last_pop_time_ = top.time;
+  last_pop_seq_ = top.seq;
   return {top.time, top.id, std::move(top.action)};
 }
 

@@ -7,8 +7,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
-#include <unordered_set>
+#include <unordered_set>  // cynthia-lint: allow(DET-003) membership-only, never iterated
 #include <vector>
 
 namespace cynthia::sim {
@@ -43,19 +44,29 @@ class EventQueue {
  private:
   struct Entry {
     double time;
+    std::uint64_t seq;  ///< monotone scheduling order; breaks timestamp ties
     EventId id;
     std::function<void()> action;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
+      // Exact comparison is deliberate: equal timestamps must be recognized
+      // as ties so the seq number decides, or FIFO order (and with it
+      // bit-reproducibility) is lost. cynthia-lint: allow(FLT-001)
       if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // FIFO among equal timestamps
+      return a.seq > b.seq;  // FIFO among equal timestamps
     }
   };
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // cynthia-lint: allow(DET-003) membership-only, never iterated
   std::unordered_set<EventId> pending_;  ///< ids scheduled but not yet fired/cancelled
   EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+
+  // Last popped (time, seq), for the pop-order invariant check.
+  double last_pop_time_ = -std::numeric_limits<double>::infinity();
+  std::uint64_t last_pop_seq_ = 0;
 
   void drop_cancelled();
 };

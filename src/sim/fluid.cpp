@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace cynthia::sim {
 
 ResourceId FluidSystem::add_resource(std::string name, double capacity,
@@ -196,11 +198,60 @@ void FluidSystem::reallocate() {
     // max-min with positive capacities. Treat as a logic error loudly.
     throw std::logic_error("FluidSystem: active jobs with zero allocation");
   }
+  if (util::invariants_enabled()) verify_allocation();
+}
+
+/// Conservation laws of the max-min allocation, checked after every
+/// reallocate() (i.e. after every settle that changed the job set):
+///   1. rates are finite and non-negative;
+///   2. flow conservation — the used rate booked on a resource equals the
+///      sum of the rates of the jobs crossing it, and never exceeds its
+///      capacity;
+///   3. bottleneck saturation — every running job crosses at least one
+///      resource that the allocation saturates (the defining property of
+///      max-min fairness: nobody's rate can be raised without lowering a
+///      rate that is already no larger).
+void FluidSystem::verify_allocation() const {
+  constexpr double kRel = 1e-9;
+  std::vector<double> crossing_sum(resources_.size(), 0.0);
+  for (const auto& job : jobs_) {
+    CYNTHIA_CHECK(std::isfinite(job.rate) && job.rate >= 0.0, "job ", job.id,
+                  " has rate ", job.rate);
+    for (ResourceId rid : job.resources) crossing_sum[rid] += job.rate;
+  }
+  for (std::size_t r = 0; r < resources_.size(); ++r) {
+    const double cap = resources_[r].capacity;
+    const double tol = cap * kRel + 1e-12;
+    CYNTHIA_CHECK(std::abs(crossing_sum[r] - resources_[r].used_rate) <= tol,
+                  "flow not conserved on ", resources_[r].name, ": jobs sum to ",
+                  crossing_sum[r], " but used_rate is ", resources_[r].used_rate);
+    CYNTHIA_CHECK(resources_[r].used_rate <= cap + tol, "resource ", resources_[r].name,
+                  " over-subscribed: ", resources_[r].used_rate, " > capacity ", cap);
+  }
+  for (const auto& job : jobs_) {
+    if (job.rate <= 0.0) continue;
+    bool bottlenecked = false;
+    for (ResourceId rid : job.resources) {
+      const double cap = resources_[rid].capacity;
+      if (resources_[rid].used_rate >= cap - (cap * kRel + 1e-12)) {
+        bottlenecked = true;
+        break;
+      }
+    }
+    CYNTHIA_CHECK(bottlenecked, "job ", job.id,
+                  " runs below capacity on every resource it crosses (not max-min fair)");
+  }
 }
 
 void FluidSystem::on_completion_event() {
   completion_event_ = 0;
   settle();
+  // The completion slack in reallocate() guarantees progress: at least one
+  // job must have drained by the time this event fires, or the simulation
+  // would spin on zero-volume completion events forever.
+  CYNTHIA_CHECK(std::any_of(jobs_.begin(), jobs_.end(),
+                            [](const Job& j) { return j.remaining <= kEpsilonVolume; }),
+                "completion event fired with no job drained");
   // Collect all jobs that finished (ties complete together), remove them
   // from the active set *before* running callbacks so callbacks observe a
   // consistent system and may start new jobs.

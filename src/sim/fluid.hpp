@@ -106,6 +106,7 @@ class FluidSystem {
   void settle();
   void reallocate();
   void on_completion_event();
+  void verify_allocation() const;
   [[nodiscard]] std::vector<double> compute_maxmin_rates() const;
   [[nodiscard]] const Job* find_job(JobId id) const;
 };

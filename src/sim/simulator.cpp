@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace cynthia::sim {
 
 EventId Simulator::at(double time, std::function<void()> action) {
@@ -17,6 +19,11 @@ EventId Simulator::after(double delay, std::function<void()> action) {
 bool Simulator::step() {
   if (queue_.empty()) return false;
   auto fired = queue_.pop();
+  // Clock monotonicity: schedule() rejects past times, so a pop from the
+  // past means the queue's ordering itself broke. DCHECK (not CHECK): this
+  // duplicates the pop-order invariant EventQueue::pop() already asserts,
+  // so the per-event cost is only paid in CYNTHIA_INVARIANTS builds.
+  CYNTHIA_DCHECK(fired.time >= now_, "clock would run backwards: ", fired.time, " < ", now_);
   now_ = fired.time;
   ++events_fired_;
   fired.action();

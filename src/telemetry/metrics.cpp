@@ -1,6 +1,7 @@
 #include "telemetry/metrics.hpp"
 
 #include <fstream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -41,17 +42,18 @@ std::vector<double> Histogram::make_bounds(const HistogramOptions& options) {
 }
 
 Histogram::Histogram(HistogramOptions options)
-    : bounds_(make_bounds(options)), counts_(bounds_.size() + 1, 0) {}
+    : bounds_(make_bounds(options)),
+      counts_(new std::atomic<std::uint64_t>[bounds_.size() + 1]),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
 
 void Histogram::observe(double value) {
-  if (count_ == 0) {
-    min_ = max_ = value;
-  } else {
-    if (value < min_) min_ = value;
-    if (value > max_) max_ = value;
-  }
-  ++count_;
-  sum_ += value;
+  detail::atomic_min(min_, value);
+  detail::atomic_max(max_, value);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, value);
   // First bucket whose upper bound admits the value; past the last bound the
   // observation lands in the overflow bucket.
   std::size_t idx = bounds_.size();
@@ -61,54 +63,82 @@ void Histogram::observe(double value) {
       break;
     }
   }
-  ++counts_[idx];
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> snapshot(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    snapshot[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  return gauges_[name];
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name, HistogramOptions options) {
+  std::lock_guard lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    it = histograms_.emplace(name, Histogram(options)).first;
+    it = histograms_.emplace(name, std::make_unique<Histogram>(options)).first;
   }
-  return it->second;
+  return *it->second;
 }
 
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  std::lock_guard lock(mutex_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  std::lock_guard lock(mutex_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  std::lock_guard lock(mutex_);
   auto it = histograms_.find(name);
-  return it == histograms_.end() ? nullptr : &it->second;
+  return it == histograms_.end() ? nullptr : it->second.get();
 }
 
-double MetricsRegistry::counter_value(const std::string& name, double fallback) const {
+double MetricsRegistry::counter_value(const std::string& name, double fallback_value) const {
   const Counter* c = find_counter(name);
-  return c ? c->value() : fallback;
+  return c ? c->value() : fallback_value;
 }
 
-double MetricsRegistry::gauge_value(const std::string& name, double fallback) const {
+double MetricsRegistry::gauge_value(const std::string& name, double fallback_value) const {
   const Gauge* g = find_gauge(name);
-  return g ? g->value() : fallback;
+  return g ? g->value() : fallback_value;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 void MetricsRegistry::write_csv(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
   os << "kind,name,field,value\n";
   for (const auto& [name, c] : counters_) csv_row(os, "counter", name, "value", c.value());
   for (const auto& [name, g] : gauges_) csv_row(os, "gauge", name, "value", g.value());
   for (const auto& [name, h] : histograms_) {
-    csv_row(os, "histogram", name, "count", static_cast<double>(h.count()));
-    csv_row(os, "histogram", name, "sum", h.sum());
-    csv_row(os, "histogram", name, "min", h.min());
-    csv_row(os, "histogram", name, "max", h.max());
+    csv_row(os, "histogram", name, "count", static_cast<double>(h->count()));
+    csv_row(os, "histogram", name, "sum", h->sum());
+    csv_row(os, "histogram", name, "min", h->min());
+    csv_row(os, "histogram", name, "max", h->max());
     std::uint64_t cumulative = 0;
-    const auto& bounds = h.upper_bounds();
-    const auto& counts = h.bucket_counts();
+    const auto& bounds = h->upper_bounds();
+    const auto counts = h->bucket_counts();
     for (std::size_t i = 0; i < bounds.size(); ++i) {
       cumulative += counts[i];
       csv_row(os, "histogram", name, "le_" + fmt(bounds[i]), static_cast<double>(cumulative));

@@ -1,40 +1,75 @@
 // Process-light metrics registry: counters, gauges, log-scale histograms.
 //
 // One MetricsRegistry per experiment run, mirroring the one-Simulator-per-run
-// design: every Simulator is single-threaded, so the registry needs no locks
-// and instrument sites are a plain double add. Metrics are exported in the
-// repo's CSV table format (kind,name,field,value) for external tooling.
+// design — but registries are also safe to share across threads: benches fan
+// independent runs out over util::ThreadPool and may aggregate into one
+// registry. Instrument sites are wait-free (relaxed atomics); only metric
+// *creation* (the name lookup) takes a mutex, and the returned references
+// stay valid for the registry's lifetime, so hot paths hoist the lookup.
+// Cross-metric reads taken during concurrent writes are each individually
+// atomic but not a consistent snapshot (sum may trail count by an
+// in-flight observation). Metrics are exported in the repo's CSV table
+// format (kind,name,field,value) for external tooling.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace cynthia::telemetry {
 
+namespace detail {
+
+/// Relaxed atomic add for doubles (fetch_add on atomic<double> rounds the
+/// same way; the CAS loop spelling works on every supported toolchain).
+inline void atomic_add(std::atomic<double>& target, double amount) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + amount, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_min(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_max(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
 /// Monotonically increasing value (events fired, seconds accumulated).
 class Counter {
  public:
   void inc(double amount = 1.0) {
-    if (amount > 0.0) value_ += amount;
+    if (amount > 0.0) detail::atomic_add(value_, amount);
   }
-  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Last-write-wins instantaneous value (utilization, staleness, dollars).
 class Gauge {
  public:
-  void set(double value) { value_ = value; }
-  [[nodiscard]] double value() const { return value_; }
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed log-scale bucket layout: upper bounds at lowest_bound * growth^i.
@@ -46,41 +81,47 @@ struct HistogramOptions {
 
 /// Histogram over fixed log-scale buckets (latencies span decades, so linear
 /// buckets would waste resolution at one end; the layout is fixed up front
-/// so merging/export never rebuckets).
+/// so merging/export never rebuckets). observe() is wait-free.
 class Histogram {
  public:
   explicit Histogram(HistogramOptions options = {});
 
   void observe(double value);
 
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] double sum() const { return sum_; }
-  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
-  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double min() const {
+    return count() ? min_.load(std::memory_order_relaxed) : 0.0;
+  }
+  [[nodiscard]] double max() const {
+    return count() ? max_.load(std::memory_order_relaxed) : 0.0;
+  }
 
   /// Finite bucket upper bounds, ascending; size == options.bucket_count.
   [[nodiscard]] const std::vector<double>& upper_bounds() const { return bounds_; }
-  /// Per-bucket counts; size == bucket_count + 1, last entry is overflow.
-  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  /// Snapshot of per-bucket counts; size == bucket_count + 1, last entry is
+  /// overflow. Copied out so readers never race a concurrent observe().
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
 
   /// Computes the bound layout for the given options (also used by tests).
   static std::vector<double> make_bounds(const HistogramOptions& options);
 
  private:
   std::vector<double> bounds_;
-  std::vector<std::uint64_t> counts_;
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  ///< bounds_.size() + 1 slots
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
 };
 
 /// Name -> metric map with stable references (node-based storage) and
-/// deterministic (sorted) export order.
+/// deterministic (sorted) export order. Lookups lock; the returned metric
+/// objects are lock-free and remain valid for the registry's lifetime.
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name) { return counters_[name]; }
-  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name, HistogramOptions options = {});
 
   [[nodiscard]] const Counter* find_counter(const std::string& name) const;
@@ -88,12 +129,10 @@ class MetricsRegistry {
   [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
 
   /// Value lookups with a fallback for absent metrics (summary convenience).
-  [[nodiscard]] double counter_value(const std::string& name, double fallback = 0.0) const;
-  [[nodiscard]] double gauge_value(const std::string& name, double fallback = 0.0) const;
+  [[nodiscard]] double counter_value(const std::string& name, double fallback_value = 0.0) const;
+  [[nodiscard]] double gauge_value(const std::string& name, double fallback_value = 0.0) const;
 
-  [[nodiscard]] std::size_t size() const {
-    return counters_.size() + gauges_.size() + histograms_.size();
-  }
+  [[nodiscard]] std::size_t size() const;
 
   /// CSV export: header "kind,name,field,value"; histograms emit count/sum/
   /// min/max plus cumulative le_<bound> rows (Prometheus-style).
@@ -101,9 +140,10 @@ class MetricsRegistry {
   void write_csv_file(const std::string& path) const;
 
  private:
+  mutable std::mutex mutex_;  ///< guards the maps, not the metrics
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 }  // namespace cynthia::telemetry

@@ -1,0 +1,48 @@
+#include "util/check.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace cynthia::util {
+
+namespace {
+
+bool initial_state() {
+  // Environment override beats the compile-time default either way, so a
+  // checks-on build can be profiled with checks off and vice versa.
+  if (const char* env = std::getenv("CYNTHIA_CHECK")) {
+    const std::string_view v = env;
+    return !v.empty() && v != "0" && v != "false" && v != "off";
+  }
+#ifdef CYNTHIA_INVARIANTS
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool> g_enabled{initial_state()};
+
+}  // namespace
+
+bool invariants_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_invariants_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void check_failed(const char* file, int line, const char* expr, const std::string& detail) {
+  std::string message = "CYNTHIA_CHECK failed at ";
+  message += file;
+  message += ':';
+  message += std::to_string(line);
+  message += ": ";
+  message += expr;
+  if (!detail.empty()) {
+    message += " — ";
+    message += detail;
+  }
+  throw CheckFailure(message);
+}
+
+}  // namespace cynthia::util

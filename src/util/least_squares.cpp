@@ -26,7 +26,7 @@ std::vector<double> solve_linear_system(Matrix a, std::vector<double> b) {
     }
     for (std::size_t r = col + 1; r < n; ++r) {
       const double factor = a(r, col) / a(col, col);
-      if (factor == 0.0) continue;
+      if (factor == 0.0) continue;  // cynthia-lint: allow(FLT-001) — exact-zero pivot skip
       for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
       b[r] -= factor * b[col];
     }
@@ -40,7 +40,7 @@ std::vector<double> solve_linear_system(Matrix a, std::vector<double> b) {
   return x;
 }
 
-std::vector<double> least_squares(const Matrix& x, std::span<const double> y, double ridge) {
+std::vector<double> least_squares(const Matrix& x, std::span<const double> y, double ridge_weight) {
   const std::size_t rows = x.rows();
   const std::size_t k = x.cols();
   if (y.size() != rows) throw std::invalid_argument("least_squares: y size mismatch");
@@ -53,7 +53,7 @@ std::vector<double> least_squares(const Matrix& x, std::span<const double> y, do
       for (std::size_t j = 0; j < k; ++j) xtx(i, j) += x(r, i) * x(r, j);
     }
   }
-  for (std::size_t i = 0; i < k; ++i) xtx(i, i) += ridge;
+  for (std::size_t i = 0; i < k; ++i) xtx(i, i) += ridge_weight;
   return solve_linear_system(std::move(xtx), std::move(xty));
 }
 

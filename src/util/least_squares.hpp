@@ -39,7 +39,7 @@ std::vector<double> solve_linear_system(Matrix a, std::vector<double> b);
 /// Ordinary least squares: minimizes ||X beta - y||^2 via normal equations
 /// with a small ridge term for conditioning. X is rows x k, y is rows.
 std::vector<double> least_squares(const Matrix& x, std::span<const double> y,
-                                  double ridge = 1e-12);
+                                  double ridge_weight = 1e-12);
 
 /// Non-negative least squares via projected coordinate descent; the Optimus
 /// baseline fits its speed-curve coefficients under a >= 0 constraint.

@@ -1,3 +1,5 @@
+// cynthia-lint: allow-file(DET-001) — log timestamps are wall-clock by design;
+// nothing here flows into simulated time.
 #include "util/log.hpp"
 
 #include <atomic>

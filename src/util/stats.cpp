@@ -79,7 +79,7 @@ double mape_percent(std::span<const double> observed, std::span<const double> pr
   double total = 0.0;
   std::size_t counted = 0;
   for (std::size_t i = 0; i < observed.size(); ++i) {
-    if (observed[i] == 0.0) continue;
+    if (observed[i] == 0.0) continue;  // cynthia-lint: allow(FLT-001) — exact-zero guard
     total += std::abs(predicted[i] - observed[i]) / std::abs(observed[i]);
     ++counted;
   }
@@ -98,13 +98,14 @@ double r_squared(std::span<const double> observed, std::span<const double> predi
     ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
     ss_tot += (observed[i] - obs_mean) * (observed[i] - obs_mean);
   }
+  // cynthia-lint: allow(FLT-001) — degenerate-variance case is an exact identity
   if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
   return 1.0 - ss_res / ss_tot;
 }
 
-double relative_error_percent(double observed, double predicted) {
-  if (observed == 0.0) return 0.0;
-  return std::abs(predicted - observed) / std::abs(observed) * 100.0;
+double relative_error_percent(double observed_value, double predicted_value) {
+  if (observed_value == 0.0) return 0.0;  // cynthia-lint: allow(FLT-001) — exact-zero guard
+  return std::abs(predicted_value - observed_value) / std::abs(observed_value) * 100.0;
 }
 
 }  // namespace cynthia::util

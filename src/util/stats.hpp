@@ -49,6 +49,6 @@ double mape_percent(std::span<const double> observed, std::span<const double> pr
 double r_squared(std::span<const double> observed, std::span<const double> predicted);
 
 /// Relative error |pred - obs| / obs in percent for a single pair.
-double relative_error_percent(double observed, double predicted);
+double relative_error_percent(double observed_value, double predicted_value);
 
 }  // namespace cynthia::util

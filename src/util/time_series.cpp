@@ -18,7 +18,7 @@ void RateTrace::add_segment(double t0, double t1, double rate) {
   if (t1 <= t0) return;
   end_ = std::max(end_, t1);
   volume_ += rate * (t1 - t0);
-  if (rate == 0.0) return;
+  if (rate == 0.0) return;  // cynthia-lint: allow(FLT-001) — zero-rate segments carry no volume
   auto first = static_cast<std::size_t>(t0 / width_);
   auto last = static_cast<std::size_t>((t1 - 1e-12) / width_);
   ensure_bucket(last);

@@ -26,9 +26,9 @@ struct UnitBase {
 
   friend constexpr Derived operator+(Derived a, Derived b) { return Derived{a.v + b.v}; }
   friend constexpr Derived operator-(Derived a, Derived b) { return Derived{a.v - b.v}; }
-  friend constexpr Derived operator*(Derived a, double s) { return Derived{a.v * s}; }
-  friend constexpr Derived operator*(double s, Derived a) { return Derived{a.v * s}; }
-  friend constexpr Derived operator/(Derived a, double s) { return Derived{a.v / s}; }
+  friend constexpr Derived operator*(Derived a, double scale) { return Derived{a.v * scale}; }
+  friend constexpr Derived operator*(double scale, Derived a) { return Derived{a.v * scale}; }
+  friend constexpr Derived operator/(Derived a, double scale) { return Derived{a.v / scale}; }
   friend constexpr double operator/(Derived a, Derived b) { return a.v / b.v; }
   friend constexpr auto operator<=>(Derived a, Derived b) { return a.v <=> b.v; }
   friend constexpr bool operator==(Derived a, Derived b) { return a.v == b.v; }
@@ -88,7 +88,7 @@ constexpr MegaBytes operator*(Seconds t, MBps b) { return MegaBytes{b.v * t.v}; 
 constexpr Dollars operator*(DollarsPerHour p, Seconds t) { return Dollars{p.v * t.v / 3600.0}; }
 constexpr Dollars operator*(Seconds t, DollarsPerHour p) { return Dollars{p.v * t.v / 3600.0}; }
 
-constexpr Seconds minutes(double m) { return Seconds{m * 60.0}; }
-constexpr Seconds hours(double h) { return Seconds{h * 3600.0}; }
+constexpr Seconds minutes(double minute_count) { return Seconds{minute_count * 60.0}; }
+constexpr Seconds hours(double hour_count) { return Seconds{hour_count * 3600.0}; }
 
 }  // namespace cynthia::util

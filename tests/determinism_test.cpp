@@ -1,0 +1,97 @@
+// Run-twice determinism regressions. The spot market used to hold its
+// per-type traces in an unordered_map; nothing iterated it, but the layout
+// was one refactor away from becoming run-order-dependent. These tests pin
+// the contract end to end: the same configuration must produce bit-identical
+// timelines and costs, every time, including across interleaved queries that
+// grow the lazily-extended price traces in different orders.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cloud/instance.hpp"
+#include "cloud/spot.hpp"
+#include "ddnn/cluster.hpp"
+#include "ddnn/trainer.hpp"
+#include "ddnn/workload.hpp"
+#include "orchestrator/spot_runner.hpp"
+
+namespace cc = cynthia::cloud;
+namespace cd = cynthia::ddnn;
+namespace orch = cynthia::orch;
+
+namespace {
+
+const cc::InstanceType& m4() { return cc::Catalog::aws().at("m4.xlarge"); }
+
+// Orders every scalar a run produces into one comparable digest.
+struct RunDigest {
+  double wall_time = 0.0;
+  double busy_time = 0.0;
+  double cost = 0.0;
+  int revocations = 0;
+  long iterations = 0;
+
+  bool operator==(const RunDigest&) const = default;
+};
+
+RunDigest spot_digest(std::uint64_t market_seed) {
+  cc::SpotMarket market(cc::Catalog::aws(), market_seed);
+  const auto& w = cd::workload_by_name("cifar10");
+  orch::SpotRunOptions o;
+  o.training.iterations = 40;
+  const auto r = orch::run_on_spot(market, w, m4(), 3, 1, 400, o);
+  return {r.wall_time, r.busy_time, r.cost.value(), r.revocations, r.iterations};
+}
+
+}  // namespace
+
+TEST(Determinism, SpotMarketPricesIdenticalAcrossInstances) {
+  cc::SpotMarket a(cc::Catalog::aws(), 11), b(cc::Catalog::aws(), 11);
+  for (const char* type : {"m4.xlarge", "m1.xlarge"}) {
+    for (double t = 0.0; t < 100000.0; t += 7321.0) {
+      EXPECT_DOUBLE_EQ(a.price_at(type, t), b.price_at(type, t)) << type << " @ " << t;
+    }
+  }
+}
+
+TEST(Determinism, SpotMarketPricesIndependentOfQueryOrder) {
+  // Query one market far-first (extending traces in one big step) and the
+  // other near-first (many small extensions); per-type streams must agree.
+  cc::SpotMarket far_first(cc::Catalog::aws(), 11), near_first(cc::Catalog::aws(), 11);
+  (void)far_first.price_at("m1.xlarge", 90000.0);
+  (void)far_first.price_at("m4.xlarge", 90000.0);
+  for (double t = 0.0; t <= 90000.0; t += 4567.0) {
+    (void)near_first.price_at("m4.xlarge", t);
+    (void)near_first.price_at("m1.xlarge", t);
+  }
+  for (double t = 0.0; t <= 90000.0; t += 4567.0) {
+    EXPECT_DOUBLE_EQ(far_first.price_at("m4.xlarge", t), near_first.price_at("m4.xlarge", t));
+    EXPECT_DOUBLE_EQ(far_first.price_at("m1.xlarge", t), near_first.price_at("m1.xlarge", t));
+  }
+}
+
+TEST(Determinism, SpotRunTwiceYieldsIdenticalDigests) {
+  const RunDigest first = spot_digest(17);
+  const RunDigest second = spot_digest(17);
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first.wall_time, 0.0);
+  EXPECT_GT(first.cost, 0.0);
+}
+
+TEST(Determinism, TrainingRunTwiceYieldsIdenticalTimeline) {
+  const auto& w = cd::workload_by_name("resnet32");
+  auto cluster = cd::ClusterSpec::homogeneous(m4(), 4, 2);
+  cd::TrainOptions o;
+  o.iterations = 60;
+  const auto a = cd::run_training(cluster, w, o);
+  const auto b = cd::run_training(cluster, w, o);
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.final_loss, b.final_loss);
+  EXPECT_EQ(a.computation_time, b.computation_time);
+  EXPECT_EQ(a.communication_time, b.communication_time);
+  ASSERT_EQ(a.loss_curve.size(), b.loss_curve.size());
+  for (std::size_t i = 0; i < a.loss_curve.size(); ++i) {
+    EXPECT_EQ(a.loss_curve[i].loss, b.loss_curve[i].loss);
+  }
+}

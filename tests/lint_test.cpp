@@ -1,0 +1,208 @@
+// Self-test corpus for cynthia-lint: at least one true positive and one
+// clean counterpart per rule family, plus suppression and renderer coverage.
+// These tests drive the rule engine in-process via scan_source(); the
+// installed binary is exercised separately by the cynthia_lint_src ctest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.hpp"
+
+namespace cl = cynthia::lint;
+
+namespace {
+
+std::vector<cl::Finding> scan(const std::string& path, const std::string& src) {
+  return cl::scan_source(path, src);
+}
+
+int count_rule(const std::vector<cl::Finding>& findings, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const cl::Finding& f) { return f.rule == rule; }));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- DET rules
+
+TEST(LintDet, FlagsWallClockPrimitives) {
+  const auto f = scan("src/sim/clock.cpp",
+                      "#pragma once\n"
+                      "double now() { return std::chrono::steady_clock::now().time_since_epoch().count(); }\n");
+  EXPECT_GE(count_rule(f, "DET-001"), 1);
+}
+
+TEST(LintDet, FlagsSleepAndGettimeofday) {
+  const auto f = scan("src/util/wait.cpp",
+                      "void nap() { std::this_thread::sleep_for(x); }\n"
+                      "void stamp() { gettimeofday(&tv, nullptr); }\n");
+  EXPECT_GE(count_rule(f, "DET-001"), 2);
+}
+
+TEST(LintDet, IgnoresChronoInCommentsAndStrings) {
+  const auto f = scan("src/sim/doc.cpp",
+                      "// std::chrono would be wrong here\n"
+                      "const char* s = \"std::chrono::steady_clock\";\n");
+  EXPECT_EQ(count_rule(f, "DET-001"), 0);
+}
+
+TEST(LintDet, FlagsNondeterministicRandomness) {
+  const auto f = scan("src/cloud/noise.cpp",
+                      "int r = rand();\n"
+                      "std::random_device rd;\n");
+  EXPECT_GE(count_rule(f, "DET-002"), 2);
+}
+
+TEST(LintDet, SeededRngIsClean) {
+  const auto f = scan("src/cloud/noise.cpp", "util::Rng rng(seed); double x = rng.uniform();\n");
+  EXPECT_EQ(count_rule(f, "DET-002"), 0);
+}
+
+TEST(LintDet, FlagsUnorderedContainersInDeterministicDirs) {
+  const std::string src = "#include <unordered_map>\nstd::unordered_map<int, int> m;\n";
+  EXPECT_GE(count_rule(scan("src/sim/state.hpp", src), "DET-003"), 1);
+  EXPECT_GE(count_rule(scan("src/ddnn/state.hpp", src), "DET-003"), 1);
+  EXPECT_GE(count_rule(scan("src/cloud/state.hpp", src), "DET-003"), 1);
+}
+
+TEST(LintDet, UnorderedContainersAllowedOutsideDeterministicDirs) {
+  const std::string src = "#include <unordered_map>\nstd::unordered_map<int, int> m;\n";
+  EXPECT_EQ(count_rule(scan("src/util/cache.hpp", src), "DET-003"), 0);
+}
+
+// ------------------------------------------------------------- FLT rules
+
+TEST(LintFlt, FlagsEqualityAgainstFloatLiteral) {
+  const auto f = scan("src/core/x.cpp",
+                      "if (x == 1.0) {}\n"
+                      "if (y != 0.5f) {}\n"
+                      "if (z == 1e-9) {}\n");
+  EXPECT_EQ(count_rule(f, "FLT-001"), 3);
+}
+
+TEST(LintFlt, IntLiteralAndVariableComparisonsAreClean) {
+  const auto f = scan("src/core/x.cpp",
+                      "if (n == 3) {}\n"
+                      "if (a == b) {}\n"
+                      "if (t0 != t1) {}\n");
+  EXPECT_EQ(count_rule(f, "FLT-001"), 0);
+}
+
+// ----------------------------------------------------------- UNITS rules
+
+TEST(LintUnits, FlagsUnitlessDoubleParameterInHeader) {
+  const auto f = scan("src/core/api.hpp", "#pragma once\nvoid set(double knob);\n");
+  EXPECT_EQ(count_rule(f, "UNITS-001"), 1);
+}
+
+TEST(LintUnits, UnitBearingNamesAndWrappersAreClean) {
+  const auto f = scan("src/core/api.hpp",
+                      "#pragma once\n"
+                      "void set(double delay_seconds, double link_mbps, double t, util::Seconds d);\n");
+  EXPECT_EQ(count_rule(f, "UNITS-001"), 0);
+}
+
+TEST(LintUnits, SourceFilesAreOutOfScope) {
+  const auto f = scan("src/core/api.cpp", "void set(double knob) {}\n");
+  EXPECT_EQ(count_rule(f, "UNITS-001"), 0);
+}
+
+// ------------------------------------------------------------- INC rules
+
+TEST(LintInc, FlagsHeaderWithoutPragmaOnce) {
+  const auto f = scan("src/core/guard.hpp", "#ifndef GUARD_HPP\n#define GUARD_HPP\n#endif\n");
+  EXPECT_EQ(count_rule(f, "INC-001"), 1);
+  EXPECT_EQ(count_rule(scan("src/core/ok.hpp", "#pragma once\nint x;\n"), "INC-001"), 0);
+}
+
+TEST(LintInc, FlagsBitsStdcppAndParentEscapes) {
+  const auto f = scan("src/core/bad.cpp",
+                      "#include <bits/stdc++.h>\n"
+                      "#include \"../secret/impl.hpp\"\n");
+  EXPECT_EQ(count_rule(f, "INC-002"), 2);
+}
+
+// ----------------------------------------------------------- suppression
+
+TEST(LintSuppress, SameLineCommentDisarmsRule) {
+  const auto f = scan("src/core/x.cpp",
+                      "if (x == 1.0) {}  // cynthia-lint: allow(FLT-001) deliberate\n");
+  EXPECT_EQ(count_rule(f, "FLT-001"), 0);
+}
+
+TEST(LintSuppress, PrecedingLineCommentDisarmsNextLine) {
+  const auto f = scan("src/core/x.cpp",
+                      "// cynthia-lint: allow(FLT-001) deliberate exact guard\n"
+                      "if (x == 1.0) {}\n");
+  EXPECT_EQ(count_rule(f, "FLT-001"), 0);
+}
+
+TEST(LintSuppress, SuppressionIsRuleSpecific) {
+  const auto f = scan("src/sim/x.cpp",
+                      "// cynthia-lint: allow(FLT-001)\n"
+                      "int r = rand();\n");
+  EXPECT_GE(count_rule(f, "DET-002"), 1);
+}
+
+TEST(LintSuppress, AllowFileCoversWholeFile) {
+  const auto f = scan("src/util/wall.cpp",
+                      "// cynthia-lint: allow-file(DET-001) wall-clock module\n"
+                      "auto a = std::chrono::system_clock::now();\n"
+                      "auto b = std::chrono::system_clock::now();\n");
+  EXPECT_EQ(count_rule(f, "DET-001"), 0);
+}
+
+TEST(LintSuppress, SuppressionDoesNotLeakToLaterLines) {
+  const auto f = scan("src/core/x.cpp",
+                      "// cynthia-lint: allow(FLT-001)\n"
+                      "if (x == 1.0) {}\n"
+                      "\n"
+                      "if (y == 2.0) {}\n");
+  EXPECT_EQ(count_rule(f, "FLT-001"), 1);
+}
+
+// ------------------------------------------------------------- renderers
+
+TEST(LintOutput, RenderersContainFindingFields) {
+  const auto f = scan("src/core/x.cpp", "if (x == 1.0) {}\n");
+  ASSERT_EQ(f.size(), 1u);
+  const std::string text = cl::to_text(f);
+  const std::string csv = cl::to_csv(f);
+  const std::string json = cl::to_json(f);
+  for (const std::string& out : {text, csv, json}) {
+    EXPECT_NE(out.find("FLT-001"), std::string::npos) << out;
+    EXPECT_NE(out.find("src/core/x.cpp"), std::string::npos) << out;
+  }
+  EXPECT_NE(csv.find("file,line,rule,message"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"FLT-001\""), std::string::npos);
+}
+
+TEST(LintOutput, CleanScanRendersEmpty) {
+  const std::vector<cl::Finding> none;
+  EXPECT_NE(cl::to_text(none).find("clean"), std::string::npos);
+  EXPECT_NE(cl::to_json(none).find("[]"), std::string::npos);
+}
+
+TEST(LintCatalog, EveryFamilyRepresented) {
+  const auto& rules = cl::rule_catalog();
+  EXPECT_GE(rules.size(), 7u);
+  for (const char* id :
+       {"DET-001", "DET-002", "DET-003", "FLT-001", "UNITS-001", "INC-001", "INC-002"}) {
+    EXPECT_TRUE(std::any_of(rules.begin(), rules.end(),
+                            [&](const cl::RuleInfo& r) { return r.id == id; }))
+        << id;
+  }
+}
+
+TEST(LintFindings, SortedByFileThenLine) {
+  const auto f = scan("src/sim/x.cpp",
+                      "int a = rand();\n"
+                      "auto t = std::chrono::steady_clock::now();\n");
+  ASSERT_GE(f.size(), 2u);
+  for (std::size_t i = 1; i < f.size(); ++i) {
+    EXPECT_LE(f[i - 1].line, f[i].line);
+  }
+}

@@ -35,6 +35,36 @@ TEST(EventQueue, FifoAmongEqualTimestamps) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(EventQueue, FifoSurvivesCancellationAndInterleavedScheduling) {
+  // The FIFO tie-break is a dedicated monotone sequence number, so it must
+  // hold even when equal-time events are scheduled in bursts interleaved
+  // with other timestamps, and when events in the middle of a tie group are
+  // cancelled.
+  cs::EventQueue q;
+  std::vector<int> order;
+  std::vector<cs::EventId> ties;
+  for (int i = 0; i < 8; ++i) {
+    ties.push_back(q.schedule(4.5, [&order, i] { order.push_back(i); }));
+    q.schedule(1.0 + i, [&order, i] { order.push_back(100 + i); });
+  }
+  EXPECT_TRUE(q.cancel(ties[2]));
+  EXPECT_TRUE(q.cancel(ties[5]));
+  while (!q.empty()) q.pop().action();
+  // Timestamps 1..4 first, then the eight-way 4.5 tie in scheduling order
+  // (minus the two cancelled entries), then timestamps 5..8.
+  EXPECT_EQ(order, (std::vector<int>{100, 101, 102, 103, 0, 1, 3, 4, 6, 7, 104, 105, 106, 107}));
+}
+
+TEST(EventQueue, PopReportsSchedulingOrderForEqualTimes) {
+  cs::EventQueue q;
+  const auto a = q.schedule(2.0, [] {});
+  const auto b = q.schedule(2.0, [] {});
+  const auto c = q.schedule(2.0, [] {});
+  EXPECT_EQ(q.pop().id, a);
+  EXPECT_EQ(q.pop().id, b);
+  EXPECT_EQ(q.pop().id, c);
+}
+
 TEST(EventQueue, CancelSkipsEvent) {
   cs::EventQueue q;
   std::vector<int> order;

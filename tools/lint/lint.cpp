@@ -1,0 +1,625 @@
+#include "tools/lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace cynthia::lint {
+
+namespace {
+
+// --------------------------------------------------------------- utilities
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string lower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// True if `needle` occurs in `hay` delimited by non-identifier characters
+/// (so "rand" does not match inside "operand" or "srand").
+bool contains_word(std::string_view hay, std::string_view needle) {
+  std::size_t pos = 0;
+  while ((pos = hay.find(needle, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(hay[pos - 1]);
+    const std::size_t end = pos + needle.size();
+    const bool right_ok = end >= hay.size() || !is_ident_char(hay[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+std::string normalized(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool path_has_component(const std::string& path, std::string_view component) {
+  const std::string p = "/" + normalized(path);
+  return p.find("/" + std::string(component) + "/") != std::string::npos;
+}
+
+bool is_header(const std::string& path) {
+  const std::string p = normalized(path);
+  return p.ends_with(".hpp") || p.ends_with(".h");
+}
+
+// --------------------------------------------- comment/string stripping
+
+/// One physical source line, split into the code view (comments, string and
+/// character literal *contents* blanked with spaces — positions preserved)
+/// and the concatenated comment text (for suppression directives).
+struct Line {
+  std::string code;
+  std::string comments;
+};
+
+/// Splits on '\n' with the same line accounting as strip() (an empty input
+/// is one empty line), so raw and stripped views index identically.
+std::vector<std::string> split_lines(std::string_view src) {
+  std::vector<std::string> lines(1);
+  for (char c : src) {
+    if (c == '\n') {
+      lines.emplace_back();
+    } else {
+      lines.back() += c;
+    }
+  }
+  return lines;
+}
+
+std::vector<Line> strip(std::string_view src) {
+  enum class State { Code, LineComment, BlockComment, String, Char, RawString };
+  std::vector<Line> lines(1);
+  State state = State::Code;
+  std::string raw_delim;  // for raw strings: the )delim" terminator
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::LineComment) state = State::Code;
+      // Unterminated ordinary literals cannot span lines; reset defensively.
+      if (state == State::String || state == State::Char) state = State::Code;
+      lines.emplace_back();
+      continue;
+    }
+    Line& line = lines.back();
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          line.code += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          line.code += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (line.code.empty() || !is_ident_char(line.code.back()))) {
+          // Raw string literal: R"delim( ... )delim"
+          std::size_t p = i + 2;
+          std::string delim;
+          while (p < src.size() && src[p] != '(') delim += src[p++];
+          raw_delim = ")" + delim + "\"";
+          state = State::RawString;
+          line.code += "R\"";
+          i = p;  // consume through the opening '('
+        } else if (c == '"') {
+          state = State::String;
+          line.code += '"';
+        } else if (c == '\'') {
+          state = State::Char;
+          line.code += '\'';
+        } else {
+          line.code += c;
+        }
+        break;
+      case State::LineComment:
+        line.comments += c;
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          state = State::Code;
+          ++i;
+        } else {
+          line.comments += c;
+        }
+        break;
+      case State::String:
+        if (c == '\\') {
+          ++i;  // skip the escaped character
+        } else if (c == '"') {
+          state = State::Code;
+          line.code += '"';
+        }
+        break;
+      case State::Char:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::Code;
+          line.code += '\'';
+        }
+        break;
+      case State::RawString:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          state = State::Code;
+          line.code += '"';
+          i += raw_delim.size() - 1;
+        }
+        break;
+    }
+  }
+  return lines;
+}
+
+// ----------------------------------------------------------- suppressions
+
+struct Suppressions {
+  std::set<std::string> file_wide;
+  std::map<int, std::set<std::string>> by_line;  ///< line -> rules (1-based)
+
+  [[nodiscard]] bool allows(const std::string& rule, int line) const {
+    if (file_wide.contains(rule)) return true;
+    for (int l : {line, line - 1}) {
+      auto it = by_line.find(l);
+      if (it != by_line.end() && it->second.contains(rule)) return true;
+    }
+    return false;
+  }
+};
+
+void parse_rule_list(std::string_view text, std::set<std::string>& into) {
+  std::string current;
+  for (char c : text) {
+    if (is_ident_char(c) || c == '-') {
+      current += c;
+    } else {
+      if (!current.empty()) into.insert(current);
+      current.clear();
+      if (c == ')') return;
+    }
+  }
+  if (!current.empty()) into.insert(current);
+}
+
+Suppressions parse_suppressions(const std::vector<Line>& lines) {
+  Suppressions sup;
+  constexpr std::string_view kTag = "cynthia-lint:";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& text = lines[i].comments;
+    std::size_t pos = 0;
+    while ((pos = text.find(kTag, pos)) != std::string::npos) {
+      std::size_t p = pos + kTag.size();
+      while (p < text.size() && text[p] == ' ') ++p;
+      if (text.compare(p, 11, "allow-file(") == 0) {
+        parse_rule_list(text.substr(p + 11), sup.file_wide);
+      } else if (text.compare(p, 6, "allow(") == 0) {
+        parse_rule_list(text.substr(p + 6), sup.by_line[static_cast<int>(i) + 1]);
+      }
+      pos = p;
+    }
+  }
+  return sup;
+}
+
+// ---------------------------------------------------------------- tokens
+
+struct Token {
+  enum class Kind { Ident, Number, Punct };
+  Kind kind;
+  std::string text;
+  int line;  ///< 1-based
+};
+
+std::vector<Token> tokenize(const std::vector<Line>& lines) {
+  std::vector<Token> tokens;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& code = lines[li].code;
+    const int line_no = static_cast<int>(li) + 1;
+    std::size_t i = 0;
+    while (i < code.size()) {
+      const char c = code[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && i + 1 < code.size() &&
+                  std::isdigit(static_cast<unsigned char>(code[i + 1])))) {
+        std::size_t j = i;
+        while (j < code.size() &&
+               (is_ident_char(code[j]) || code[j] == '.' ||
+                ((code[j] == '+' || code[j] == '-') && j > i &&
+                 (code[j - 1] == 'e' || code[j - 1] == 'E')))) {
+          ++j;
+        }
+        tokens.push_back({Token::Kind::Number, code.substr(i, j - i), line_no});
+        i = j;
+      } else if (is_ident_char(c)) {
+        std::size_t j = i;
+        while (j < code.size() && is_ident_char(code[j])) ++j;
+        tokens.push_back({Token::Kind::Ident, code.substr(i, j - i), line_no});
+        i = j;
+      } else {
+        tokens.push_back({Token::Kind::Punct, std::string(1, c), line_no});
+        ++i;
+      }
+    }
+  }
+  return tokens;
+}
+
+bool is_float_literal(std::string_view tok) {
+  if (tok.empty() || !std::isdigit(static_cast<unsigned char>(tok[0]))) {
+    if (!(tok.size() >= 2 && tok[0] == '.' && std::isdigit(static_cast<unsigned char>(tok[1]))))
+      return false;
+  }
+  const std::string t = lower(tok);
+  if (t.starts_with("0x")) return false;  // hex ints ('p' exponents are exotic enough to skip)
+  return t.find('.') != std::string::npos || t.find('e') != std::string::npos ||
+         t.ends_with('f');
+}
+
+// ------------------------------------------------------------- the rules
+
+struct Context {
+  const std::string& path;
+  const std::vector<Line>& lines;
+  const std::vector<std::string>& raw_lines;  ///< unstripped source lines
+  const std::vector<Token>& tokens;
+  std::vector<Finding>& findings;
+
+  void report(const char* rule, int line, std::string message) const {
+    findings.push_back({path, line, rule, std::move(message)});
+  }
+};
+
+/// DET-001: wall-clock and sleep primitives. Simulation time is the event
+/// clock; host time in a deterministic path makes runs irreproducible.
+void rule_det_wall_clock(const Context& ctx) {
+  static constexpr std::string_view kNeedles[] = {
+      "steady_clock",    "system_clock", "high_resolution_clock", "gettimeofday",
+      "clock_gettime",   "sleep_for",    "sleep_until",           "usleep",
+      "nanosleep",
+  };
+  for (std::size_t li = 0; li < ctx.lines.size(); ++li) {
+    const std::string& code = ctx.lines[li].code;
+    if (code.find("std::chrono") != std::string::npos) {
+      ctx.report("DET-001", static_cast<int>(li) + 1,
+                 "std::chrono in a simulation path: use the event clock (Simulator::now)");
+      continue;
+    }
+    for (std::string_view needle : kNeedles) {
+      if (contains_word(code, needle)) {
+        ctx.report("DET-001", static_cast<int>(li) + 1,
+                   "wall-clock primitive '" + std::string(needle) +
+                       "': use the event clock (Simulator::now)");
+        break;
+      }
+    }
+  }
+}
+
+/// DET-002: nondeterministically seeded randomness. All stochastic inputs
+/// must flow through the explicitly seeded util::Rng.
+void rule_det_randomness(const Context& ctx) {
+  static constexpr std::string_view kNeedles[] = {
+      "rand", "srand", "drand48", "lrand48", "random_device", "arc4random", "getentropy",
+  };
+  for (std::size_t li = 0; li < ctx.lines.size(); ++li) {
+    const std::string& code = ctx.lines[li].code;
+    for (std::string_view needle : kNeedles) {
+      if (contains_word(code, needle)) {
+        ctx.report("DET-002", static_cast<int>(li) + 1,
+                   "nondeterministic randomness '" + std::string(needle) +
+                       "': draw from a seeded util::Rng instead");
+        break;
+      }
+    }
+  }
+}
+
+/// DET-003: unordered containers in the deterministic directories. Their
+/// iteration order depends on hashing/allocation, so any iteration leaks
+/// nondeterminism; declaring one is flagged and needs a justified
+/// suppression asserting it is never iterated.
+void rule_det_unordered(const Context& ctx) {
+  const bool in_scope = path_has_component(ctx.path, "sim") ||
+                        path_has_component(ctx.path, "ddnn") ||
+                        path_has_component(ctx.path, "cloud");
+  if (!in_scope) return;
+  static constexpr std::string_view kNeedles[] = {
+      "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+  for (std::size_t li = 0; li < ctx.lines.size(); ++li) {
+    const std::string& code = ctx.lines[li].code;
+    for (std::string_view needle : kNeedles) {
+      if (contains_word(code, needle)) {
+        ctx.report("DET-003", static_cast<int>(li) + 1,
+                   std::string(needle) +
+                       " in a deterministic dir: iteration order is nondeterministic; use an "
+                       "ordered container or suppress with a never-iterated justification");
+        break;
+      }
+    }
+  }
+}
+
+/// FLT-001: ==/!= where one operand is a floating-point literal. Exact
+/// comparison against a computed double is almost always a tolerance bug;
+/// the rare deliberate exact guards get suppressions.
+void rule_flt_equality(const Context& ctx) {
+  const auto& t = ctx.tokens;
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::Punct) continue;
+    const bool is_eq = (t[i].text == "=" && t[i - 1].kind == Token::Kind::Punct &&
+                        (t[i - 1].text == "=" || t[i - 1].text == "!"));
+    if (!is_eq) continue;
+    // t[i-1],t[i] form ==/!=; also require t[i-2] not '=' ('===' cannot
+    // appear; '<=' / '>=' end at the '=' and are skipped by the pair test).
+    const Token& lhs = i >= 2 ? t[i - 2] : t[0];
+    const Token& rhs = t[i + 1];
+    const Token* lit = nullptr;
+    if (rhs.kind == Token::Kind::Number && is_float_literal(rhs.text)) lit = &rhs;
+    // Negative literal on the right: '- 1.0' tokenizes as punct + number.
+    if (!lit && rhs.kind == Token::Kind::Punct && rhs.text == "-" && i + 2 < t.size() &&
+        t[i + 2].kind == Token::Kind::Number && is_float_literal(t[i + 2].text)) {
+      lit = &t[i + 2];
+    }
+    if (!lit && lhs.kind == Token::Kind::Number && is_float_literal(lhs.text)) lit = &lhs;
+    if (lit) {
+      ctx.report("FLT-001", t[i].line,
+                 "exact floating-point comparison against literal " + lit->text +
+                     ": compare with a tolerance (or suppress a deliberate exact guard)");
+    }
+  }
+}
+
+/// UNITS-001: double-typed function parameters in headers must carry a
+/// unit- or quantity-bearing name; a bare `double x2` crossing an API
+/// boundary is how seconds get added to megabytes.
+void rule_units_param_names(const Context& ctx) {
+  if (!is_header(ctx.path)) return;
+  static constexpr std::string_view kHints[] = {
+      "second", "sec",      "time",    "now",    "until",   "delay",  "duration", "horizon",
+      "byte",   "mb",       "gb",      "bps",    "flop",    "dollar", "price",    "cost",
+      "bid",    "rate",     "util",    "share",  "frac",    "ratio",  "prob",     "jitter",
+      "eps",    "volume",   "cap",     "level",  "loss",    "mean",   "stddev",   "bound",
+      "discount", "volatil", "revers", "mult",   "decay",   "factor", "weight",   "alpha",
+      "beta",   "noise",    "value",   "amount", "width",   "bucket", "scale",    "step",
+      "start",  "stop",     "end",     "pressure", "spike", "slack",  "budget",   "overhead",
+      "count",  "tol",      "headroom", "efficiency", "hour", "iter",
+  };
+  static const std::set<std::string> kExactAllowed = {"t",  "t0", "t1", "dt", "x",
+                                                      "y",  "p",  "lo", "hi", "v"};
+  const auto& t = ctx.tokens;
+  int depth = 0;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind == Token::Kind::Punct) {
+      if (t[i].text == "(") ++depth;
+      if (t[i].text == ")") depth = std::max(0, depth - 1);
+      continue;
+    }
+    if (depth == 0 || t[i].text != "double") continue;
+    const Token& name = t[i + 1];
+    if (name.kind != Token::Kind::Ident) continue;
+    // `double foo(` is a return type (function pointer/declaration), not a
+    // parameter name.
+    if (i + 2 < t.size() && t[i + 2].kind == Token::Kind::Punct && t[i + 2].text == "(")
+      continue;
+    const std::string n = lower(name.text);
+    if (kExactAllowed.contains(n)) continue;
+    bool hinted = false;
+    for (std::string_view hint : kHints) {
+      if (n.find(hint) != std::string::npos) {
+        hinted = true;
+        break;
+      }
+    }
+    if (!hinted) {
+      ctx.report("UNITS-001", name.line,
+                 "double parameter '" + name.text +
+                     "' has no unit-bearing name; name the quantity (..._seconds, ..._mbps) "
+                     "or use a util/units.hpp wrapper");
+    }
+  }
+}
+
+/// INC-001: every header starts with #pragma once.
+void rule_inc_pragma_once(const Context& ctx) {
+  if (!is_header(ctx.path)) return;
+  for (const Line& line : ctx.lines) {
+    const std::string& code = line.code;
+    const auto first = code.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    if (code.find("#pragma once", first) == first) return;  // found before any code
+    ctx.report("INC-001", 1, "header missing #pragma once before the first declaration");
+    return;
+  }
+  ctx.report("INC-001", 1, "header missing #pragma once");
+}
+
+/// INC-002: include hygiene. The code view blanks string-literal contents
+/// (so quoted include paths vanish from it); use it only to confirm the
+/// directive is real code, then read the target from the raw line.
+void rule_inc_hygiene(const Context& ctx) {
+  for (std::size_t li = 0; li < ctx.lines.size(); ++li) {
+    if (ctx.lines[li].code.find("#include") == std::string::npos) continue;
+    const std::string& raw = ctx.raw_lines[li];
+    const auto ipos = raw.find("#include");
+    if (ipos == std::string::npos) continue;
+    const auto open = raw.find_first_of("<\"", ipos);
+    if (open == std::string::npos) continue;
+    const auto close = raw.find(raw[open] == '<' ? '>' : '"', open + 1);
+    if (close == std::string::npos) continue;
+    const std::string target = raw.substr(open + 1, close - open - 1);
+    if (target == "bits/stdc++.h") {
+      ctx.report("INC-002", static_cast<int>(li) + 1,
+                 "<bits/stdc++.h> is non-portable and hides real dependencies");
+    } else if (target.find("..") != std::string::npos) {
+      ctx.report("INC-002", static_cast<int>(li) + 1,
+                 "relative '..' include escapes the include roots; include from src/");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {"DET-001", "determinism", "no wall-clock primitives in simulation paths"},
+      {"DET-002", "determinism", "no nondeterministically seeded randomness"},
+      {"DET-003", "determinism", "no unordered containers in sim/ddnn/cloud"},
+      {"FLT-001", "floating-point", "no ==/!= against floating-point literals"},
+      {"UNITS-001", "units", "double parameters in headers need unit-bearing names"},
+      {"INC-001", "includes", "headers must use #pragma once"},
+      {"INC-002", "includes", "no <bits/stdc++.h> or '..' includes"},
+  };
+  return kCatalog;
+}
+
+std::vector<Finding> scan_source(const std::string& path, std::string_view content) {
+  const std::vector<Line> lines = strip(content);
+  const std::vector<std::string> raw_lines = split_lines(content);
+  const std::vector<Token> tokens = tokenize(lines);
+  const Suppressions sup = parse_suppressions(lines);
+
+  std::vector<Finding> findings;
+  const Context ctx{path, lines, raw_lines, tokens, findings};
+  rule_det_wall_clock(ctx);
+  rule_det_randomness(ctx);
+  rule_det_unordered(ctx);
+  rule_flt_equality(ctx);
+  rule_units_param_names(ctx);
+  rule_inc_pragma_once(ctx);
+  rule_inc_hygiene(ctx);
+
+  std::erase_if(findings,
+                [&](const Finding& f) { return sup.allows(f.rule, f.line); });
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return findings;
+}
+
+std::vector<Finding> scan_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cynthia-lint: cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return scan_source(path, buffer.str());
+}
+
+std::vector<Finding> scan_paths(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  const auto wanted = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+  };
+  for (const std::string& path : paths) {
+    if (fs::is_directory(path)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file() && wanted(entry.path())) {
+          files.push_back(entry.path().string());
+        }
+      }
+    } else {
+      files.push_back(path);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& file : files) {
+    auto f = scan_file(file);
+    findings.insert(findings.end(), std::make_move_iterator(f.begin()),
+                    std::make_move_iterator(f.end()));
+  }
+  return findings;
+}
+
+std::string to_text(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  for (const auto& f : findings) {
+    os << f.file << ':' << f.line << ": [" << f.rule << "] " << f.message << '\n';
+  }
+  os << (findings.empty() ? "cynthia-lint: clean\n"
+                          : "cynthia-lint: " + std::to_string(findings.size()) +
+                                " finding(s)\n");
+  return os.str();
+}
+
+namespace {
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_csv(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "file,line,rule,message\n";
+  for (const auto& f : findings) {
+    os << csv_escape(f.file) << ',' << f.line << ',' << f.rule << ','
+       << csv_escape(f.message) << '\n';
+  }
+  return os.str();
+}
+
+std::string to_json(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& f = findings[i];
+    os << (i ? ",\n " : "\n ") << "{\"file\": \"" << json_escape(f.file)
+       << "\", \"line\": " << f.line << ", \"rule\": \"" << f.rule << "\", \"message\": \""
+       << json_escape(f.message) << "\"}";
+  }
+  os << (findings.empty() ? "]" : "\n]");
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace cynthia::lint

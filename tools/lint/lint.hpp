@@ -1,0 +1,66 @@
+// cynthia-lint — project-specific static analysis for the Cynthia tree.
+//
+// The simulator's headline property is bit-determinism: identical configs
+// must produce identical timelines, or the paper's bounds and figure
+// reproductions are meaningless. Generic linters cannot know which parts of
+// this codebase are deterministic paths, so this tool encodes the project's
+// own contracts as rule families (see docs/LINT_RULES.md for rationale):
+//
+//   DET-001  wall-clock access (std::chrono, gettimeofday, sleep_*)
+//   DET-002  nondeterministic randomness (rand, random_device, ...)
+//   DET-003  unordered containers in deterministic dirs (sim/ddnn/cloud)
+//   FLT-001  ==/!= against a floating-point literal
+//   UNITS-001  raw double function parameters without a unit-bearing name
+//   INC-001  header without #pragma once
+//   INC-002  include hygiene (<bits/stdc++.h>, ".." escapes)
+//
+// Scanning is a lightweight lexer (comments/strings stripped, identifiers
+// tokenized) — deliberately not libclang, so the tool builds everywhere the
+// project builds and runs in milliseconds as a ctest.
+//
+// Suppressions: a comment `cynthia-lint: allow(RULE-ID, ...)` disarms the
+// listed rules on its own line and the line below it;
+// `cynthia-lint: allow-file(RULE-ID, ...)` disarms them for the whole file.
+// Suppressions should carry a justification in the same comment.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cynthia::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string id;
+  std::string family;
+  std::string summary;
+};
+
+/// Every rule the scanner knows, in stable order (documentation + --list-rules).
+const std::vector<RuleInfo>& rule_catalog();
+
+/// Scans one in-memory translation unit. `path` drives rule scoping: the
+/// deterministic-dir DET-003 scope keys off path components and the
+/// header-only rules key off the extension. Findings are suppression-filtered.
+std::vector<Finding> scan_source(const std::string& path, std::string_view content);
+
+/// Reads and scans one file; throws std::runtime_error if unreadable.
+std::vector<Finding> scan_file(const std::string& path);
+
+/// Scans files and (recursively) directories; only .hpp/.h/.cpp/.cc files
+/// are considered. Paths are visited in sorted order so output is stable.
+std::vector<Finding> scan_paths(const std::vector<std::string>& paths);
+
+/// Renderers. Text is for humans; CSV/JSON are machine-readable and stable.
+std::string to_text(const std::vector<Finding>& findings);
+std::string to_csv(const std::vector<Finding>& findings);
+std::string to_json(const std::vector<Finding>& findings);
+
+}  // namespace cynthia::lint

@@ -1,0 +1,84 @@
+// cynthia_lint CLI.
+//
+//   cynthia_lint [--format text|csv|json] [--out FILE] [--list-rules] PATH...
+//
+// PATHs may be files or directories (recursed; .hpp/.h/.cpp/.cc only).
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error — so CI and ctest
+// can gate on it directly.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cynthia::lint;
+  std::string format = "text";
+  std::string out_path;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& rule : rule_catalog()) {
+        std::printf("%-10s %-15s %s\n", rule.id.c_str(), rule.family.c_str(),
+                    rule.summary.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--format") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "cynthia-lint: --format needs a value\n");
+        return 2;
+      }
+      format = argv[++i];
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "cynthia-lint: --out needs a value\n");
+        return 2;
+      }
+      out_path = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "cynthia-lint: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: cynthia_lint [--format text|csv|json] [--out FILE] [--list-rules] "
+                 "PATH...\n");
+    return 2;
+  }
+  if (format != "text" && format != "csv" && format != "json") {
+    std::fprintf(stderr, "cynthia-lint: unknown format '%s'\n", format.c_str());
+    return 2;
+  }
+
+  std::vector<Finding> findings;
+  try {
+    findings = scan_paths(paths);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  const std::string rendered = format == "csv"    ? to_csv(findings)
+                               : format == "json" ? to_json(findings)
+                                                  : to_text(findings);
+  if (out_path.empty()) {
+    std::cout << rendered;
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cynthia-lint: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    out << rendered;
+  }
+  return findings.empty() ? 0 : 1;
+}
