@@ -7,13 +7,23 @@
 //                                              run Algorithm 1
 //   cynthiactl simulate <workload> --workers N [--ps K] [--type T]
 //              [--iterations S] [--stragglers]
+//              [--faults SPEC] [--fault-seed N] [--fault-horizon S]
 //              [--trace-out F] [--metrics-out F]  run the training simulator
 //
 // The global --check flag turns on the runtime invariant checker
 // (util/check.hpp) for the whole invocation: fluid-solver conservation
 // laws, event-clock monotonicity, BSP tiling, SSP staleness and billing
 // monotonicity are asserted as the simulation runs, at a small CPU cost and
-// with bit-identical results.
+// with bit-identical results. The global --seed flag pins the simulation
+// seed (default 1): same seed, same flags -> bit-identical run, including
+// any injected faults.
+//
+// --faults takes either the explicit grammar from docs/FAULTS.md
+// ("crash:wk1@40+90;slow:wk0@20x2;nic:ps0@60=40") or "rate:<r>" to generate
+// a Poisson schedule with r faults/hour split evenly across the four fault
+// classes over --fault-horizon seconds (default 3600), drawn under
+// --fault-seed (default: the global seed). Explicit crashes without a
+// +recovery suffix are given a 120 s replacement window.
 //
 // --trace-out / --metrics-out enable the telemetry layer: the run is
 // provisioned through the orchestrator (so the trace carries node-lifecycle
@@ -38,6 +48,7 @@
 #include "core/predictor.hpp"
 #include "core/provisioner.hpp"
 #include "ddnn/trainer.hpp"
+#include "faults/fault_spec.hpp"
 #include "models/zoo.hpp"
 #include "orchestrator/cluster_manager.hpp"
 #include "profiler/profiler.hpp"
@@ -222,11 +233,41 @@ double provision_for_telemetry(telemetry::Telemetry& tel, cloud::BillingMeter& b
   return psim.now();
 }
 
+/// Builds the --faults schedule: the explicit grammar, or "rate:<r>" Poisson
+/// generation split evenly across the four fault classes, with the CLI's
+/// 120 s default replacement window for explicit crashes that omit +recovery.
+faults::FaultSchedule build_fault_schedule(const Args& args, int n_workers, int n_ps,
+                                           std::uint64_t seed, double horizon_seconds) {
+  const std::string text = args.text("faults", "");
+  if (text.empty()) return {};
+  const std::uint64_t fault_seed = static_cast<std::uint64_t>(
+      args.number("fault-seed").value_or(static_cast<double>(seed)));
+  if (text.rfind("rate:", 0) == 0) {
+    const double per_hour = std::stod(text.substr(5));
+    faults::FaultRates rates;
+    rates.crash_per_hour = per_hour / 4.0;
+    rates.slowdown_per_hour = per_hour / 4.0;
+    rates.nic_per_hour = per_hour / 4.0;
+    rates.blip_per_hour = per_hour / 4.0;
+    return faults::FaultSchedule::generate(rates, horizon_seconds, n_workers, n_ps,
+                                           fault_seed);
+  }
+  const faults::FaultSchedule parsed = faults::FaultSchedule::parse(text);
+  std::vector<faults::FaultSpec> events = parsed.events();
+  for (auto& event : events) {
+    if (event.kind == faults::FaultKind::kCrash && event.recovery_seconds < 0.0) {
+      event.recovery_seconds = 120.0;  // a replacement node eventually shows up
+    }
+  }
+  return faults::FaultSchedule(std::move(events));
+}
+
 int cmd_simulate(const Args& args) {
   if (args.positional.size() < 2 || !args.number("workers")) {
     std::puts(
         "usage: cynthiactl simulate <workload> --workers N [--ps K] [--type T]"
-        " [--iterations S] [--stragglers] [--trace-out F] [--metrics-out F]");
+        " [--iterations S] [--stragglers] [--faults SPEC] [--fault-seed N]"
+        " [--fault-horizon S] [--trace-out F] [--metrics-out F]");
     return 2;
   }
   const auto w = resolve_workload(args.positional[1]);
@@ -240,6 +281,15 @@ int cmd_simulate(const Args& args) {
           : ddnn::ClusterSpec::homogeneous(type, n, ps);
   ddnn::TrainOptions o;
   o.iterations = static_cast<long>(args.number("iterations").value_or(0));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.number("seed").value_or(1));
+  o.seed = seed;
+  const double horizon_seconds = args.number("fault-horizon").value_or(3600.0);
+  const faults::FaultSchedule schedule =
+      build_fault_schedule(args, n, ps, seed, horizon_seconds);
+  if (!schedule.empty()) {
+    o.faults = &schedule;
+    std::printf("[faults] %zu event(s): %s\n", schedule.size(), schedule.to_string().c_str());
+  }
 
   const std::string trace_out = args.text("trace-out", "");
   const std::string metrics_out = args.text("metrics-out", "");
@@ -272,6 +322,13 @@ int cmd_simulate(const Args& args) {
   t.row({"PS CPU util", util::Table::pct(100 * r.avg_ps_cpu_util)});
   t.row({"PS ingress (MB/s)", util::Table::num(r.ps_ingress_avg_mbps, 1)});
   t.row({"final loss", util::Table::num(r.final_loss, 3)});
+  if (!schedule.empty()) {
+    t.row({"faults injected", std::to_string(r.faults.injected)});
+    t.row({"crashes", std::to_string(r.faults.crashes)});
+    t.row({"lost iterations", std::to_string(r.faults.lost_iterations)});
+    t.row({"outage (s)", util::Table::num(r.faults.outage_seconds, 1)});
+    t.row({"stopped early", r.stopped_early ? "yes" : "no"});
+  }
   t.row({"cost ($, Eq. 8)",
          util::Table::num(
              core::plan_cost(type, n, ps, util::Seconds{r.total_time}).value(), 3)});
@@ -298,7 +355,8 @@ int main(int argc, char** argv) {
   if (args.positional.empty()) {
     std::puts("cynthiactl — cost-efficient DDNN provisioning toolkit");
     std::puts("commands: catalog | models | profile | plan | simulate");
-    std::puts("global flags: --check (enable runtime invariant checking)");
+    std::puts("global flags: --check (enable runtime invariant checking),");
+    std::puts("              --seed N (simulation seed; also drives --faults rate:<r>)");
     return 2;
   }
   if (args.flag("check")) util::set_invariants_enabled(true);

@@ -128,4 +128,61 @@ ProvisionPlan Provisioner::plan(ddnn::SyncMode mode, const ProvisionGoal& goal,
   return best;
 }
 
+ProvisionPlan Provisioner::replan(ddnn::SyncMode mode, long remaining_iterations,
+                                  util::Seconds remaining_time,
+                                  const ProvisionOptions& options) const {
+  if (remaining_iterations <= 0) {
+    throw std::invalid_argument("Provisioner::replan: nothing left to train");
+  }
+  if (remaining_time.value() <= 0.0) {
+    // The budget is already blown; no cluster can fix that. Report the
+    // failure as an infeasible plan rather than throwing — callers still
+    // want the cheapest-effort answer in that case, which is "keep going".
+    ProvisionPlan none;
+    none.feasible = false;
+    return none;
+  }
+  considered_.clear();
+
+  ProvisionPlan best;
+  best.feasible = false;
+  double best_cost = std::numeric_limits<double>::infinity();
+
+  const int max_workers = std::min(options.max_workers_quota, options.exhaustive_max_workers);
+  const int max_ps = std::max(1, options.exhaustive_max_ps);
+  for (const auto& type : types_) {
+    for (int n_ps = 1; n_ps <= max_ps; ++n_ps) {
+      for (int n = 1; n <= max_workers; ++n) {
+        const auto cluster = ddnn::ClusterSpec::homogeneous(type, n, n_ps);
+        const IterationPrediction p = model_.predict_iteration(cluster, mode);
+        // BSP budgets are global; ASP/SSP execute remaining/n per worker.
+        const long per_worker =
+            mode == ddnn::SyncMode::BSP
+                ? remaining_iterations
+                : (remaining_iterations + n - 1) / static_cast<long>(n);
+        const double total_time = p.t_iter * static_cast<double>(per_worker);
+        const double cost = plan_cost(type, n, n_ps, util::Seconds{total_time}).value();
+        if (options.keep_trace) {
+          considered_.push_back({type.name, n, n_ps, per_worker, p.t_iter, total_time, cost,
+                                 total_time <= remaining_time.value()});
+        }
+        if (total_time > remaining_time.value()) continue;
+        if (cost >= best_cost) continue;
+        best_cost = cost;
+        best.feasible = true;
+        best.type = type;
+        best.n_workers = n;
+        best.n_ps = n_ps;
+        best.iterations = per_worker;
+        best.total_iterations = remaining_iterations;
+        best.t_iter = p.t_iter;
+        best.predicted_time = util::Seconds{total_time};
+        best.predicted_cost = util::Dollars{cost};
+        best.diagnostics = p;
+      }
+    }
+  }
+  return best;
+}
+
 }  // namespace cynthia::core

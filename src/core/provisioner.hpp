@@ -92,6 +92,16 @@ class Provisioner {
   [[nodiscard]] ProvisionPlan plan(ddnn::SyncMode mode, const ProvisionGoal& goal,
                                    const ProvisionOptions& options = {}) const;
 
+  /// Elastic re-planning after a fault: cheapest homogeneous plan that
+  /// finishes `remaining_iterations` global updates within `remaining_time`.
+  /// Theorem 4.1's worker bounds assume the iteration count comes from the
+  /// loss model; here it is pinned by the checkpoint instead, so the search
+  /// scans the quota-limited grid directly and keeps the cheapest feasible
+  /// candidate (possibly a different n_wk/n_ps than the original plan).
+  [[nodiscard]] ProvisionPlan replan(ddnn::SyncMode mode, long remaining_iterations,
+                                     util::Seconds remaining_time,
+                                     const ProvisionOptions& options = {}) const;
+
   /// Candidates examined by the last call when keep_trace was set.
   [[nodiscard]] const std::vector<CandidateEvaluation>& considered() const {
     return considered_;

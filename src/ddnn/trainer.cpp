@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "ddnn/loss.hpp"
+#include "faults/injector.hpp"
 #include "sim/fluid.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/telemetry.hpp"
@@ -56,6 +57,23 @@ class Session {
   std::vector<int> pending_subchains_;
   std::vector<std::function<void(double)>> chain_done_;
 
+  // Fault machinery. Liveness flags and epochs exist on every run (they are
+  // pure bookkeeping, adding no simulator events), so a null/empty schedule
+  // is bit-identical to the pre-fault trainer. A worker's epoch is bumped
+  // whenever its in-flight work is voided (its crash, or a PS crash); every
+  // fluid callback captures the epoch it was issued under and drops itself
+  // on mismatch — this also covers zero-volume jobs, which complete through
+  // the event queue and cannot be cancelled.
+  std::vector<char> worker_alive_, ps_alive_;
+  std::vector<int> worker_epoch_;
+  std::vector<std::vector<sim::JobId>> worker_jobs_;  ///< cancellable in-flight jobs
+  std::unique_ptr<faults::FaultInjector> injector_;
+  bool finalized_ = false;
+  bool stopped_early_ = false;
+  bool ps_outage_ = false;        ///< some PS shard is down; training suspended
+  double outage_started_ = 0.0;
+  long closed_updates_ = 0;       ///< globally applied updates (engines maintain)
+
   TrainResult result_;
 
   // Telemetry (all instrumentation is a no-op when tel_ is null). tel_done_
@@ -83,8 +101,10 @@ class Session {
   virtual void record_tail_telemetry(double /*end_time*/) {}
 
   void build_resources();
-  [[nodiscard]] double comp_volume_bsp() {
-    return workload_.witer.value() / cluster_.n_workers() * rng_.jitter(opts_.compute_jitter);
+  /// BSP splits the global batch across the workers that are up: survivors
+  /// absorb a dead worker's shard (and slow down accordingly).
+  [[nodiscard]] double comp_volume_bsp(int alive_count) {
+    return workload_.witer.value() / alive_count * rng_.jitter(opts_.compute_jitter);
   }
   [[nodiscard]] double comp_volume_asp() {
     return workload_.witer.value() * rng_.jitter(opts_.compute_jitter);
@@ -103,9 +123,45 @@ class Session {
   void sample_loss(long completed_updates);
   void finalize(double end_time);
 
+  // --- fault plumbing ---
+  [[nodiscard]] int alive_workers() const {
+    int count = 0;
+    for (char a : worker_alive_) count += a;
+    return count;
+  }
+  /// start_job + per-worker job tracking so a crash can cancel everything
+  /// the worker (or its PS round-trips) still has in flight.
+  sim::JobId tracked_start(int w, double volume, std::vector<sim::ResourceId> resources,
+                           std::function<void(double)> on_complete);
+  void arm_faults();
+  void apply_fault(const faults::FaultSpec& fault, std::size_t idx);
+  void recover_fault(const faults::FaultSpec& fault, std::size_t idx);
+  void crash_worker(int w);
+  void crash_ps(const faults::FaultSpec& fault, std::size_t idx);
+  /// Cancels the worker's jobs, bumps its epoch, resets its chain state.
+  void void_worker(int w);
+  /// Cuts the run now and finalizes what durably completed.
+  void stop_now();
+  [[nodiscard]] double node_base_cpu(const faults::FaultSpec& fault) const;
+  [[nodiscard]] double node_base_nic(const faults::FaultSpec& fault) const;
+  void set_node_cpu(const faults::FaultSpec& fault, double capacity);
+  void set_node_nic(const faults::FaultSpec& fault, double capacity_mbps);
+
+  // Engine hooks for fault semantics. Called after the Session-level state
+  // (liveness, epochs, job cancellation, rollback) is already settled.
+  virtual void engine_worker_crashed(int /*w*/) {}
+  virtual void engine_worker_recovered(int /*w*/) {}
+  /// PS crash: all in-flight work was voided and closed_updates_ rolled back
+  /// to the checkpoint; park the engine until engine_resume().
+  virtual void engine_suspend() {}
+  virtual void engine_resume() {}
+  /// Where the PS-outage window starts for accounting purposes (BSP: the
+  /// aborted iteration's start, since its partial work is lost too).
+  virtual double fault_outage_anchor() { return sim_.now(); }
+
  private:
-  void launch_subchain(int w, int k);
-  void issue_push(int w, int k, int block, const std::shared_ptr<int>& pulls_done);
+  void launch_subchain(int w, int k, int epoch);
+  void issue_push(int w, int k, int block, int epoch, const std::shared_ptr<int>& pulls_done);
 
   virtual void start_engine() = 0;
 };
@@ -132,6 +188,10 @@ void Session::build_resources() {
   }
   pending_subchains_.assign(n, 0);
   chain_done_.assign(n, nullptr);
+  worker_alive_.assign(n, 1);
+  ps_alive_.assign(m, 1);
+  worker_epoch_.assign(n, 0);
+  worker_jobs_.assign(n, {});
   if (tel_) {
     chain_tel_.assign(n, ChainTel{});
     tracks_cpu_.reserve(n);
@@ -148,7 +208,28 @@ void Session::start_chain(int w, std::function<void(double)> done) {
   chain_done_[w] = std::move(done);
   pending_subchains_[w] = cluster_.n_ps();
   if (tel_on()) chain_tel_[w] = {sim_.now(), sim_.now(), -1.0};
-  for (int k = 0; k < cluster_.n_ps(); ++k) launch_subchain(w, k);
+  const int epoch = worker_epoch_[w];
+  for (int k = 0; k < cluster_.n_ps(); ++k) launch_subchain(w, k, epoch);
+}
+
+sim::JobId Session::tracked_start(int w, double volume, std::vector<sim::ResourceId> resources,
+                                  std::function<void(double)> on_complete) {
+  // The job id is only known after start_job returns, but the callback needs
+  // it to untrack itself — bridge with a shared cell. Zero-volume jobs fire
+  // through the event queue before *id is read back, which is still safe:
+  // the cell outlives the call and erase() of a not-yet-pushed id is a no-op
+  // ordering-wise because start_job's zero-volume path defers the callback.
+  auto id_cell = std::make_shared<sim::JobId>(0);
+  const sim::JobId id = fluid_.start_job(
+      volume, std::move(resources),
+      [this, w, id_cell, cb = std::move(on_complete)](double t) {
+        auto& jobs = worker_jobs_[w];
+        jobs.erase(std::remove(jobs.begin(), jobs.end(), *id_cell), jobs.end());
+        if (cb) cb(t);
+      });
+  *id_cell = id;
+  worker_jobs_[w].push_back(id);
+  return id;
 }
 
 void Session::record_chain_spans(int w, double t_end) {
@@ -160,30 +241,34 @@ void Session::record_chain_spans(int w, double t_end) {
   tel_->metrics.counter(metric::kPullSeconds).inc(t_end - pull_start);
 }
 
-void Session::launch_subchain(int w, int k) {
+void Session::launch_subchain(int w, int k, int epoch) {
   auto pulls_done = std::make_shared<int>(0);
-  issue_push(w, k, 0, pulls_done);
+  issue_push(w, k, 0, epoch, pulls_done);
 }
 
-void Session::issue_push(int w, int k, int block, const std::shared_ptr<int>& pulls_done) {
+void Session::issue_push(int w, int k, int block, int epoch,
+                         const std::shared_ptr<int>& pulls_done) {
   const int blocks = std::max(1, opts_.comm_pipeline_blocks);
   const double push_vol = push_volume_per_ps() / blocks;
   const double apply_vol = apply_volume_per_ps() / blocks;
-  fluid_.start_job(push_vol, {worker_eg_[w], ps_in_[k]}, [=, this](double t_push) {
+  tracked_start(w, push_vol, {worker_eg_[w], ps_in_[k]}, [=, this](double t_push) {
+    if (epoch != worker_epoch_[w]) return;  // chain voided by a crash
     if (tel_on()) {
       chain_tel_[w].last_push_end = std::max(chain_tel_[w].last_push_end, t_push);
     }
     // The next block's push streams out while this block is being applied —
     // the parameter-sharding pipeline that hides PS latency.
-    if (block + 1 < blocks) issue_push(w, k, block + 1, pulls_done);
-    fluid_.start_job(apply_vol, {ps_cpu_[k]}, [=, this](double t_apply) {
+    if (block + 1 < blocks) issue_push(w, k, block + 1, epoch, pulls_done);
+    tracked_start(w, apply_vol, {ps_cpu_[k]}, [=, this](double t_apply) {
+      if (epoch != worker_epoch_[w]) return;
       if (tel_on()) {
         ChainTel& c = chain_tel_[w];
         if (c.first_pull_start < 0.0 || t_apply < c.first_pull_start) {
           c.first_pull_start = t_apply;
         }
       }
-      fluid_.start_job(push_vol, {ps_eg_[k], worker_in_[w]}, [=, this](double t) {
+      tracked_start(w, push_vol, {ps_eg_[k], worker_in_[w]}, [=, this](double t) {
+        if (epoch != worker_epoch_[w]) return;
         if (++*pulls_done == blocks) {
           // Sub-chain to PS k finished; the worker's chain completes when
           // every PS shard has round-tripped.
@@ -204,15 +289,22 @@ void Session::sample_loss(long completed_updates) {
   long stride = opts_.loss_sample_stride;
   if (stride <= 0) stride = std::max<long>(1, total_iterations_ / 200);
   if (completed_updates % stride == 0 || completed_updates == total_iterations_) {
-    result_.loss_curve.push_back({completed_updates, loss_.observe(completed_updates)});
+    const long global = opts_.loss_iteration_offset + completed_updates;
+    // After a PS-crash rollback, redone iterations would re-sample points the
+    // curve already holds; keep it monotone instead. Fault-free runs sample
+    // strictly increasing iterations, so this guard never fires there.
+    if (!result_.loss_curve.empty() && result_.loss_curve.back().iteration >= global) return;
+    result_.loss_curve.push_back({global, loss_.observe(global)});
   }
 }
 
 void Session::finalize(double end_time) {
-  result_.iterations = total_iterations_;
+  finalized_ = true;
+  result_.iterations = closed_updates_;
+  result_.stopped_early = stopped_early_;
   result_.total_time = end_time;
-  result_.avg_iteration_time = end_time / std::max<long>(1, total_iterations_);
-  result_.final_loss = loss_.observe(total_iterations_);
+  result_.avg_iteration_time = end_time / std::max<long>(1, closed_updates_);
+  result_.final_loss = loss_.observe(opts_.loss_iteration_offset + closed_updates_);
 
   fluid_.settle_now();
   const int n = cluster_.n_workers();
@@ -290,10 +382,180 @@ void Session::finalize(double end_time) {
         mtr.gauge("fluid.trace_avg." + fluid_.resource_name(id)).set(trace->average());
       }
     }
+    if (result_.faults.injected > 0) {
+      mtr.counter(metric::kFaultCrashes).inc(static_cast<double>(result_.faults.crashes));
+      mtr.counter(metric::kFaultLostIterations)
+          .inc(static_cast<double>(result_.faults.lost_iterations));
+      mtr.counter(metric::kFaultOutageSeconds).inc(result_.faults.outage_seconds);
+    }
     // Close the recording window: chains still draining past end_time (ASP
     // tail) must not leak into the breakdown.
     tel_done_ = true;
   }
+}
+
+// --- fault plumbing ---
+
+void Session::arm_faults() {
+  if (opts_.faults == nullptr || opts_.faults->empty()) return;
+  opts_.faults->validate(cluster_.n_workers(), cluster_.n_ps());
+  result_.faults.events.reserve(opts_.faults->size());
+  for (const auto& spec : opts_.faults->events()) {
+    FaultEventOutcome outcome;
+    outcome.spec = spec;
+    result_.faults.events.push_back(std::move(outcome));
+  }
+  faults::FaultInjector::Hooks hooks;
+  hooks.apply = [this](const faults::FaultSpec& f, std::size_t i) { apply_fault(f, i); };
+  hooks.recover = [this](const faults::FaultSpec& f, std::size_t i) { recover_fault(f, i); };
+  injector_ = std::make_unique<faults::FaultInjector>(sim_, *opts_.faults, std::move(hooks));
+}
+
+double Session::node_base_cpu(const faults::FaultSpec& fault) const {
+  return (fault.on_ps ? cluster_.ps : cluster_.workers)[fault.target].cpu.value();
+}
+
+double Session::node_base_nic(const faults::FaultSpec& fault) const {
+  return (fault.on_ps ? cluster_.ps : cluster_.workers)[fault.target].nic.value();
+}
+
+void Session::set_node_cpu(const faults::FaultSpec& fault, double capacity) {
+  fluid_.set_resource_capacity(fault.on_ps ? ps_cpu_[fault.target] : worker_cpu_[fault.target],
+                               capacity);
+}
+
+void Session::set_node_nic(const faults::FaultSpec& fault, double capacity_mbps) {
+  if (fault.on_ps) {
+    fluid_.set_resource_capacity(ps_in_[fault.target], capacity_mbps);
+    fluid_.set_resource_capacity(ps_eg_[fault.target], capacity_mbps);
+  } else {
+    fluid_.set_resource_capacity(worker_eg_[fault.target], capacity_mbps);
+    fluid_.set_resource_capacity(worker_in_[fault.target], capacity_mbps);
+  }
+}
+
+void Session::apply_fault(const faults::FaultSpec& fault, std::size_t idx) {
+  if (finalized_) return;  // scheduled past the end of the run
+  FaultEventOutcome& outcome = result_.faults.events[idx];
+  outcome.fired = true;
+  outcome.injected_at = sim_.now();
+  ++result_.faults.injected;
+  if (tel_on()) {
+    tel_->tracer.instant("faults", "inject:" + fault.to_string(), "fault", sim_.now());
+    tel_->metrics.counter(metric::kFaultsInjected).inc();
+  }
+  switch (fault.kind) {
+    case faults::FaultKind::kSlowdown:
+      set_node_cpu(fault, node_base_cpu(fault) / std::max(1.0, fault.slowdown_factor));
+      break;
+    case faults::FaultKind::kNicDegradation: {
+      const double base = node_base_nic(fault);
+      const double degraded = fault.degraded_mbps > 0.0 ? std::min(fault.degraded_mbps, base)
+                                                        : base * fault.degraded_fraction;
+      set_node_nic(fault, std::max(degraded, base * 1e-6));
+      break;
+    }
+    case faults::FaultKind::kTransientBlip: {
+      // A frozen node, not a removed one: capacities collapse but stay
+      // positive so in-flight flows stall rather than starve.
+      const double factor = std::max(1.0, fault.slowdown_factor);
+      set_node_cpu(fault, node_base_cpu(fault) / factor);
+      set_node_nic(fault, node_base_nic(fault) / factor);
+      break;
+    }
+    case faults::FaultKind::kCrash:
+      if (fault.on_ps) {
+        crash_ps(fault, idx);
+      } else {
+        crash_worker(fault.target);
+      }
+      break;
+  }
+}
+
+void Session::void_worker(int w) {
+  ++worker_epoch_[w];
+  for (sim::JobId id : worker_jobs_[w]) fluid_.cancel_job(id);
+  worker_jobs_[w].clear();
+  pending_subchains_[w] = 0;
+  chain_done_[w] = nullptr;
+}
+
+void Session::crash_worker(int w) {
+  if (!worker_alive_[w]) return;  // overlapping crash on an already-dead node
+  worker_alive_[w] = 0;
+  ++result_.faults.crashes;
+  void_worker(w);
+  engine_worker_crashed(w);
+}
+
+void Session::crash_ps(const faults::FaultSpec& fault, std::size_t idx) {
+  if (!ps_alive_[fault.target]) return;
+  ps_alive_[fault.target] = 0;
+  ++result_.faults.crashes;
+  // The crashed shard held the only authoritative copy of its parameter
+  // slice: every update since the last checkpoint is gone, and every
+  // in-flight push/pull is void. Training suspends until the shard is back.
+  const long interval = opts_.checkpoint_interval_iterations;
+  const long durable = interval > 0 ? (closed_updates_ / interval) * interval : 0;
+  const long lost = closed_updates_ - durable;
+  result_.faults.lost_iterations += lost;
+  result_.faults.events[idx].lost_iterations = lost;
+  if (!ps_outage_) {
+    ps_outage_ = true;
+    outage_started_ = fault_outage_anchor();
+  }
+  for (int j = 0; j < cluster_.n_workers(); ++j) void_worker(j);
+  closed_updates_ = durable;
+  engine_suspend();
+  if (fault.recovery_seconds < 0.0) stop_now();  // no replacement coming, ever
+}
+
+void Session::recover_fault(const faults::FaultSpec& fault, std::size_t idx) {
+  if (finalized_) return;
+  result_.faults.events[idx].recovered_at = sim_.now();
+  if (tel_on()) {
+    tel_->tracer.instant("faults", "recover:" + fault.to_string(), "fault", sim_.now());
+  }
+  switch (fault.kind) {
+    case faults::FaultKind::kSlowdown:
+      set_node_cpu(fault, node_base_cpu(fault));
+      break;
+    case faults::FaultKind::kNicDegradation:
+      set_node_nic(fault, node_base_nic(fault));
+      break;
+    case faults::FaultKind::kTransientBlip:
+      set_node_cpu(fault, node_base_cpu(fault));
+      set_node_nic(fault, node_base_nic(fault));
+      break;
+    case faults::FaultKind::kCrash:
+      if (fault.on_ps) {
+        if (ps_alive_[fault.target]) break;
+        ps_alive_[fault.target] = 1;
+        bool all_up = true;
+        for (char a : ps_alive_) all_up = all_up && (a != 0);
+        if (all_up && ps_outage_) {
+          ps_outage_ = false;
+          result_.faults.outage_seconds += sim_.now() - outage_started_;
+          engine_resume();
+        }
+      } else {
+        if (worker_alive_[fault.target]) break;
+        worker_alive_[fault.target] = 1;
+        // The replacement node joins at full, undegraded capability.
+        set_node_cpu(fault, node_base_cpu(fault));
+        set_node_nic(fault, node_base_nic(fault));
+        engine_worker_recovered(fault.target);
+      }
+      break;
+  }
+}
+
+void Session::stop_now() {
+  if (finalized_) return;
+  stopped_early_ = true;
+  for (int j = 0; j < cluster_.n_workers(); ++j) void_worker(j);
+  finalize(sim_.now());
 }
 
 TrainResult Session::run() {
@@ -304,11 +566,16 @@ TrainResult Session::run() {
     throw std::invalid_argument("run_training: cluster needs workers and PS nodes");
   }
   build_resources();
+  arm_faults();
+  if (opts_.stop_after_seconds > 0.0) {
+    sim_.at(opts_.stop_after_seconds, [this] { stop_now(); });
+  }
   start_engine();
   sim_.run();
-  if (result_.iterations != total_iterations_) {
+  if (!stopped_early_ && result_.iterations != total_iterations_) {
     // The event queue drained without the engine finalizing — a stalled
-    // pipeline (e.g. a sync-gate deadlock) must fail loudly, not return a
+    // pipeline (a sync-gate deadlock, or a fault schedule that permanently
+    // killed every worker with no recovery) must fail loudly, not return a
     // half-empty result.
     throw std::logic_error("run_training: engine stalled at iteration " +
                            std::to_string(result_.iterations) + " of " +
@@ -329,34 +596,80 @@ class BspSession final : public Session {
   int comm_remaining_ = 0;
   double iter_start_ = 0.0;
   double end_time_ = 0.0;
+  // Fault state: per-worker pending flags let a crash retire the dead
+  // worker's outstanding phase work; computed_last_ records who produced the
+  // previous batch's gradients (a replacement that joined this iteration has
+  // nothing to push); suspension covers both PS outages and the
+  // all-workers-dead abort, with one anchor so outage time tiles exactly.
+  bool suspended_ = false;
+  double suspend_anchor_ = 0.0;
+  std::vector<char> comp_pending_, comm_pending_, computed_last_;
   std::vector<double> tel_comp_done_, tel_comm_done_;  // per worker, -1 = absent
 
   // Tiling-identity accumulators (invariant checking): per-worker-averaged
   // compute, exposed communication and barrier buckets, accumulated with
-  // the same formulas the telemetry counters use. Their sum must equal
-  // total training time exactly — BSP iterations are contiguous, so any
-  // drift means the Fig. 3 breakdown accounting is wrong.
+  // the same formulas the telemetry counters use. Their sum — plus outage
+  // windows where training was suspended on a fault — must equal total
+  // training time exactly; BSP iterations are contiguous, so any drift
+  // means the Fig. 3 breakdown accounting is wrong.
   double tiled_comp_ = 0.0;
   double tiled_exposed_ = 0.0;
   double tiled_barrier_ = 0.0;
+  double tiled_outage_ = 0.0;
 
   [[nodiscard]] bool track_phases() const { return tel_on() || checks_; }
 
-  void start_engine() override { begin_iteration(0); }
+  void start_engine() override {
+    computed_last_.assign(cluster_.n_workers(), 0);
+    begin_iteration(0);
+  }
+
+  void suspend_at(double anchor) {
+    if (!suspended_) {
+      suspended_ = true;
+      suspend_anchor_ = anchor;
+    }
+  }
+
+  void resume_iteration(long i) {
+    tiled_outage_ += sim_.now() - suspend_anchor_;
+    suspended_ = false;
+    begin_iteration(i);
+  }
 
   void begin_iteration(long i) {
     iter_ = i;
     iter_start_ = sim_.now();
     comp_remaining_ = 0;
     comm_remaining_ = 0;
+    const int n = cluster_.n_workers();
+    comp_pending_.assign(n, 0);
+    comm_pending_.assign(n, 0);
     if (track_phases()) {
-      tel_comp_done_.assign(cluster_.n_workers(), -1.0);
-      tel_comm_done_.assign(cluster_.n_workers(), -1.0);
+      tel_comp_done_.assign(n, -1.0);
+      tel_comm_done_.assign(n, -1.0);
     }
+    const int alive = alive_workers();
+    if (alive == 0) {
+      suspend_at(iter_start_);  // nobody left; wait for a replacement
+      return;
+    }
+    // Who has gradients to push this slot: the survivors of last slot's
+    // compute phase (snapshot before this slot's compute overwrites it).
+    const std::vector<char> pushed = computed_last_;
     if (i < total_iterations_) {
-      comp_remaining_ = cluster_.n_workers();
-      for (int j = 0; j < cluster_.n_workers(); ++j) {
-        fluid_.start_job(comp_volume_bsp(), {worker_cpu_[j]}, [this, j](double t) {
+      for (int j = 0; j < n; ++j) {
+        if (!worker_alive_[j]) {
+          computed_last_[j] = 0;
+          continue;
+        }
+        computed_last_[j] = 1;
+        ++comp_remaining_;
+        comp_pending_[j] = 1;
+        const int epoch = worker_epoch_[j];
+        tracked_start(j, comp_volume_bsp(alive), {worker_cpu_[j]}, [this, j, epoch](double t) {
+          if (epoch != worker_epoch_[j]) return;
+          comp_pending_[j] = 0;
           if (track_phases()) tel_comp_done_[j] = t;
           if (tel_on()) {
             tel_->tracer.span(tracks_cpu_[j], "compute", "trainer", iter_start_, t);
@@ -367,11 +680,16 @@ class BspSession final : public Session {
           }
         });
       }
+    } else {
+      computed_last_.assign(n, 0);
     }
     if (i >= 1) {
-      comm_remaining_ = cluster_.n_workers();
-      for (int j = 0; j < cluster_.n_workers(); ++j) {
+      for (int j = 0; j < n; ++j) {
+        if (!worker_alive_[j] || !pushed[j]) continue;
+        ++comm_remaining_;
+        comm_pending_[j] = 1;
         start_chain(j, [this, j](double t) {
+          comm_pending_[j] = 0;
           if (track_phases()) tel_comm_done_[j] = t;
           if (--comm_remaining_ == 0) {
             result_.communication_time += t - iter_start_;
@@ -380,24 +698,88 @@ class BspSession final : public Session {
         });
       }
     }
+    if (comp_remaining_ == 0 && comm_remaining_ == 0) {
+      // Nothing to do in this slot (tail flush where no survivor computed
+      // the previous batch — only reachable under faults). Close it through
+      // the event queue to keep callback ordering uniform.
+      sim_.after(0.0, [this, i] {
+        if (!suspended_ && !finalized_ && iter_ == i && comp_remaining_ == 0 &&
+            comm_remaining_ == 0) {
+          maybe_advance();
+        }
+      });
+    }
   }
+
+  void engine_worker_crashed(int w) override {
+    computed_last_[w] = 0;
+    if (suspended_ || finalized_) return;
+    // Retire the dead worker's outstanding phase work so the barrier
+    // excludes it; if that closed a phase, account the phase end exactly as
+    // a normal last-finisher would have.
+    bool phase_closed = false;
+    const double now = sim_.now();
+    if (comp_pending_[w] != 0) {
+      comp_pending_[w] = 0;
+      if (--comp_remaining_ == 0) {
+        result_.computation_time += now - iter_start_;
+        phase_closed = true;
+      }
+    }
+    if (comm_pending_[w] != 0) {
+      comm_pending_[w] = 0;
+      if (--comm_remaining_ == 0) {
+        result_.communication_time += now - iter_start_;
+        phase_closed = true;
+      }
+    }
+    if (alive_workers() == 0) {
+      // The open slot aborts — there is no survivor to produce its update.
+      suspend_at(iter_start_);
+      return;
+    }
+    if (phase_closed) maybe_advance();
+  }
+
+  void engine_worker_recovered(int w) override {
+    (void)w;  // the replacement simply participates from the next slot on
+    if (finalized_) return;
+    if (suspended_ && !ps_outage_) resume_iteration(iter_);
+  }
+
+  void engine_suspend() override {
+    suspend_at(iter_start_);
+    // Rollback: redo from the checkpointed update count once the PS is back.
+    iter_ = closed_updates_;
+  }
+
+  void engine_resume() override {
+    if (alive_workers() == 0) return;  // still waiting on a worker replacement
+    resume_iteration(iter_);
+  }
+
+  double fault_outage_anchor() override { return suspended_ ? sim_.now() : iter_start_; }
 
   /// Per-worker accounting at the barrier: a worker's iteration tiles into
   /// compute, communication not hidden by compute, and barrier wait — the
   /// three parts sum to the iteration span exactly, so the run-level
   /// breakdown sums to total training time by construction. Barrier spans
   /// are per worker, so stragglers are attributable by name in the trace.
-  void record_iteration_telemetry() {
+  /// Averages run over the workers alive at the barrier: a mid-iteration
+  /// casualty's partial phases are retired by engine_worker_crashed and its
+  /// timeline stops counting toward the per-worker mean.
+  void record_iteration_telemetry(int participants) {
     const double t_close = sim_.now();
-    const int n = cluster_.n_workers();
     auto& mtr = tel_->metrics;
-    for (int j = 0; j < n; ++j) {
+    for (int j = 0; j < cluster_.n_workers(); ++j) {
+      if (!worker_alive_[j]) continue;
       const double comp_end = tel_comp_done_[j] >= 0.0 ? tel_comp_done_[j] : iter_start_;
       const double comm_end = tel_comm_done_[j] >= 0.0 ? tel_comm_done_[j] : iter_start_;
       const double busy_end = std::max(comp_end, comm_end);
-      mtr.counter(metric::kCompSeconds).inc((comp_end - iter_start_) / n);
-      mtr.counter(metric::kCommExposedSeconds).inc(std::max(0.0, comm_end - comp_end) / n);
-      mtr.counter(metric::kBarrierSeconds).inc((t_close - busy_end) / n);
+      mtr.counter(metric::kCompSeconds).inc((comp_end - iter_start_) / participants);
+      mtr.counter(metric::kCommExposedSeconds)
+          .inc(std::max(0.0, comm_end - comp_end) / participants);
+      mtr.counter(metric::kBarrierSeconds).inc((t_close - busy_end) / participants);
       if (t_close - busy_end > 1e-12) {
         tel_->tracer.span(tracks_cpu_[j], "barrier", "trainer", busy_end, t_close);
       }
@@ -406,10 +788,10 @@ class BspSession final : public Session {
 
   /// Accumulates the iteration's per-worker tiles and checks their local
   /// bounds; the run-level identity is asserted once at the end.
-  void record_iteration_tiles() {
+  void record_iteration_tiles(int participants) {
     const double t_close = sim_.now();
-    const int n = cluster_.n_workers();
-    for (int j = 0; j < n; ++j) {
+    for (int j = 0; j < cluster_.n_workers(); ++j) {
+      if (!worker_alive_[j]) continue;
       const double comp_end = tel_comp_done_[j] >= 0.0 ? tel_comp_done_[j] : iter_start_;
       const double comm_end = tel_comm_done_[j] >= 0.0 ? tel_comm_done_[j] : iter_start_;
       const double busy_end = std::max(comp_end, comm_end);
@@ -417,30 +799,36 @@ class BspSession final : public Session {
                     "phase finished before iteration ", iter_, " started");
       CYNTHIA_CHECK(busy_end <= t_close,
                     "worker ", j, " still busy past the barrier of iteration ", iter_);
-      tiled_comp_ += (comp_end - iter_start_) / n;
-      tiled_exposed_ += std::max(0.0, comm_end - comp_end) / n;
-      tiled_barrier_ += (t_close - busy_end) / n;
+      tiled_comp_ += (comp_end - iter_start_) / participants;
+      tiled_exposed_ += std::max(0.0, comm_end - comp_end) / participants;
+      tiled_barrier_ += (t_close - busy_end) / participants;
     }
   }
 
   void maybe_advance() {
+    if (suspended_ || finalized_) return;
     if (comp_remaining_ != 0 || comm_remaining_ != 0) return;
-    if (tel_on()) record_iteration_telemetry();
-    if (checks_) record_iteration_tiles();
+    const int participants = alive_workers();
+    if (participants > 0) {
+      if (tel_on()) record_iteration_telemetry(participants);
+      if (checks_) record_iteration_tiles(participants);
+    }
     // Iteration `iter_` closed: the parameter updates of iteration
     // iter_ - 1 are now applied globally.
+    closed_updates_ = iter_;
     if (iter_ >= 1) sample_loss(iter_);
     if (iter_ == total_iterations_) {
       end_time_ = sim_.now();
       finalize(end_time_);
-      // BSP tiling identity: compute + exposed communication + barrier must
-      // tile [0, end] exactly (iterations are contiguous and each worker's
+      // BSP tiling identity: compute + exposed communication + barrier —
+      // plus fault-suspension outages — must tile [0, end] exactly
+      // (iterations and outage windows are contiguous, and each worker's
       // iteration decomposes into exactly these three phases).
-      const double tiled = tiled_comp_ + tiled_exposed_ + tiled_barrier_;
+      const double tiled = tiled_comp_ + tiled_exposed_ + tiled_barrier_ + tiled_outage_;
       CYNTHIA_CHECK(std::abs(tiled - end_time_) <= end_time_ * 1e-7 + 1e-6,
                     "BSP breakdown does not tile training time: comp ", tiled_comp_,
-                    " + exposed ", tiled_exposed_, " + barrier ", tiled_barrier_, " = ", tiled,
-                    " vs total ", end_time_);
+                    " + exposed ", tiled_exposed_, " + barrier ", tiled_barrier_, " + outage ",
+                    tiled_outage_, " = ", tiled, " vs total ", end_time_);
       return;
     }
     begin_iteration(iter_ + 1);
@@ -459,6 +847,7 @@ class AspSession : public Session {
   long completed_ = 0;
   std::vector<double> cycle_start_;
   std::vector<long> worker_completed_;
+  std::vector<char> in_flight_;        // worker currently owns an issued cycle
   std::vector<double> tel_comp_end_;   // current cycle's compute finish
   std::vector<double> tel_last_busy_;  // end of the last *completed* cycle
 
@@ -466,6 +855,7 @@ class AspSession : public Session {
     const int n = cluster_.n_workers();
     cycle_start_.assign(n, 0.0);
     worker_completed_.assign(n, 0);
+    in_flight_.assign(n, 0);
     if (tel_) {
       tel_comp_end_.assign(n, 0.0);
       tel_last_busy_.assign(n, 0.0);
@@ -484,11 +874,17 @@ class AspSession : public Session {
   virtual bool admit(int /*w*/) { return true; }
   /// SSP hook: called whenever a worker finishes a cycle.
   virtual void on_cycle_complete(int /*w*/) {}
+  /// SSP hooks for fault rollback/crash bookkeeping on the parked list.
+  virtual void clear_parked() {}
+  virtual void unpark(int /*w*/) {}
 
   void next_iteration(int w) {
+    if (finalized_ || ps_outage_) return;      // cut or suspended on a dead PS
+    if (!worker_alive_[w] || in_flight_[w] != 0) return;
     if (issued_ >= total_iterations_) return;  // this worker idles out
     if (!admit(w)) return;                     // parked by the staleness gate
     ++issued_;
+    in_flight_[w] = 1;
     cycle_start_[w] = sim_.now();
     if (tel_on()) {
       // Idle gap since the last completed cycle: the start stagger, or an
@@ -499,7 +895,9 @@ class AspSession : public Session {
         tel_->tracer.span(tracks_cpu_[w], "wait", "trainer", tel_last_busy_[w], sim_.now());
       }
     }
-    fluid_.start_job(comp_volume_asp(), {worker_cpu_[w]}, [this, w](double t) {
+    const int epoch = worker_epoch_[w];
+    tracked_start(w, comp_volume_asp(), {worker_cpu_[w]}, [this, w, epoch](double t) {
+      if (epoch != worker_epoch_[w]) return;  // cycle voided by a crash
       result_.computation_time += t - cycle_start_[w];
       if (tel_on()) {
         tel_comp_end_[w] = t;
@@ -510,6 +908,8 @@ class AspSession : public Session {
         result_.communication_time += t_done - chain_begin;
         ++completed_;
         ++worker_completed_[w];
+        in_flight_[w] = 0;
+        closed_updates_ = completed_;
         // Iteration-counter conservation: completions never outrun issues,
         // and issues never exceed the budget.
         CYNTHIA_CHECK(completed_ <= issued_ && issued_ <= total_iterations_,
@@ -525,6 +925,55 @@ class AspSession : public Session {
         next_iteration(w);
       });
     });
+  }
+
+  void engine_worker_crashed(int w) override {
+    if (in_flight_[w] != 0) {
+      in_flight_[w] = 0;
+      --issued_;  // reclaim the voided cycle so the budget still completes
+    }
+    unpark(w);
+    wake_idle();
+  }
+
+  void engine_worker_recovered(int w) override {
+    if (finalized_) return;
+    sim_.after(0.0, [this, w] { next_iteration(w); });
+  }
+
+  void engine_suspend() override {
+    // PS-crash rollback: closed_updates_ was already floored to the last
+    // checkpoint. The checkpoint has no per-worker attribution, so spread
+    // the durable count evenly — deterministically — across workers.
+    const int n = cluster_.n_workers();
+    issued_ = closed_updates_;
+    completed_ = closed_updates_;
+    const long base = closed_updates_ / n;
+    const long extra = closed_updates_ % n;
+    for (int j = 0; j < n; ++j) {
+      worker_completed_[j] = base + (j < extra ? 1 : 0);
+      in_flight_[j] = 0;
+    }
+    clear_parked();
+  }
+
+  void engine_resume() override {
+    for (int j = 0; j < cluster_.n_workers(); ++j) {
+      if (worker_alive_[j]) {
+        sim_.after(0.0, [this, j] { next_iteration(j); });
+      }
+    }
+  }
+
+  /// Re-offer the iteration budget to idle survivors (a crash may have
+  /// reclaimed cycles after every other worker already idled out).
+  void wake_idle() {
+    if (finalized_ || ps_outage_) return;
+    for (int j = 0; j < cluster_.n_workers(); ++j) {
+      if (worker_alive_[j] && in_flight_[j] == 0) {
+        sim_.after(0.0, [this, j] { next_iteration(j); });
+      }
+    }
   }
 
   /// Cycle accounting at completion only (an in-flight cycle at run end
@@ -570,15 +1019,22 @@ class SspSession final : public AspSession {
     const long lead = worker_completed_[w] - min_active_completed(w);
     if (lead < effective_bound()) return true;
     if (tel_on()) tel_->tracer.instant(tracks_cpu_[w], "parked", "trainer", sim_.now());
-    parked_.push_back(w);
+    // wake_idle may re-offer a cycle to a worker that is already parked;
+    // don't double-list it.
+    if (std::find(parked_.begin(), parked_.end(), w) == parked_.end()) {
+      parked_.push_back(w);
+    }
     return false;
   }
 
   void on_cycle_complete(int /*w*/) override {
     // Bounded staleness is SSP's whole contract: the admit gate parks any
     // worker whose lead would reach the bound, so after every completed
-    // cycle the iteration gap across workers stays within it.
-    if (checks_) {
+    // cycle the iteration gap across workers stays within it. A crash
+    // legitimately breaks the historical gap (survivors advance while the
+    // victim's count is frozen, and its replacement resumes far behind), so
+    // the check only binds on crash-free runs.
+    if (checks_ && result_.faults.crashes == 0) {
       long lead_max = worker_completed_[0], lead_min = worker_completed_[0];
       for (int j = 1; j < cluster_.n_workers(); ++j) {
         lead_max = std::max(lead_max, worker_completed_[j]);
@@ -614,12 +1070,21 @@ class SspSession final : public AspSession {
 
   /// Smallest completed count among workers that still have work to do
   /// (idled-out workers must not gate the rest at the tail of the run).
+  /// Dead workers don't gate anyone either — their counters are frozen, and
+  /// letting them pin the minimum would park every survivor forever.
   [[nodiscard]] long min_active_completed(int self) const {
     long min_done = worker_completed_[self];
     for (int j = 0; j < cluster_.n_workers(); ++j) {
+      if (!worker_alive_[j]) continue;
       min_done = std::min(min_done, worker_completed_[j]);
     }
     return min_done;
+  }
+
+  void clear_parked() override { parked_.clear(); }
+
+  void unpark(int w) override {
+    parked_.erase(std::remove(parked_.begin(), parked_.end(), w), parked_.end());
   }
 };
 

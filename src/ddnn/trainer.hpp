@@ -25,6 +25,7 @@
 
 #include "ddnn/cluster.hpp"
 #include "ddnn/workload.hpp"
+#include "faults/fault_spec.hpp"
 #include "util/time_series.hpp"
 
 namespace cynthia::telemetry {
@@ -63,11 +64,50 @@ struct TrainOptions {
   /// instrument site reduces to one pointer test, and results are identical
   /// either way. See telemetry/telemetry.hpp for what gets recorded.
   telemetry::Telemetry* telemetry = nullptr;
+
+  /// Optional fault timeline injected into the run; not owned. nullptr — or
+  /// an empty schedule — reproduces the fault-free run bit-exactly. See
+  /// docs/FAULTS.md for the per-kind semantics.
+  const faults::FaultSchedule* faults = nullptr;
+
+  /// Global updates between checkpoints. A PS crash rolls progress back to
+  /// the last multiple (the paper's PS holds the only authoritative copy of
+  /// the parameters). 0 disables checkpointing — a PS crash then restarts
+  /// training from iteration 0.
+  long checkpoint_interval_iterations = 50;
+
+  /// > 0: cut the run at this simulated time and finalize what completed
+  /// (the elastic re-planner uses this to end segment one at the first
+  /// crash). The result carries stopped_early = true.
+  double stop_after_seconds = 0.0;
+
+  /// Iteration offset fed to the loss process, so a resumed segment
+  /// continues the loss curve from its checkpoint instead of restarting it.
+  long loss_iteration_offset = 0;
 };
 
 struct LossSample {
   long iteration = 0;
   double loss = 0.0;
+};
+
+/// What actually happened to one scheduled fault during the run.
+struct FaultEventOutcome {
+  faults::FaultSpec spec;
+  bool fired = false;         ///< false: scheduled past the end of the run
+  double injected_at = 0.0;   ///< simulation time the fault landed
+  double recovered_at = -1.0; ///< < 0: did not recover within the run
+  long lost_iterations = 0;   ///< PS crash: updates rolled back at this event
+};
+
+/// Aggregate fault/recovery accounting for a run; empty when no schedule
+/// was supplied.
+struct FaultSummary {
+  long injected = 0;
+  long crashes = 0;
+  long lost_iterations = 0;   ///< un-checkpointed updates redone after PS crashes
+  double outage_seconds = 0.0;  ///< time training was suspended on a dead PS
+  std::vector<FaultEventOutcome> events;
 };
 
 struct TrainResult {
@@ -93,6 +133,11 @@ struct TrainResult {
 
   double final_loss = 0.0;
   std::vector<LossSample> loss_curve;
+
+  /// True when stop_after_seconds (or an unrecoverable PS crash) cut the
+  /// run; `iterations` then holds the updates durably applied by the cut.
+  bool stopped_early = false;
+  FaultSummary faults;
 };
 
 /// Runs one training job to completion; deterministic for a given seed.

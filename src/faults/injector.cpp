@@ -1,0 +1,22 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+
+namespace cynthia::faults {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, const FaultSchedule& schedule, Hooks hooks) {
+  const auto& events = schedule.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultSpec spec = events[i];
+    const double at = std::max(sim.now(), spec.time_seconds);
+    if (hooks.apply) {
+      sim.at(at, [apply = hooks.apply, spec, i] { apply(spec, i); });
+      ++armed_;
+    }
+    if (spec.recovery_seconds >= 0.0 && hooks.recover) {
+      sim.at(at + spec.recovery_seconds, [recover = hooks.recover, spec, i] { recover(spec, i); });
+    }
+  }
+}
+
+}  // namespace cynthia::faults

@@ -1,0 +1,41 @@
+// Turns a FaultSchedule into simulator events.
+//
+// The injector is intentionally thin: it schedules one apply event per fault
+// (and one recover event when the fault heals) on the experiment's event
+// clock and forwards them to caller-supplied hooks with the event's index in
+// the schedule. All semantics — capacity changes, job cancellation, barrier
+// bookkeeping — live in the hook owner (ddnn::Trainer). Events are scheduled
+// eagerly at construction so injection cost is independent of run length and
+// the event order is fixed by (time, schedule index) alone.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "faults/fault_spec.hpp"
+#include "sim/simulator.hpp"
+
+namespace cynthia::faults {
+
+class FaultInjector {
+ public:
+  struct Hooks {
+    /// Fired at spec.time_seconds (clamped to now for past times).
+    std::function<void(const FaultSpec&, std::size_t)> apply;
+    /// Fired at spec.time_seconds + spec.recovery_seconds when recovery >= 0.
+    std::function<void(const FaultSpec&, std::size_t)> recover;
+  };
+
+  /// Schedules every event of `schedule` on `sim`. The hooks are copied into
+  /// the scheduled closures, so the injector itself may be destroyed before
+  /// the events fire; hook owners must guard against post-run delivery.
+  FaultInjector(sim::Simulator& sim, const FaultSchedule& schedule, Hooks hooks);
+
+  /// Number of apply events scheduled.
+  [[nodiscard]] std::size_t armed() const { return armed_; }
+
+ private:
+  std::size_t armed_ = 0;
+};
+
+}  // namespace cynthia::faults

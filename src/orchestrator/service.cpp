@@ -59,4 +59,24 @@ std::optional<JobReport> TrainingService::submit(const ddnn::WorkloadSpec& workl
   return report;
 }
 
+std::optional<FaultRunReport> TrainingService::submit_with_faults(
+    const ddnn::WorkloadSpec& workload, const core::ProvisionGoal& goal,
+    const faults::FaultSchedule& schedule, RecoveryOptions recovery) {
+  // Steps 1-3 of submit(): predictor, then Algorithm 1.
+  const auto& baseline = catalog_->at(options_.baseline_type);
+  core::Predictor predictor = core::Predictor::build(workload, baseline, options_.predictor);
+  auto types = options_.instance_types;
+  if (types.empty()) types = catalog_->provisionable();
+  core::Provisioner provisioner(predictor.model(), predictor.loss(), types);
+  const core::ProvisionPlan plan = provisioner.plan(workload.sync, goal);
+  if (!plan.feasible) return std::nullopt;
+
+  // Steps 4-6 move into the recovery controller, which owns provisioning,
+  // replacement, and (elastic) re-planning against the same provisioner.
+  recovery.seed = options_.seed;
+  recovery.training = options_.training;
+  RecoveryController controller(recovery);
+  return controller.run(workload, plan, schedule, goal, &provisioner);
+}
+
 }  // namespace cynthia::orch

@@ -22,6 +22,8 @@
 #include "core/provisioner.hpp"
 #include "ddnn/trainer.hpp"
 #include "ddnn/workload.hpp"
+#include "faults/fault_spec.hpp"
+#include "orchestrator/recovery.hpp"
 
 namespace cynthia::orch {
 
@@ -55,6 +57,16 @@ class TrainingService {
   /// Runs the full pipeline; returns nullopt when no plan meets the goal.
   std::optional<JobReport> submit(const ddnn::WorkloadSpec& workload,
                                   const core::ProvisionGoal& goal);
+
+  /// Same pipeline, but the training run is subjected to `schedule` and the
+  /// RecoveryController heals (or, with recovery.elastic, re-plans around)
+  /// every crash. Returns nullopt when the initial plan is infeasible.
+  /// recovery.seed/training are overridden by the service's own options so
+  /// the fault run is comparable to submit() under the same seed.
+  std::optional<FaultRunReport> submit_with_faults(const ddnn::WorkloadSpec& workload,
+                                                   const core::ProvisionGoal& goal,
+                                                   const faults::FaultSchedule& schedule,
+                                                   RecoveryOptions recovery = {});
 
  private:
   const cloud::Catalog* catalog_;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace cynthia::orch {
 
 SpotRunReport run_on_spot(const cloud::SpotMarket& market, const ddnn::WorkloadSpec& workload,
@@ -82,17 +84,23 @@ SpotRunReport run_on_spot(const cloud::SpotMarket& market, const ddnn::WorkloadS
       report.completed = true;
       break;
     }
-    // We were revoked: wait for capacity, pay the restart delay.
+    // We were revoked: wait for capacity, pay the restart delay, then read
+    // the checkpoint back before the first new iteration can start.
     ++report.revocations;
     double available = market.next_availability_after(type.name, now, report.bid);
     if (!std::isfinite(available)) break;
-    now = available + options.restart_delay;
+    now = available + options.restart_delay + ckpt_seconds;
+    report.restore_overhead += ckpt_seconds;
   }
 
   report.wall_time = now;
   report.iterations = done;
   report.on_demand_cost =
       util::Dollars{type.price.value() * instances * report.busy_time / 3600.0};
+  if (options.training.telemetry != nullptr && report.restore_overhead > 0.0) {
+    options.training.telemetry->metrics.counter(telemetry::metric::kRestoreSeconds)
+        .inc(report.restore_overhead);
+  }
   return report;
 }
 

@@ -44,6 +44,7 @@ struct SpotRunReport {
   int revocations = 0;
   double lost_work = 0.0;          ///< seconds of progress thrown away
   double checkpoint_overhead = 0.0;  ///< seconds spent writing checkpoints
+  double restore_overhead = 0.0;   ///< seconds spent re-reading checkpoints on restart
   double bid = 0.0;                ///< $/h per instance actually bid
   long iterations = 0;
 };

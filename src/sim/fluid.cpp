@@ -98,6 +98,16 @@ double FluidSystem::resource_volume_served(ResourceId id) const {
   return r.busy_integral + r.used_rate * dt;
 }
 
+void FluidSystem::set_resource_capacity(ResourceId id, double capacity) {
+  if (id >= resources_.size()) throw std::out_of_range("FluidSystem: bad resource id");
+  if (capacity <= 0.0) {
+    throw std::invalid_argument("FluidSystem: capacity must stay > 0 (cancel jobs to kill a node)");
+  }
+  settle();
+  resources_[id].capacity = capacity;
+  reallocate();
+}
+
 const util::RateTrace* FluidSystem::resource_trace(ResourceId id) {
   // Flush the open rate segment first: after the last completion event the
   // clock may have advanced (or the queue drained) without another settle,

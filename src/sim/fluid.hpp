@@ -69,6 +69,14 @@ class FluidSystem {
   /// (or mid-run) were truncated at the final settle.
   [[nodiscard]] const util::RateTrace* resource_trace(ResourceId id);
 
+  /// Changes a resource's capacity mid-run (fault injection: a slowed CPU,
+  /// a degraded NIC). Settles progress under the old allocation first, then
+  /// re-runs max-min over the new capacities so every active job re-settles
+  /// onto the changed topology. Capacity must stay > 0 — model a dead node
+  /// by cancelling its jobs, not by zeroing its resources (zero capacity
+  /// would starve active jobs, which the solver treats as a logic error).
+  void set_resource_capacity(ResourceId id, double capacity);
+
   /// Settles utilization integrals up to the current simulation time
   /// (call before reading utilization mid-run).
   void settle_now();

@@ -46,6 +46,12 @@ inline constexpr char kFluidSettles[] = "sim.fluid_settles";
 inline constexpr char kProvisionSeconds[] = "orch.provisioning_seconds";
 inline constexpr char kJoinRetries[] = "orch.join_retries";
 inline constexpr char kBillingDollars[] = "cloud.billing_dollars";  // gauge
+inline constexpr char kFaultsInjected[] = "faults.injected";
+inline constexpr char kFaultCrashes[] = "faults.crashes";
+inline constexpr char kFaultLostIterations[] = "faults.lost_iterations";
+inline constexpr char kFaultOutageSeconds[] = "faults.outage_seconds";
+inline constexpr char kFaultRecoverySeconds[] = "faults.recovery_seconds";
+inline constexpr char kRestoreSeconds[] = "spot.restore_seconds";
 }  // namespace metric
 
 /// Metrics + trace for one experiment run.

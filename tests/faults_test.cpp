@@ -1,0 +1,371 @@
+// Fault-injection & elastic-recovery suite (labelled `faults` in ctest).
+//
+// Covers the determinism contract (same seed -> bit-identical schedule and
+// training digest; zero-fault schedule -> bit-identical to the fault-free
+// run), crash/rollback/recovery semantics under the runtime invariant
+// checker, the fluid capacity hook, the spot restore charge, and the
+// recovery controller's repair-in-place and elastic re-planning policies.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cloud/instance.hpp"
+#include "cloud/spot.hpp"
+#include "core/predictor.hpp"
+#include "core/provisioner.hpp"
+#include "ddnn/trainer.hpp"
+#include "ddnn/workload.hpp"
+#include "faults/fault_spec.hpp"
+#include "orchestrator/recovery.hpp"
+#include "orchestrator/service.hpp"
+#include "orchestrator/spot_runner.hpp"
+#include "sim/fluid.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+
+namespace cf = cynthia::faults;
+namespace cd = cynthia::ddnn;
+namespace cc = cynthia::cloud;
+namespace core = cynthia::core;
+namespace orch = cynthia::orch;
+namespace sim = cynthia::sim;
+
+namespace {
+
+const cc::InstanceType& m4() { return cc::Catalog::aws().at("m4.xlarge"); }
+
+cd::TrainOptions base_options(long iterations, std::uint64_t seed = 7) {
+  cd::TrainOptions o;
+  o.iterations = iterations;
+  o.seed = seed;
+  return o;
+}
+
+/// Every scalar and curve a run produces must match bit-exactly.
+void expect_identical(const cd::TrainResult& a, const cd::TrainResult& b) {
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.computation_time, b.computation_time);
+  EXPECT_EQ(a.communication_time, b.communication_time);
+  EXPECT_EQ(a.avg_iteration_time, b.avg_iteration_time);
+  EXPECT_EQ(a.final_loss, b.final_loss);
+  EXPECT_EQ(a.worker_cpu_util, b.worker_cpu_util);
+  EXPECT_EQ(a.ps_cpu_util, b.ps_cpu_util);
+  EXPECT_EQ(a.stopped_early, b.stopped_early);
+  ASSERT_EQ(a.loss_curve.size(), b.loss_curve.size());
+  for (std::size_t i = 0; i < a.loss_curve.size(); ++i) {
+    EXPECT_EQ(a.loss_curve[i].iteration, b.loss_curve[i].iteration);
+    EXPECT_EQ(a.loss_curve[i].loss, b.loss_curve[i].loss);
+  }
+  EXPECT_EQ(a.faults.injected, b.faults.injected);
+  EXPECT_EQ(a.faults.crashes, b.faults.crashes);
+  EXPECT_EQ(a.faults.lost_iterations, b.faults.lost_iterations);
+  EXPECT_EQ(a.faults.outage_seconds, b.faults.outage_seconds);
+}
+
+/// Scoped runtime-invariant enablement (CYNTHIA_CHECK fires inside).
+struct ScopedInvariants {
+  ScopedInvariants() { cynthia::util::set_invariants_enabled(true); }
+  ~ScopedInvariants() { cynthia::util::set_invariants_enabled(false); }
+};
+
+}  // namespace
+
+// ------------------------------------------------------------- schedules
+
+TEST(FaultSchedule, GenerateIsBitIdenticalForSeed) {
+  cf::FaultRates rates;
+  rates.crash_per_hour = 6.0;
+  rates.slowdown_per_hour = 12.0;
+  rates.nic_per_hour = 8.0;
+  rates.blip_per_hour = 20.0;
+  const auto a = cf::FaultSchedule::generate(rates, 7200.0, 8, 2, 42);
+  const auto b = cf::FaultSchedule::generate(rates, 7200.0, 8, 2, 42);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_EQ(a.digest(), b.digest());
+  const auto c = cf::FaultSchedule::generate(rates, 7200.0, 8, 2, 43);
+  EXPECT_NE(a.digest(), c.digest()) << "different seed should move the timeline";
+}
+
+TEST(FaultSchedule, ParseToStringRoundTrips) {
+  const std::string text = "crash:wk1@40+90;slow:wk0@20x2;nic:ps0@60=40;blip:wk2@80";
+  const auto parsed = cf::FaultSchedule::parse(text);
+  ASSERT_EQ(parsed.size(), 4u);
+  const auto reparsed = cf::FaultSchedule::parse(parsed.to_string());
+  EXPECT_EQ(parsed.digest(), reparsed.digest());
+  EXPECT_EQ(parsed.events(), reparsed.events());
+}
+
+TEST(FaultSchedule, RejectsMalformedAndOutOfRange) {
+  EXPECT_THROW(cf::FaultSchedule::parse("melt:wk0@3"), std::invalid_argument);
+  EXPECT_THROW(cf::FaultSchedule::parse("crash:node0@3"), std::invalid_argument);
+  EXPECT_THROW(cf::FaultSchedule::parse("crash:wk0"), std::invalid_argument);
+  EXPECT_THROW(cf::FaultSchedule::parse("nic:wk0@3x2"), std::invalid_argument);
+  const auto schedule = cf::FaultSchedule::parse("crash:wk5@3+10");
+  EXPECT_THROW(schedule.validate(4, 1), std::invalid_argument);
+  EXPECT_NO_THROW(schedule.validate(6, 1));
+}
+
+// ----------------------------------------------------------- determinism
+
+TEST(FaultDeterminism, ZeroFaultScheduleReproducesFaultFreeRunExactly) {
+  const auto& w = cd::workload_by_name("mnist");
+  const auto cluster = cd::ClusterSpec::homogeneous(m4(), 4, 1);
+  const auto plain = cd::run_training(cluster, w, base_options(200));
+  cd::TrainOptions with_empty = base_options(200);
+  const cf::FaultSchedule empty;
+  with_empty.faults = &empty;
+  const auto faulted = cd::run_training(cluster, w, with_empty);
+  expect_identical(plain, faulted);
+}
+
+TEST(FaultDeterminism, FaultRunIsBitIdenticalAcrossRepeats) {
+  const auto& w = cd::workload_by_name("mnist");
+  const auto cluster = cd::ClusterSpec::homogeneous(m4(), 4, 1);
+  const auto schedule =
+      cf::FaultSchedule::parse("slow:wk0@0.5x3;crash:wk1@1.5+2;nic:wk2@2=40;crash:ps0@3+1.5");
+  cd::TrainOptions o = base_options(300);
+  o.faults = &schedule;
+  const auto a = cd::run_training(cluster, w, o);
+  const auto b = cd::run_training(cluster, w, o);
+  EXPECT_GT(a.faults.injected, 0);
+  expect_identical(a, b);
+}
+
+// -------------------------------------------------- crash/recovery semantics
+
+TEST(FaultSemantics, BspCrashRecoveryPassesInvariantChecks) {
+  ScopedInvariants guard;
+  const auto& w = cd::workload_by_name("mnist");  // BSP
+  const auto cluster = cd::ClusterSpec::homogeneous(m4(), 4, 1);
+  const auto schedule =
+      cf::FaultSchedule::parse("crash:wk1@1.5+2;crash:ps0@3+1.5;blip:wk3@2.5+0.5");
+  cd::TrainOptions o = base_options(300);
+  o.faults = &schedule;
+  const auto r = cd::run_training(cluster, w, o);  // CYNTHIA_CHECK armed throughout
+  EXPECT_EQ(r.iterations, 300) << "recovered run must still finish the budget";
+  EXPECT_EQ(r.faults.crashes, 2);
+  EXPECT_FALSE(r.stopped_early);
+  EXPECT_GT(r.faults.outage_seconds, 0.0);
+}
+
+TEST(FaultSemantics, PsCrashRollsBackToCheckpoint) {
+  const auto& w = cd::workload_by_name("mnist");
+  const auto cluster = cd::ClusterSpec::homogeneous(m4(), 4, 1);
+  const auto schedule = cf::FaultSchedule::parse("crash:ps0@3+1.5");
+  cd::TrainOptions o = base_options(300);
+  o.faults = &schedule;
+  o.checkpoint_interval_iterations = 50;
+  const auto r = cd::run_training(cluster, w, o);
+  EXPECT_EQ(r.faults.crashes, 1);
+  EXPECT_GT(r.faults.lost_iterations, 0) << "un-checkpointed pushes are lost";
+  EXPECT_LT(r.faults.lost_iterations, 50) << "at most one interval rolls back";
+  ASSERT_EQ(r.faults.events.size(), 1u);
+  EXPECT_TRUE(r.faults.events[0].fired);
+  EXPECT_GE(r.faults.events[0].recovered_at, 0.0);
+  const auto baseline = cd::run_training(cluster, w, base_options(300));
+  EXPECT_GT(r.total_time, baseline.total_time) << "redone work costs wall time";
+}
+
+TEST(FaultSemantics, AspWorkerCrashStillCompletesBudget) {
+  ScopedInvariants guard;
+  const auto& w = cd::workload_by_name("resnet32");  // ASP
+  const auto cluster = cd::ClusterSpec::homogeneous(m4(), 4, 1);
+  const auto schedule = cf::FaultSchedule::parse("crash:wk1@30");  // permanent
+  cd::TrainOptions o = base_options(120);
+  o.faults = &schedule;
+  const auto r = cd::run_training(cluster, w, o);
+  EXPECT_EQ(r.iterations, 120) << "survivors absorb the dead worker's share";
+  EXPECT_FALSE(r.stopped_early);
+  EXPECT_EQ(r.faults.crashes, 1);
+}
+
+TEST(FaultSemantics, SlowdownStretchesTraining) {
+  const auto& w = cd::workload_by_name("mnist");
+  const auto cluster = cd::ClusterSpec::homogeneous(m4(), 4, 1);
+  const auto baseline = cd::run_training(cluster, w, base_options(300));
+  // mnist hides moderate compute under communication, so make the straggler
+  // slow enough that its compute phase dominates the barrier.
+  const auto schedule = cf::FaultSchedule::parse("slow:wk0@0.5x50");  // permanent
+  cd::TrainOptions o = base_options(300);
+  o.faults = &schedule;
+  const auto slowed = cd::run_training(cluster, w, o);
+  EXPECT_EQ(slowed.faults.injected, 1);
+  EXPECT_GT(slowed.total_time, baseline.total_time)
+      << "a 50x slower straggler must stretch BSP barriers";
+  EXPECT_EQ(slowed.iterations, 300);
+}
+
+// --------------------------------------------------------- fluid capacity
+
+TEST(FluidCapacity, MidRunChangeSettlesAndValidates) {
+  ScopedInvariants guard;
+  sim::Simulator s;
+  sim::FluidSystem fluid(s);
+  const auto cpu = fluid.add_resource("cpu", 100.0);
+  bool done = false;
+  fluid.start_job(1000.0, {cpu}, [&](double) { done = true; });
+  s.after(1.0, [&] { fluid.set_resource_capacity(cpu, 25.0); });
+  s.run();
+  EXPECT_TRUE(done);
+  // 100 MB/s for 1 s, then 25 MB/s for the remaining 900 units -> t = 37 s.
+  EXPECT_NEAR(s.now(), 37.0, 1e-6);
+}
+
+TEST(FluidCapacity, RejectsNonPositiveCapacityAndBadId) {
+  sim::Simulator s;
+  sim::FluidSystem fluid(s);
+  const auto cpu = fluid.add_resource("cpu", 100.0);
+  EXPECT_THROW(fluid.set_resource_capacity(cpu, 0.0), std::invalid_argument);
+  EXPECT_THROW(fluid.set_resource_capacity(cpu, -5.0), std::invalid_argument);
+  EXPECT_THROW(fluid.set_resource_capacity(cpu + 17, 10.0), std::out_of_range);
+}
+
+// ------------------------------------------------------------ spot restore
+
+TEST(SpotRestore, RevocationsChargeCheckpointReadTime) {
+  const cc::SpotMarket market(cc::Catalog::aws(), 7);
+  const auto& w = cd::workload_by_name("mnist");
+  orch::SpotRunOptions o;
+  o.bid_multiplier = 1.02;  // tight bid: force revocations
+  o.checkpoint_interval = 120.0;
+  const auto r = orch::run_on_spot(market, w, m4(), 4, 1, 200000, o);
+  ASSERT_GT(r.revocations, 0) << "tight bid should be revoked at least once";
+  EXPECT_GT(r.restore_overhead, 0.0);
+  const double read_seconds = w.gparam.value() / o.checkpoint_bandwidth_mbps;
+  EXPECT_NEAR(r.restore_overhead / read_seconds,
+              static_cast<double>(r.revocations), 1.0)
+      << "one checkpoint read per successful restart";
+}
+
+// ------------------------------------------------------ recovery controller
+
+namespace {
+
+core::ProvisionPlan manual_plan(int n_workers, int n_ps, long iterations) {
+  core::ProvisionPlan plan;
+  plan.feasible = true;
+  plan.type = m4();
+  plan.n_workers = n_workers;
+  plan.n_ps = n_ps;
+  plan.iterations = iterations;
+  plan.total_iterations = iterations;
+  return plan;
+}
+
+}  // namespace
+
+TEST(RecoveryController, RepairInPlaceHealsACrash) {
+  ScopedInvariants guard;
+  // Compute-bound ASP workload: losing a worker visibly slows training, and
+  // the run is long enough that the realistic replacement pipeline (~70 s of
+  // boot + install + kubeadm join) completes inside it.
+  const auto& w = cd::workload_by_name("resnet32");
+  const auto plan = manual_plan(4, 1, 150);
+  const auto schedule = cf::FaultSchedule::parse("crash:wk1@30");  // no recovery given
+  orch::RecoveryOptions options;
+  options.seed = 7;
+  options.measure_baseline = true;
+  const orch::RecoveryController controller(options);
+  const core::ProvisionGoal goal{cynthia::util::Seconds{7200.0}, 20.0};
+  const auto report = controller.run(w, plan, schedule, goal);
+  ASSERT_EQ(report.replacement_provisioning.size(), 1u);
+  EXPECT_GT(report.replacement_provisioning[0], 0.0);
+  EXPECT_EQ(report.training.faults.crashes, 1);
+  ASSERT_FALSE(report.training.faults.events.empty());
+  EXPECT_GE(report.training.faults.events[0].recovered_at, 0.0)
+      << "the controller must have provisioned a replacement";
+  EXPECT_EQ(report.training.iterations, 150);
+  EXPECT_TRUE(report.time_goal_met);
+  EXPECT_GT(report.extra_seconds, 0.0) << "a missing worker slows a compute-bound job";
+  EXPECT_GT(report.actual_cost.value(), report.baseline_cost.value())
+      << "the replacement node and the longer run cost extra dollars";
+  EXPECT_EQ(report.extra_seconds, report.training.total_time - report.baseline_seconds);
+}
+
+TEST(RecoveryController, DeterministicAcrossRepeats) {
+  const auto& w = cd::workload_by_name("mnist");
+  const auto plan = manual_plan(4, 1, 300);
+  const auto schedule = cf::FaultSchedule::parse("crash:ps0@3;slow:wk0@1x2+4");
+  const orch::RecoveryController controller{orch::RecoveryOptions{}};
+  const core::ProvisionGoal goal{cynthia::util::Seconds{3600.0}, 1.0};
+  const auto a = controller.run(w, plan, schedule, goal);
+  const auto b = controller.run(w, plan, schedule, goal);
+  expect_identical(a.training, b.training);
+  EXPECT_EQ(a.actual_cost.value(), b.actual_cost.value());
+  EXPECT_EQ(a.replacement_provisioning, b.replacement_provisioning);
+}
+
+TEST(RecoveryController, ElasticReplansAfterPsCrash) {
+  ScopedInvariants guard;
+  const auto& w = cd::workload_by_name("mnist");
+  const auto& baseline = m4();
+  const auto predictor = core::Predictor::build(w, baseline);
+  const core::Provisioner provisioner(predictor.model(), predictor.loss(),
+                                      cc::Catalog::aws().provisionable());
+  const auto plan = manual_plan(4, 1, 300);
+  const auto schedule = cf::FaultSchedule::parse("crash:ps0@3");
+  orch::RecoveryOptions options;
+  options.elastic = true;
+  const orch::RecoveryController controller(options);
+  const core::ProvisionGoal goal{cynthia::util::Seconds{3600.0}, 1.0};
+  const auto report = controller.run(w, plan, schedule, goal, &provisioner);
+  EXPECT_GT(report.resume_at, 3.0) << "resume follows detection + provisioning + restore";
+  EXPECT_TRUE(report.replacement_plan.feasible);
+  EXPECT_EQ(report.training.iterations, 300)
+      << "checkpointed + resumed segments must cover the whole budget";
+  EXPECT_GE(report.training.faults.crashes, 1);
+  EXPECT_GT(report.training.faults.outage_seconds, 0.0);
+  // The loss curve continues across the splice instead of restarting.
+  long prev = -1;
+  for (const auto& sample : report.training.loss_curve) {
+    EXPECT_GT(sample.iteration, prev);
+    prev = sample.iteration;
+  }
+  EXPECT_TRUE(report.time_goal_met);
+}
+
+TEST(RecoveryController, ElasticWithoutProvisionerThrows) {
+  const auto& w = cd::workload_by_name("mnist");
+  const auto plan = manual_plan(4, 1, 100);
+  orch::RecoveryOptions options;
+  options.elastic = true;
+  const orch::RecoveryController controller(options);
+  const core::ProvisionGoal goal{cynthia::util::Seconds{3600.0}, 1.0};
+  EXPECT_THROW(controller.run(w, plan, cf::FaultSchedule::parse("crash:wk0@1"), goal),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- replan
+
+TEST(Provisioner, ReplanFindsFeasiblePlanForRemainingBudget) {
+  const auto& w = cd::workload_by_name("mnist");
+  const auto predictor = core::Predictor::build(w, m4());
+  const core::Provisioner provisioner(predictor.model(), predictor.loss(),
+                                      cc::Catalog::aws().provisionable());
+  const auto plan = provisioner.replan(w.sync, 500, cynthia::util::Seconds{600.0});
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.total_iterations, 500);
+  EXPECT_GT(plan.n_workers, 0);
+  EXPECT_LE(plan.predicted_time.value(), 600.0);
+  // An impossible budget reports infeasible instead of throwing.
+  const auto none = provisioner.replan(w.sync, 500, cynthia::util::Seconds{0.0});
+  EXPECT_FALSE(none.feasible);
+  EXPECT_THROW(provisioner.replan(w.sync, 0, cynthia::util::Seconds{100.0}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------- service pipeline
+
+TEST(TrainingService, SubmitWithFaultsReportsRecovery) {
+  const auto& w = cd::workload_by_name("mnist");
+  orch::TrainingService service;
+  const core::ProvisionGoal goal{cynthia::util::minutes(30.0), 0.9};
+  const auto schedule = cf::FaultSchedule::parse("crash:wk0@2");
+  const auto report = service.submit_with_faults(w, goal, schedule);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->plan.feasible);
+  EXPECT_GT(report->actual_cost.value(), 0.0);
+  EXPECT_EQ(report->training.iterations, report->plan.total_iterations);
+}
