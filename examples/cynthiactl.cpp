@@ -8,7 +8,15 @@
 //   cynthiactl simulate <workload> --workers N [--ps K] [--type T]
 //              [--iterations S] [--stragglers]
 //              [--faults SPEC] [--fault-seed N] [--fault-horizon S]
+//              [--mitigate[=POLICY]] [--minutes M] [--loss L]
 //              [--trace-out F] [--metrics-out F]  run the training simulator
+//
+// --mitigate attaches the SLO sentinel (orch::SloSentinel): stragglers and
+// degradations are detected online and mitigated under POLICY (none |
+// replace | add-ps | ssp | replan | auto; default auto — see
+// docs/FAULTS.md). Requires --iterations; --minutes/--loss set the Tg /
+// loss goals the verdict is judged against, and a missed verdict makes the
+// process exit 3 (scriptable SLO checks).
 //
 // The global --check flag turns on the runtime invariant checker
 // (util/check.hpp) for the whole invocation: fluid-solver conservation
@@ -51,6 +59,7 @@
 #include "faults/fault_spec.hpp"
 #include "models/zoo.hpp"
 #include "orchestrator/cluster_manager.hpp"
+#include "orchestrator/sentinel.hpp"
 #include "profiler/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
@@ -69,13 +78,18 @@ struct Args {
   static Args parse(int argc, char** argv) {
     // Boolean flags must be declared here, or a following positional (e.g.
     // the command in `--check simulate ...`) is swallowed as their value.
-    static const std::set<std::string> kBoolFlags = {"check", "gpu", "stragglers"};
+    static const std::set<std::string> kBoolFlags = {"check", "gpu", "stragglers",
+                                                     "mitigate"};
     Args a;
     for (int i = 1; i < argc; ++i) {
       std::string tok = argv[i];
       if (tok.rfind("--", 0) == 0) {
         const std::string name = tok.substr(2);
-        if (kBoolFlags.count(name)) {
+        const auto eq = name.find('=');
+        if (eq != std::string::npos) {
+          // --flag=value form (the only way to give a bool-ish flag a value).
+          a.options[name.substr(0, eq)] = name.substr(eq + 1);
+        } else if (kBoolFlags.count(name)) {
           a.flags[name] = true;
         } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
           a.options[name] = argv[++i];
@@ -267,7 +281,8 @@ int cmd_simulate(const Args& args) {
     std::puts(
         "usage: cynthiactl simulate <workload> --workers N [--ps K] [--type T]"
         " [--iterations S] [--stragglers] [--faults SPEC] [--fault-seed N]"
-        " [--fault-horizon S] [--trace-out F] [--metrics-out F]");
+        " [--fault-horizon S] [--mitigate[=POLICY]] [--minutes M] [--loss L]"
+        " [--trace-out F] [--metrics-out F]");
     return 2;
   }
   const auto w = resolve_workload(args.positional[1]);
@@ -295,6 +310,89 @@ int cmd_simulate(const Args& args) {
   const std::string metrics_out = args.text("metrics-out", "");
   const bool telemetry_on = !trace_out.empty() || !metrics_out.empty();
   telemetry::Telemetry tel;
+
+  const bool mitigate = args.flag("mitigate") || args.options.count("mitigate") > 0;
+  if (mitigate) {
+    if (args.flag("stragglers")) {
+      std::puts("--mitigate provisions its own homogeneous cluster; drop --stragglers");
+      return 2;
+    }
+    if (o.iterations <= 0) {
+      std::puts("--mitigate needs an explicit --iterations budget");
+      return 2;
+    }
+    orch::SentinelOptions so;
+    so.policy = orch::parse_mitigation_policy(args.text("mitigate", "auto"));
+    so.seed = seed;
+    if (telemetry_on) {
+      o.telemetry = &tel;
+      o.trace_bucket_seconds = 1.0;
+    }
+    so.training = o;
+    core::ProvisionPlan plan;
+    plan.feasible = true;
+    plan.type = type;
+    plan.n_workers = n;
+    plan.n_ps = ps;
+    plan.iterations = o.iterations;
+    plan.total_iterations = o.iterations;
+    const bool time_goal_given = args.number("minutes").has_value();
+    const bool loss_goal_given = args.number("loss").has_value();
+    core::ProvisionGoal goal;
+    goal.time_goal = time_goal_given ? util::minutes(*args.number("minutes"))
+                                     : util::Seconds{1e12};
+    goal.target_loss = loss_goal_given ? *args.number("loss") : 0.0;
+    const orch::SloSentinel sentinel(so);
+    const auto report = sentinel.run(w, plan, schedule, goal);
+    const auto& r = report.training;
+
+    util::Table t("Sentinel: " + w.name + " on " + std::to_string(n) + "x " + type.name +
+                  " + " + std::to_string(ps) + " PS, policy " +
+                  orch::to_string(so.policy));
+    t.header({"metric", "value"});
+    t.row({"iterations", std::to_string(r.iterations)});
+    t.row({"total time (s)", util::Table::num(r.total_time, 1)});
+    t.row({"final loss", util::Table::num(r.final_loss, 3)});
+    t.row({"faults injected", std::to_string(r.faults.injected)});
+    t.row({"crashes", std::to_string(r.faults.crashes)});
+    t.row({"slowdowns", std::to_string(r.faults.slowdowns)});
+    t.row({"NIC degradations", std::to_string(r.faults.nic_degradations)});
+    t.row({"blips", std::to_string(r.faults.blips)});
+    t.row({"degraded node-time (s)", util::Table::num(r.faults.degraded_node_seconds, 1)});
+    t.row({"detections", std::to_string(report.detections.size())});
+    t.row({"mitigations", std::to_string(report.mitigations.size())});
+    t.row({"segments", std::to_string(report.segments)});
+    t.row({"workers replaced", std::to_string(r.monitor.exclusions.size())});
+    t.row({"PS shards added", std::to_string(report.added_ps)});
+    t.row({"SSP downgrade", r.monitor.downgraded ? "yes" : "no"});
+    t.row({"replanned", report.replanned ? "yes" : "no"});
+    t.row({"cost ($)", util::Table::num(report.actual_cost.value(), 3)});
+    if (time_goal_given) {
+      t.row({"Tg verdict", report.time_goal_met ? "met" : "MISSED"});
+    }
+    if (loss_goal_given) {
+      t.row({"loss verdict", report.loss_goal_met ? "met" : "MISSED"});
+    }
+    t.print(std::cout);
+    for (const auto& d : report.detections) {
+      std::printf("[detect]   t=%8.1f  %s%s  severity %.2f\n", d.at_seconds, d.kind.c_str(),
+                  d.worker >= 0 ? (" wk" + std::to_string(d.worker)).c_str() : "",
+                  d.severity);
+    }
+    for (const auto& m : report.mitigations) {
+      std::printf("[mitigate] t=%8.1f  %s  (%s)\n", m.at_seconds, m.action.c_str(),
+                  m.detail.c_str());
+    }
+    if (telemetry_on) {
+      telemetry::TelemetrySummary::from(tel.metrics).table().print(std::cout);
+      if (!trace_out.empty()) tel.tracer.write_chrome_json_file(trace_out);
+      if (!metrics_out.empty()) tel.metrics.write_csv_file(metrics_out);
+    }
+    const bool missed = (time_goal_given && !report.time_goal_met) ||
+                        (loss_goal_given && !report.loss_goal_met);
+    return missed ? 3 : 0;
+  }
+
   cloud::BillingMeter billing;
   double provision_seconds = 0.0;
   if (telemetry_on) {
@@ -325,6 +423,10 @@ int cmd_simulate(const Args& args) {
   if (!schedule.empty()) {
     t.row({"faults injected", std::to_string(r.faults.injected)});
     t.row({"crashes", std::to_string(r.faults.crashes)});
+    t.row({"slowdowns", std::to_string(r.faults.slowdowns)});
+    t.row({"NIC degradations", std::to_string(r.faults.nic_degradations)});
+    t.row({"blips", std::to_string(r.faults.blips)});
+    t.row({"degraded node-time (s)", util::Table::num(r.faults.degraded_node_seconds, 1)});
     t.row({"lost iterations", std::to_string(r.faults.lost_iterations)});
     t.row({"outage (s)", util::Table::num(r.faults.outage_seconds, 1)});
     t.row({"stopped early", r.stopped_early ? "yes" : "no"});

@@ -130,10 +130,19 @@ ProvisionPlan Provisioner::plan(ddnn::SyncMode mode, const ProvisionGoal& goal,
 
 ProvisionPlan Provisioner::replan(ddnn::SyncMode mode, long remaining_iterations,
                                   util::Seconds remaining_time,
-                                  const ProvisionOptions& options) const {
+                                  const ProvisionOptions& options,
+                                  const ReplanDegradation& degradation) const {
   if (remaining_iterations <= 0) {
     throw std::invalid_argument("Provisioner::replan: nothing left to train");
   }
+  if (degradation.capability_derate <= 0.0 || degradation.capability_derate > 1.0 ||
+      degradation.slack_margin < 0.0 || degradation.slack_margin >= 1.0) {
+    throw std::invalid_argument("Provisioner::replan: degradation inputs out of range");
+  }
+  // Degradation-aware budget: predictions run slower by the measured derate
+  // and the deadline shrinks by the slack margin, so the chosen plan holds
+  // under the conditions that invalidated the previous one.
+  remaining_time = util::Seconds{remaining_time.value() * (1.0 - degradation.slack_margin)};
   if (remaining_time.value() <= 0.0) {
     // The budget is already blown; no cluster can fix that. Report the
     // failure as an infeasible plan rather than throwing — callers still
@@ -154,7 +163,8 @@ ProvisionPlan Provisioner::replan(ddnn::SyncMode mode, long remaining_iterations
     for (int n_ps = 1; n_ps <= max_ps; ++n_ps) {
       for (int n = 1; n <= max_workers; ++n) {
         const auto cluster = ddnn::ClusterSpec::homogeneous(type, n, n_ps);
-        const IterationPrediction p = model_.predict_iteration(cluster, mode);
+        IterationPrediction p = model_.predict_iteration(cluster, mode);
+        p.t_iter /= degradation.capability_derate;
         // BSP budgets are global; ASP/SSP execute remaining/n per worker.
         const long per_worker =
             mode == ddnn::SyncMode::BSP

@@ -84,6 +84,19 @@ struct ProvisionOptions {
   int max_workers_quota = 64;
 };
 
+/// Degradation-aware inputs to Provisioner::replan(), measured by the caller
+/// (the SLO sentinel) from the run so far. The defaults reproduce the healthy
+/// prediction exactly, so pre-existing call sites are unchanged.
+struct ReplanDegradation {
+  /// Measured capability as a fraction of the model's nominal prediction
+  /// (1.0 = the cluster performs as modeled; 0.8 = iterations run 25%
+  /// longer than predicted). Predicted t_iter is scaled by 1/derate.
+  double capability_derate = 1.0;
+  /// Fraction of the remaining time budget held back as slack against
+  /// further degradation (0.1 = plan as if 10% less time were left).
+  double slack_margin = 0.0;
+};
+
 class Provisioner {
  public:
   Provisioner(CynthiaModel model, LossModel loss, std::vector<cloud::InstanceType> types);
@@ -92,15 +105,21 @@ class Provisioner {
   [[nodiscard]] ProvisionPlan plan(ddnn::SyncMode mode, const ProvisionGoal& goal,
                                    const ProvisionOptions& options = {}) const;
 
+  using ReplanDegradation = core::ReplanDegradation;
+
   /// Elastic re-planning after a fault: cheapest homogeneous plan that
   /// finishes `remaining_iterations` global updates within `remaining_time`.
   /// Theorem 4.1's worker bounds assume the iteration count comes from the
   /// loss model; here it is pinned by the checkpoint instead, so the search
   /// scans the quota-limited grid directly and keeps the cheapest feasible
   /// candidate (possibly a different n_wk/n_ps than the original plan).
+  /// `degradation` biases the prediction by the measured slowdown and holds
+  /// back a slack margin, so the new plan survives the conditions that
+  /// invalidated the old one.
   [[nodiscard]] ProvisionPlan replan(ddnn::SyncMode mode, long remaining_iterations,
                                      util::Seconds remaining_time,
-                                     const ProvisionOptions& options = {}) const;
+                                     const ProvisionOptions& options = {},
+                                     const ReplanDegradation& degradation = {}) const;
 
   /// Candidates examined by the last call when keep_trace was set.
   [[nodiscard]] const std::vector<CandidateEvaluation>& considered() const {

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "ddnn/loss.hpp"
+#include "ddnn/monitor.hpp"
 #include "faults/injector.hpp"
 #include "sim/fluid.hpp"
 #include "sim/simulator.hpp"
@@ -95,6 +96,22 @@ class Session {
   /// depend on cannot appear or vanish mid-run. Checks are read-only: they
   /// must never perturb the simulated timeline (see util/check.hpp).
   const bool checks_ = util::invariants_enabled();
+
+  // --- monitor plumbing (zero simulator events unless the monitor acts) ---
+  [[nodiscard]] bool monitor_on() const { return opts_.monitor != nullptr && !finalized_; }
+  /// Probe baselines: previous probe time and per-PS saturated-time marks,
+  /// so each probe reports window-local saturation fractions.
+  double last_probe_time_ = 0.0;
+  std::vector<double> last_ps_in_sat_, last_ps_cpu_sat_;
+  /// Engine hook: per-worker busy seconds for the probe (-1 = no sample).
+  virtual void fill_worker_busy(HealthProbe& /*probe*/) {}
+  [[nodiscard]] HealthProbe make_probe();
+  /// Calls the monitor and executes its action. Returns true when the run
+  /// was cut (the caller must not continue the engine loop).
+  bool probe_and_act();
+  bool apply_monitor_action(const MonitorAction& action);
+  void exclude_worker(const MonitorAction& action);
+  void restore_worker_capacity(int w);
   void record_chain_spans(int w, double t_end);
   /// Engine hook: account per-worker idle time between the last completed
   /// cycle and the run's end so the breakdown tiles [0, end] (ASP/SSP).
@@ -192,6 +209,16 @@ void Session::build_resources() {
   ps_alive_.assign(m, 1);
   worker_epoch_.assign(n, 0);
   worker_jobs_.assign(n, {});
+  for (int w : opts_.excluded_workers) {
+    if (w < 0 || w >= n) {
+      throw std::invalid_argument("run_training: excluded worker out of range");
+    }
+    worker_alive_[w] = 0;  // blacklisted before the run; not a crash
+  }
+  if (opts_.monitor != nullptr) {
+    last_ps_in_sat_.assign(m, 0.0);
+    last_ps_cpu_sat_.assign(m, 0.0);
+  }
   if (tel_) {
     chain_tel_.assign(n, ChainTel{});
     tracks_cpu_.reserve(n);
@@ -303,6 +330,14 @@ void Session::finalize(double end_time) {
   result_.iterations = closed_updates_;
   result_.stopped_early = stopped_early_;
   result_.total_time = end_time;
+  // Satellite of the fault report: non-crash degradations are *visible* in
+  // the summary, not silently folded into training time. An event still
+  // active at the end degrades its node until end_time.
+  for (const FaultEventOutcome& outcome : result_.faults.events) {
+    if (!outcome.fired || outcome.spec.kind == faults::FaultKind::kCrash) continue;
+    const double until = outcome.recovered_at >= 0.0 ? outcome.recovered_at : end_time;
+    result_.faults.degraded_node_seconds += std::max(0.0, until - outcome.injected_at);
+  }
   result_.avg_iteration_time = end_time / std::max<long>(1, closed_updates_);
   result_.final_loss = loss_.observe(opts_.loss_iteration_offset + closed_updates_);
 
@@ -384,9 +419,14 @@ void Session::finalize(double end_time) {
     }
     if (result_.faults.injected > 0) {
       mtr.counter(metric::kFaultCrashes).inc(static_cast<double>(result_.faults.crashes));
+      mtr.counter(metric::kFaultSlowdowns).inc(static_cast<double>(result_.faults.slowdowns));
+      mtr.counter(metric::kFaultNicDegradations)
+          .inc(static_cast<double>(result_.faults.nic_degradations));
+      mtr.counter(metric::kFaultBlips).inc(static_cast<double>(result_.faults.blips));
       mtr.counter(metric::kFaultLostIterations)
           .inc(static_cast<double>(result_.faults.lost_iterations));
       mtr.counter(metric::kFaultOutageSeconds).inc(result_.faults.outage_seconds);
+      mtr.counter(metric::kFaultDegradedNodeSeconds).inc(result_.faults.degraded_node_seconds);
     }
     // Close the recording window: chains still draining past end_time (ASP
     // tail) must not leak into the breakdown.
@@ -446,9 +486,11 @@ void Session::apply_fault(const faults::FaultSpec& fault, std::size_t idx) {
   }
   switch (fault.kind) {
     case faults::FaultKind::kSlowdown:
+      ++result_.faults.slowdowns;
       set_node_cpu(fault, node_base_cpu(fault) / std::max(1.0, fault.slowdown_factor));
       break;
     case faults::FaultKind::kNicDegradation: {
+      ++result_.faults.nic_degradations;
       const double base = node_base_nic(fault);
       const double degraded = fault.degraded_mbps > 0.0 ? std::min(fault.degraded_mbps, base)
                                                         : base * fault.degraded_fraction;
@@ -456,6 +498,7 @@ void Session::apply_fault(const faults::FaultSpec& fault, std::size_t idx) {
       break;
     }
     case faults::FaultKind::kTransientBlip: {
+      ++result_.faults.blips;
       // A frozen node, not a removed one: capacities collapse but stay
       // positive so in-flight flows stall rather than starve.
       const double factor = std::max(1.0, fault.slowdown_factor);
@@ -558,6 +601,106 @@ void Session::stop_now() {
   finalize(sim_.now());
 }
 
+// --- monitor plumbing ---
+
+HealthProbe Session::make_probe() {
+  HealthProbe probe;
+  probe.now = sim_.now();
+  probe.iteration = closed_updates_;
+  probe.total_iterations = total_iterations_;
+  probe.mode = workload_.sync;
+  probe.window_seconds = probe.now - last_probe_time_;
+  probe.worker_busy_seconds.assign(cluster_.n_workers(), -1.0);
+  const double window = probe.window_seconds;
+  for (int k = 0; k < cluster_.n_ps(); ++k) {
+    // Saturated-time reads are non-mutating (the open segment is accounted
+    // without a settle), so probing never perturbs the fluid timeline.
+    const double in_sat = fluid_.resource_saturated_seconds(ps_in_[k]);
+    const double cpu_sat = fluid_.resource_saturated_seconds(ps_cpu_[k]);
+    if (window > 1e-12) {
+      probe.ps_nic_saturated_fraction =
+          std::max(probe.ps_nic_saturated_fraction, (in_sat - last_ps_in_sat_[k]) / window);
+      probe.ps_cpu_saturated_fraction =
+          std::max(probe.ps_cpu_saturated_fraction, (cpu_sat - last_ps_cpu_sat_[k]) / window);
+    }
+    last_ps_in_sat_[k] = in_sat;
+    last_ps_cpu_sat_[k] = cpu_sat;
+  }
+  last_probe_time_ = probe.now;
+  return probe;
+}
+
+bool Session::probe_and_act() {
+  HealthProbe probe = make_probe();
+  fill_worker_busy(probe);
+  return apply_monitor_action(opts_.monitor->observe(probe));
+}
+
+bool Session::apply_monitor_action(const MonitorAction& action) {
+  switch (action.kind) {
+    case MonitorAction::Kind::kNone:
+      return false;
+    case MonitorAction::Kind::kExcludeWorker:
+      exclude_worker(action);
+      return false;
+    case MonitorAction::Kind::kDowngradeSsp:
+      if (workload_.sync != SyncMode::BSP) return false;  // already asynchronous
+      result_.monitor.downgraded = true;
+      result_.monitor.downgraded_at = sim_.now();
+      result_.monitor.downgraded_at_iteration = closed_updates_;
+      result_.monitor.staleness_bound = std::max(1, action.staleness_bound);
+      break;
+    case MonitorAction::Kind::kStop:
+      break;
+  }
+  // kStop and kDowngradeSsp both cut the run at this clean sync point;
+  // run_training (or the SLO sentinel) owns the continuation.
+  result_.monitor.stopped = true;
+  result_.monitor.stop_reason = action.reason;
+  if (tel_on()) {
+    const std::string why = action.reason.empty() ? std::string("stop") : action.reason;
+    tel_->tracer.instant("sentinel", "cut:" + why, "sentinel", sim_.now());
+  }
+  stop_now();
+  return true;
+}
+
+void Session::exclude_worker(const MonitorAction& action) {
+  const int w = action.target;
+  if (w < 0 || w >= cluster_.n_workers() || !worker_alive_[w]) return;
+  if (alive_workers() <= 1) return;  // never blacklist the last worker
+  MonitorExclusion record;
+  record.worker = w;
+  record.at = sim_.now();
+  worker_alive_[w] = 0;
+  void_worker(w);
+  if (tel_on()) {
+    tel_->tracer.instant("sentinel", "exclude:wk" + std::to_string(w), "sentinel", sim_.now());
+    tel_->metrics.counter(metric::kSentinelExclusions).inc();
+  }
+  if (action.replacement_after_seconds >= 0.0) {
+    record.replaced_at = sim_.now() + action.replacement_after_seconds;
+    sim_.after(action.replacement_after_seconds, [this, w] {
+      if (finalized_ || worker_alive_[w]) return;
+      worker_alive_[w] = 1;
+      restore_worker_capacity(w);  // the replacement joins at full capability
+      if (tel_on()) {
+        tel_->tracer.instant("sentinel", "replacement:wk" + std::to_string(w), "sentinel",
+                             sim_.now());
+      }
+      engine_worker_recovered(w);
+    });
+  }
+  result_.monitor.exclusions.push_back(record);
+  engine_worker_crashed(w);
+}
+
+void Session::restore_worker_capacity(int w) {
+  fluid_.set_resource_capacity(worker_cpu_[w], cluster_.workers[w].cpu.value());
+  fluid_.set_resource_capacity(worker_eg_[w], cluster_.workers[w].nic.value());
+  fluid_.set_resource_capacity(worker_in_[w], cluster_.workers[w].nic.value());
+}
+
 TrainResult Session::run() {
   if (opts_.iterations < 0) throw std::invalid_argument("run_training: negative iterations");
   total_iterations_ = opts_.iterations > 0 ? opts_.iterations : workload_.default_iterations;
@@ -566,6 +709,9 @@ TrainResult Session::run() {
     throw std::invalid_argument("run_training: cluster needs workers and PS nodes");
   }
   build_resources();
+  if (alive_workers() == 0) {
+    throw std::invalid_argument("run_training: every worker is excluded");
+  }
   arm_faults();
   if (opts_.stop_after_seconds > 0.0) {
     sim_.at(opts_.stop_after_seconds, [this] { stop_now(); });
@@ -617,7 +763,21 @@ class BspSession final : public Session {
   double tiled_barrier_ = 0.0;
   double tiled_outage_ = 0.0;
 
-  [[nodiscard]] bool track_phases() const { return tel_on() || checks_; }
+  [[nodiscard]] bool track_phases() const {
+    return tel_on() || checks_ || opts_.monitor != nullptr;
+  }
+
+  /// Per-worker busy time in the just-closed slot: from the slot open to the
+  /// worker's last phase end. Workers with no phase this slot (dead, or a
+  /// replacement that joined mid-iteration) report no sample.
+  void fill_worker_busy(HealthProbe& probe) override {
+    for (int j = 0; j < cluster_.n_workers(); ++j) {
+      if (!worker_alive_[j]) continue;
+      if (tel_comp_done_[j] < 0.0 && tel_comm_done_[j] < 0.0) continue;
+      const double busy_end = std::max({tel_comp_done_[j], tel_comm_done_[j], iter_start_});
+      probe.worker_busy_seconds[j] = busy_end - iter_start_;
+    }
+  }
 
   void start_engine() override {
     computed_last_.assign(cluster_.n_workers(), 0);
@@ -831,6 +991,12 @@ class BspSession final : public Session {
                     tiled_outage_, " = ", tiled, " vs total ", end_time_);
       return;
     }
+    // Monitor probe at the closed barrier — the one point where nothing is
+    // in flight, so an exclusion or a sync-mode cut cannot orphan work. The
+    // tiling invariant holds per segment by construction.
+    if (monitor_on() && iter_ >= 1 && participants > 0) {
+      if (probe_and_act()) return;  // the monitor cut the run
+    }
     begin_iteration(iter_ + 1);
   }
 };
@@ -850,12 +1016,14 @@ class AspSession : public Session {
   std::vector<char> in_flight_;        // worker currently owns an issued cycle
   std::vector<double> tel_comp_end_;   // current cycle's compute finish
   std::vector<double> tel_last_busy_;  // end of the last *completed* cycle
+  std::vector<double> last_cycle_seconds_;  // most recent full cycle, for probes
 
   void start_engine() override {
     const int n = cluster_.n_workers();
     cycle_start_.assign(n, 0.0);
     worker_completed_.assign(n, 0);
     in_flight_.assign(n, 0);
+    last_cycle_seconds_.assign(n, -1.0);
     if (tel_) {
       tel_comp_end_.assign(n, 0.0);
       tel_last_busy_.assign(n, 0.0);
@@ -864,9 +1032,19 @@ class AspSession : public Session {
     // in lockstep on a real cluster, and without the offset all n pushes
     // collide at the PS every cycle, which a fluid model would overstate.
     for (int j = 0; j < n; ++j) {
+      if (!worker_alive_[j]) continue;  // blacklisted before the run
       const double cycle = workload_.witer.value() / cluster_.workers[j].cpu.value();
       const double offset = cycle * static_cast<double>(j) / static_cast<double>(n);
       sim_.after(offset, [this, j] { next_iteration(j); });
+    }
+  }
+
+  /// Most recent completed cycle per worker; no sample until a worker has
+  /// finished its first cycle.
+  void fill_worker_busy(HealthProbe& probe) override {
+    for (int j = 0; j < cluster_.n_workers(); ++j) {
+      if (!worker_alive_[j] || last_cycle_seconds_[j] < 0.0) continue;
+      probe.worker_busy_seconds[j] = last_cycle_seconds_[j];
     }
   }
 
@@ -909,6 +1087,7 @@ class AspSession : public Session {
         ++completed_;
         ++worker_completed_[w];
         in_flight_[w] = 0;
+        last_cycle_seconds_[w] = t_done - cycle_start_[w];
         closed_updates_ = completed_;
         // Iteration-counter conservation: completions never outrun issues,
         // and issues never exceed the budget.
@@ -922,6 +1101,10 @@ class AspSession : public Session {
           return;
         }
         on_cycle_complete(w);
+        // Monitor probe at cycle completion: the completing worker is idle,
+        // so excluding it (or cutting the run) orphans nothing of its own;
+        // other workers' voided cycles are reclaimed by the crash machinery.
+        if (monitor_on() && probe_and_act()) return;
         next_iteration(w);
       });
     });
@@ -1033,8 +1216,11 @@ class SspSession final : public AspSession {
     // cycle the iteration gap across workers stays within it. A crash
     // legitimately breaks the historical gap (survivors advance while the
     // victim's count is frozen, and its replacement resumes far behind), so
-    // the check only binds on crash-free runs.
-    if (checks_ && result_.faults.crashes == 0) {
+    // the check only binds on crash-free runs. Monitor exclusions freeze a
+    // counter the same way (and a pre-excluded worker starts frozen at the
+    // resumed segment's floor), so they lift the check too.
+    if (checks_ && result_.faults.crashes == 0 && opts_.excluded_workers.empty() &&
+        result_.monitor.exclusions.empty()) {
       long lead_max = worker_completed_[0], lead_min = worker_completed_[0];
       for (int j = 1; j < cluster_.n_workers(); ++j) {
         lead_max = std::max(lead_max, worker_completed_[j]);
@@ -1088,10 +1274,9 @@ class SspSession final : public AspSession {
   }
 };
 
-}  // namespace
-
-TrainResult run_training(const ClusterSpec& cluster, const WorkloadSpec& workload,
-                         const TrainOptions& options) {
+/// Dispatches one segment to the engine matching the workload's sync mode.
+TrainResult run_one(const ClusterSpec& cluster, const WorkloadSpec& workload,
+                    const TrainOptions& options) {
   switch (workload.sync) {
     case SyncMode::BSP: {
       BspSession session(cluster, workload, options);
@@ -1106,6 +1291,172 @@ TrainResult run_training(const ClusterSpec& cluster, const WorkloadSpec& workloa
   }
   AspSession session(cluster, workload, options);
   return session.run();
+}
+
+}  // namespace
+
+TrainResult merge_train_segments(const TrainResult& seg1, const TrainResult& seg2,
+                                 double resume_at_seconds, double gap_outage_seconds,
+                                 const CarriedSchedule* carried) {
+  TrainResult merged = seg2;  // cluster-shape fields describe segment two
+  merged.iterations = seg1.iterations + seg2.iterations;
+  merged.total_time = resume_at_seconds + seg2.total_time;
+  merged.computation_time = seg1.computation_time + seg2.computation_time;
+  merged.communication_time = seg1.communication_time + seg2.communication_time;
+  merged.avg_iteration_time = merged.total_time / std::max<long>(1, merged.iterations);
+  merged.stopped_early = seg2.stopped_early;
+
+  // Loss curve: segment one's samples up to its durable count, then the
+  // continuation (already on the global iteration axis via its offset).
+  merged.loss_curve.clear();
+  for (const LossSample& s : seg1.loss_curve) {
+    if (s.iteration <= seg1.iterations) merged.loss_curve.push_back(s);
+  }
+  for (const LossSample& s : seg2.loss_curve) {
+    if (merged.loss_curve.empty() || s.iteration > merged.loss_curve.back().iteration) {
+      merged.loss_curve.push_back(s);
+    }
+  }
+
+  // Fault accounting: sum the segments, subtracting the continuation's
+  // re-injections (already counted when they first fired in segment one).
+  FaultSummary f;
+  f.injected = seg1.faults.injected + seg2.faults.injected;
+  f.crashes = seg1.faults.crashes + seg2.faults.crashes;
+  f.slowdowns = seg1.faults.slowdowns + seg2.faults.slowdowns;
+  f.nic_degradations = seg1.faults.nic_degradations + seg2.faults.nic_degradations;
+  f.blips = seg1.faults.blips + seg2.faults.blips;
+  if (carried != nullptr) {
+    f.injected -= carried->continued_total();
+    f.crashes -= carried->continued_crashes;
+    f.slowdowns -= carried->continued_slowdowns;
+    f.nic_degradations -= carried->continued_nic;
+    f.blips -= carried->continued_blips;
+  }
+  f.lost_iterations = seg1.faults.lost_iterations + seg2.faults.lost_iterations;
+  f.outage_seconds =
+      seg1.faults.outage_seconds + seg2.faults.outage_seconds + gap_outage_seconds;
+  f.degraded_node_seconds =
+      seg1.faults.degraded_node_seconds + seg2.faults.degraded_node_seconds;
+  for (const FaultEventOutcome& e : seg1.faults.events) {
+    if (e.fired) f.events.push_back(e);  // unfired ones carried into segment two
+  }
+  for (const FaultEventOutcome& e : seg2.faults.events) {
+    // carry_schedule re-injects still-active faults at exactly t = 0, and
+    // shifts every unfired event to a strictly positive time — so with a
+    // carried schedule, time 0 identifies a continuation of a fault already
+    // listed above. Fold its recovery back into the original record.
+    // Exact on purpose: re-injections are constructed with literal 0.0.
+    if (carried != nullptr && e.spec.time_seconds == 0.0) {  // cynthia-lint: allow(FLT-001)
+      if (e.fired && e.recovered_at >= 0.0) {
+        for (FaultEventOutcome& orig : f.events) {
+          if (orig.spec.kind == e.spec.kind && orig.spec.target == e.spec.target &&
+              orig.spec.on_ps == e.spec.on_ps && orig.fired && orig.recovered_at < 0.0) {
+            orig.recovered_at = resume_at_seconds + e.recovered_at;
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    FaultEventOutcome shifted = e;
+    shifted.spec.time_seconds += resume_at_seconds;
+    if (shifted.fired) shifted.injected_at += resume_at_seconds;
+    if (shifted.recovered_at >= 0.0) shifted.recovered_at += resume_at_seconds;
+    f.events.push_back(std::move(shifted));
+  }
+  merged.faults = std::move(f);
+
+  // Monitor record: segment one's history plus the continuation's, with the
+  // continuation's clock shifted onto the job clock.
+  MonitorOutcome mo = seg1.monitor;
+  for (MonitorExclusion e : seg2.monitor.exclusions) {
+    e.at += resume_at_seconds;
+    if (e.replaced_at >= 0.0) e.replaced_at += resume_at_seconds;
+    mo.exclusions.push_back(e);
+  }
+  mo.stopped = seg2.monitor.stopped;
+  mo.stop_reason = seg2.monitor.stop_reason;
+  if (seg2.monitor.downgraded) {
+    mo.downgraded = true;
+    mo.downgraded_at = resume_at_seconds + seg2.monitor.downgraded_at;
+    mo.downgraded_at_iteration = seg1.iterations + seg2.monitor.downgraded_at_iteration;
+    mo.staleness_bound = seg2.monitor.staleness_bound;
+  }
+  merged.monitor = std::move(mo);
+  return merged;
+}
+
+TrainResult run_training(const ClusterSpec& cluster, const WorkloadSpec& workload,
+                         const TrainOptions& options) {
+  TrainResult first = run_one(cluster, workload, options);
+  // kStop cuts (reconfiguration reasons) are returned as-is — the outer
+  // controller (the SLO sentinel) owns those continuations. Only the
+  // BSP -> SSP downgrade is finished here: it needs no new cluster.
+  if (!first.monitor.downgraded) return first;
+
+  // BSP -> SSP downgrade: finish the remaining budget under SSP on the same
+  // cluster, resuming at the cut with zero gap — the same nodes keep
+  // running, only the synchronization discipline changes. Every update
+  // closed before the cut is durable (the PS stayed up).
+  const long budget = options.iterations > 0 ? options.iterations : workload.default_iterations;
+  const long remaining = budget - first.iterations;
+  if (remaining <= 0) return first;
+  const double cut = first.total_time;
+
+  WorkloadSpec continued = workload;
+  continued.sync = SyncMode::SSP;
+  continued.ssp_staleness_bound = std::max(1, first.monitor.staleness_bound);
+
+  TrainOptions o2 = options;
+  o2.iterations = remaining;
+  o2.seed = options.seed * 1000003ULL + 0x5350ULL;  // decorrelate the SSP leg
+  o2.ssp_staleness_bound = continued.ssp_staleness_bound;
+  o2.loss_iteration_offset = options.loss_iteration_offset + first.iterations;
+  // Workers blacklisted before or during segment one stay out. A replacement
+  // that already joined rejoins the SSP leg as a fresh worker; one scheduled
+  // but not yet joined at the cut is dropped with the cut (its join event
+  // died with segment one's simulator — documented in docs/FAULTS.md).
+  for (const MonitorExclusion& e : first.monitor.exclusions) {
+    if (e.replaced_at >= 0.0 && e.replaced_at <= cut) continue;
+    o2.excluded_workers.push_back(e.worker);
+  }
+  std::sort(o2.excluded_workers.begin(), o2.excluded_workers.end());
+  o2.excluded_workers.erase(std::unique(o2.excluded_workers.begin(), o2.excluded_workers.end()),
+                            o2.excluded_workers.end());
+  if (options.stop_after_seconds > 0.0) {
+    const double left = options.stop_after_seconds - cut;
+    if (left <= 0.0) return first;
+    o2.stop_after_seconds = left;
+  }
+
+  // Still-active degradations carry onto the continuation (same physical
+  // nodes); unfired events shift onto its clock.
+  CarriedSchedule carried;
+  const CarriedSchedule* carried_ptr = nullptr;
+  if (options.faults != nullptr && !options.faults->empty()) {
+    carried = carry_schedule(*options.faults, first.faults.events, cut, /*gap_seconds=*/0.0,
+                             cluster.n_workers(), cluster.n_ps(), /*carry_active=*/true);
+    o2.faults = carried.schedule.empty() ? nullptr : &carried.schedule;
+    carried_ptr = &carried;
+  }
+
+  telemetry::Telemetry* tel = options.telemetry;
+  double saved_offset = 0.0;
+  if (tel != nullptr) {
+    saved_offset = tel->tracer.time_offset();
+    tel->tracer.set_time_offset(saved_offset + cut);
+  }
+  TrainResult second;
+  try {
+    second = run_one(cluster, continued, o2);
+  } catch (...) {
+    if (tel != nullptr) tel->tracer.set_time_offset(saved_offset);
+    throw;
+  }
+  if (tel != nullptr) tel->tracer.set_time_offset(saved_offset);
+
+  return merge_train_segments(first, second, cut, /*gap_outage_seconds=*/0.0, carried_ptr);
 }
 
 RepeatedResult run_repeated(const ClusterSpec& cluster, const WorkloadSpec& workload,

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "ddnn/cluster.hpp"
+#include "ddnn/monitor.hpp"
 #include "ddnn/workload.hpp"
 #include "faults/fault_spec.hpp"
 #include "util/time_series.hpp"
@@ -84,6 +85,16 @@ struct TrainOptions {
   /// Iteration offset fed to the loss process, so a resumed segment
   /// continues the loss curve from its checkpoint instead of restarting it.
   long loss_iteration_offset = 0;
+
+  /// Optional health observer called at every clean sync point (BSP barrier
+  /// close / ASP cycle completion); not owned. nullptr — or a monitor that
+  /// never acts — reproduces the unmonitored run bit-exactly. See
+  /// ddnn/monitor.hpp.
+  TrainingMonitor* monitor = nullptr;
+
+  /// Workers blacklisted before the run starts (dead from t=0, not counted
+  /// as crashes). Used to resume a segment after a mid-run exclusion.
+  std::vector<int> excluded_workers;
 };
 
 struct LossSample {
@@ -105,9 +116,34 @@ struct FaultEventOutcome {
 struct FaultSummary {
   long injected = 0;
   long crashes = 0;
+  long slowdowns = 0;          ///< CPU slowdown faults that fired
+  long nic_degradations = 0;   ///< NIC degradation faults that fired
+  long blips = 0;              ///< transient blips that fired
   long lost_iterations = 0;   ///< un-checkpointed updates redone after PS crashes
   double outage_seconds = 0.0;  ///< time training was suspended on a dead PS
+  /// Node-seconds spent under an active non-crash degradation (summed over
+  /// events; overlapping degradations on different nodes both count).
+  double degraded_node_seconds = 0.0;
   std::vector<FaultEventOutcome> events;
+};
+
+/// One monitor-driven blacklist event inside a run.
+struct MonitorExclusion {
+  int worker = -1;
+  double at = 0.0;           ///< simulation time the worker was cut out
+  double replaced_at = -1.0; ///< scheduled replacement join; < 0 = permanent
+};
+
+/// Interventions a TrainingMonitor performed during the run; empty/false
+/// when no monitor was attached or it never acted.
+struct MonitorOutcome {
+  std::vector<MonitorExclusion> exclusions;
+  bool stopped = false;          ///< a monitor action cut the run
+  std::string stop_reason;       ///< MonitorAction::reason of the cut
+  bool downgraded = false;       ///< BSP -> SSP switch happened
+  double downgraded_at = -1.0;
+  long downgraded_at_iteration = 0;
+  int staleness_bound = 0;       ///< bound of the SSP continuation
 };
 
 struct TrainResult {
@@ -138,7 +174,19 @@ struct TrainResult {
   /// run; `iterations` then holds the updates durably applied by the cut.
   bool stopped_early = false;
   FaultSummary faults;
+  MonitorOutcome monitor;
 };
+
+/// Stitches two segments of one job into one result after a deliberate cut
+/// (every closed update of segment one is durable — the PS was up when the
+/// run was cut). `resume_at_seconds` is the job-clock time segment two started;
+/// `gap_outage_seconds` (= resume_at_seconds - cut) is counted as outage. Cluster-
+/// shape-dependent fields (utilization, ingress) describe segment two's
+/// cluster, following the elastic-recovery convention. `carried`, when the
+/// continuation re-injected still-active faults, deduplicates their counts.
+TrainResult merge_train_segments(const TrainResult& seg1, const TrainResult& seg2,
+                                 double resume_at_seconds, double gap_outage_seconds,
+                                 const CarriedSchedule* carried = nullptr);
 
 /// Runs one training job to completion; deterministic for a given seed.
 TrainResult run_training(const ClusterSpec& cluster, const WorkloadSpec& workload,

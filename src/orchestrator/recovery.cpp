@@ -10,10 +10,8 @@
 
 namespace cynthia::orch {
 
-namespace {
+namespace detail {
 
-/// Checkpoint restore: the replacement node reads the full parameter
-/// payload back from durable storage before training can resume.
 double restore_read_seconds(const ddnn::WorkloadSpec& workload, double bandwidth_mbps) {
   return workload.gparam.value() / std::max(1.0, bandwidth_mbps);
 }
@@ -22,10 +20,6 @@ std::uint64_t replacement_seed(std::uint64_t seed, std::size_t crash_index) {
   return seed * 1000003ull + 7919ull * (crash_index + 1);
 }
 
-/// Measures how long one replacement node of the plan's type takes to walk
-/// the launch -> boot -> install -> kubeadm-join lifecycle to Ready, on a
-/// dedicated control-plane clock (join failures are repaired by deploy()'s
-/// replacement loop, exactly as at initial provisioning time).
 double measure_replacement(const core::ProvisionPlan& plan, std::uint64_t seed) {
   sim::Simulator sim;
   cloud::BillingMeter billing;
@@ -38,6 +32,14 @@ double measure_replacement(const core::ProvisionPlan& plan, std::uint64_t seed) 
   manager.teardown(replacement);
   return seconds;
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::measure_replacement;
+using detail::replacement_seed;
+using detail::restore_read_seconds;
 
 /// Bills every fired crash's replacement node: metered from the moment the
 /// master reacts (detection) until the end of training.
@@ -112,6 +114,12 @@ ddnn::TrainResult merge_segments(const ddnn::TrainResult& seg1, long durable,
   merged.faults = {};
   merged.faults.injected = seg1.faults.injected + seg2.faults.injected;
   merged.faults.crashes = seg1.faults.crashes + seg2.faults.crashes;
+  merged.faults.slowdowns = seg1.faults.slowdowns + seg2.faults.slowdowns;
+  merged.faults.nic_degradations =
+      seg1.faults.nic_degradations + seg2.faults.nic_degradations;
+  merged.faults.blips = seg1.faults.blips + seg2.faults.blips;
+  merged.faults.degraded_node_seconds =
+      seg1.faults.degraded_node_seconds + seg2.faults.degraded_node_seconds;
   merged.faults.lost_iterations = seg1.faults.lost_iterations + seg2.faults.lost_iterations;
   // The whole crash -> resume window is an outage: training ran nowhere.
   merged.faults.outage_seconds = seg1.faults.outage_seconds + seg2.faults.outage_seconds +

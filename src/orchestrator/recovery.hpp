@@ -30,6 +30,20 @@
 
 namespace cynthia::orch {
 
+namespace detail {
+/// Checkpoint restore: the replacement node reads the full parameter
+/// payload back from durable storage before training can resume.
+double restore_read_seconds(const ddnn::WorkloadSpec& workload, double bandwidth_mbps);
+/// Deterministic per-replacement seed derivation shared by the recovery
+/// controller and the SLO sentinel.
+std::uint64_t replacement_seed(std::uint64_t seed, std::size_t crash_index);
+/// Measures how long one replacement node of the plan's type takes to walk
+/// the launch -> boot -> install -> kubeadm-join lifecycle to Ready, on a
+/// dedicated control-plane clock (join failures are repaired by deploy()'s
+/// replacement loop, exactly as at initial provisioning time).
+double measure_replacement(const core::ProvisionPlan& plan, std::uint64_t seed);
+}  // namespace detail
+
 struct RecoveryOptions {
   /// Master-side failure detection latency (missed-heartbeat window).
   double detection_seconds = 5.0;

@@ -98,6 +98,13 @@ double FluidSystem::resource_volume_served(ResourceId id) const {
   return r.busy_integral + r.used_rate * dt;
 }
 
+double FluidSystem::resource_saturated_seconds(ResourceId id) const {
+  const Resource& r = resources_.at(id);
+  const double dt = std::max(0.0, sim_->now() - last_settle_);
+  const bool saturated_now = r.used_rate >= r.capacity - (r.capacity * 1e-9 + 1e-12);
+  return r.saturated_integral + (saturated_now ? dt : 0.0);
+}
+
 void FluidSystem::set_resource_capacity(ResourceId id, double capacity) {
   if (id >= resources_.size()) throw std::out_of_range("FluidSystem: bad resource id");
   if (capacity <= 0.0) {
@@ -131,6 +138,9 @@ void FluidSystem::settle() {
   }
   for (auto& r : resources_) {
     r.busy_integral += r.used_rate * dt;
+    if (r.used_rate >= r.capacity - (r.capacity * 1e-9 + 1e-12)) {
+      r.saturated_integral += dt;
+    }
     if (r.trace) r.trace->add_segment(last_settle_, now, r.used_rate);
   }
   last_settle_ = now;

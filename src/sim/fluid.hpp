@@ -63,6 +63,11 @@ class FluidSystem {
   [[nodiscard]] double resource_utilization(ResourceId id, double until) const;
   /// Busy integral: total units served so far.
   [[nodiscard]] double resource_volume_served(ResourceId id) const;
+  /// Total time (seconds) the max-min allocation has held this resource at
+  /// capacity, i.e. the time it was the binding constraint for some job.
+  /// Cheap always-on bookkeeping; the sentinel diffs it between probes to
+  /// attribute a degradation to the PS NIC vs the PS CPU vs a worker.
+  [[nodiscard]] double resource_saturated_seconds(ResourceId id) const;
   /// Trace of the used rate, or nullptr if tracing was not enabled.
   /// Settles first so the trace includes the open segment since the last
   /// reallocation — without this, reads taken after the simulation drains
@@ -90,8 +95,9 @@ class FluidSystem {
   struct Resource {
     std::string name;
     double capacity = 0.0;
-    double busy_integral = 0.0;   // sum of rate*dt
-    double used_rate = 0.0;       // current allocation
+    double busy_integral = 0.0;       // sum of rate*dt
+    double saturated_integral = 0.0;  // sum of dt while used_rate ~= capacity
+    double used_rate = 0.0;           // current allocation
     std::unique_ptr<util::RateTrace> trace;
   };
 

@@ -51,7 +51,19 @@ inline constexpr char kFaultCrashes[] = "faults.crashes";
 inline constexpr char kFaultLostIterations[] = "faults.lost_iterations";
 inline constexpr char kFaultOutageSeconds[] = "faults.outage_seconds";
 inline constexpr char kFaultRecoverySeconds[] = "faults.recovery_seconds";
+inline constexpr char kFaultSlowdowns[] = "faults.slowdowns";
+inline constexpr char kFaultNicDegradations[] = "faults.nic_degradations";
+inline constexpr char kFaultBlips[] = "faults.blips";
+inline constexpr char kFaultDegradedNodeSeconds[] = "faults.degraded_node_seconds";
 inline constexpr char kRestoreSeconds[] = "spot.restore_seconds";
+// SLO sentinel (orchestrator/sentinel.hpp): detection/mitigation counters
+// recorded on the run's telemetry alongside the "sentinel" trace track.
+inline constexpr char kSentinelDetections[] = "sentinel.detections";
+inline constexpr char kSentinelMitigations[] = "sentinel.mitigations";
+inline constexpr char kSentinelExclusions[] = "sentinel.exclusions";
+inline constexpr char kSentinelSspDowngrades[] = "sentinel.ssp_downgrades";
+inline constexpr char kSentinelAddedPs[] = "sentinel.added_ps";
+inline constexpr char kSentinelReplans[] = "sentinel.replans";
 }  // namespace metric
 
 /// Metrics + trace for one experiment run.

@@ -12,8 +12,10 @@
 #include "cloud/instance.hpp"
 #include "cloud/spot.hpp"
 #include "ddnn/cluster.hpp"
+#include "ddnn/monitor.hpp"
 #include "ddnn/trainer.hpp"
 #include "ddnn/workload.hpp"
+#include "faults/fault_spec.hpp"
 #include "orchestrator/spot_runner.hpp"
 
 namespace cc = cynthia::cloud;
@@ -94,4 +96,73 @@ TEST(Determinism, TrainingRunTwiceYieldsIdenticalTimeline) {
   for (std::size_t i = 0; i < a.loss_curve.size(); ++i) {
     EXPECT_EQ(a.loss_curve[i].loss, b.loss_curve[i].loss);
   }
+}
+
+namespace {
+
+/// A monitor that watches every probe but never acts — per the contract in
+/// ddnn/monitor.hpp its mere presence must not perturb the simulation.
+class NullMonitor : public cd::TrainingMonitor {
+ public:
+  cd::MonitorAction observe(const cd::HealthProbe& probe) override {
+    ++probes;
+    last_iteration = probe.iteration;
+    return {};
+  }
+  int probes = 0;
+  long last_iteration = 0;
+};
+
+}  // namespace
+
+TEST(Determinism, NeverActingMonitorIsBitIdenticalToNoMonitor) {
+  for (const char* workload : {"mnist", "resnet32"}) {  // BSP and ASP
+    const auto& w = cd::workload_by_name(workload);
+    auto cluster = cd::ClusterSpec::homogeneous(m4(), 4, 1);
+    cd::TrainOptions bare;
+    bare.iterations = 80;
+    const auto without = cd::run_training(cluster, w, bare);
+
+    NullMonitor monitor;
+    cd::TrainOptions observed = bare;
+    observed.monitor = &monitor;
+    const auto with = cd::run_training(cluster, w, observed);
+
+    EXPECT_EQ(without.total_time, with.total_time) << workload;
+    EXPECT_EQ(without.final_loss, with.final_loss) << workload;
+    EXPECT_EQ(without.computation_time, with.computation_time) << workload;
+    EXPECT_EQ(without.communication_time, with.communication_time) << workload;
+    ASSERT_EQ(without.loss_curve.size(), with.loss_curve.size()) << workload;
+    for (std::size_t i = 0; i < without.loss_curve.size(); ++i) {
+      EXPECT_EQ(without.loss_curve[i].loss, with.loss_curve[i].loss) << workload;
+    }
+    EXPECT_GT(monitor.probes, 0) << workload;  // the monitor really was probed
+    EXPECT_FALSE(with.monitor.stopped) << workload;
+    EXPECT_TRUE(with.monitor.exclusions.empty()) << workload;
+  }
+}
+
+TEST(Determinism, NeverActingMonitorIsBitIdenticalUnderFaults) {
+  // Slow/NIC degradations bend the timeline; the probe bookkeeping still
+  // must not add or reorder a single simulator event.
+  const auto& w = cd::workload_by_name("cifar10");
+  auto cluster = cd::ClusterSpec::homogeneous(m4(), 4, 1);
+  const auto schedule =
+      cynthia::faults::FaultSchedule::parse("slow:wk1@60x2+120;nic:wk2@90=80+120");
+  cd::TrainOptions bare;
+  bare.iterations = 120;
+  bare.faults = &schedule;
+  const auto without = cd::run_training(cluster, w, bare);
+
+  NullMonitor monitor;
+  cd::TrainOptions observed = bare;
+  observed.monitor = &monitor;
+  const auto with = cd::run_training(cluster, w, observed);
+
+  EXPECT_EQ(without.total_time, with.total_time);
+  EXPECT_EQ(without.final_loss, with.final_loss);
+  EXPECT_EQ(without.faults.slowdowns, with.faults.slowdowns);
+  EXPECT_EQ(without.faults.nic_degradations, with.faults.nic_degradations);
+  EXPECT_EQ(without.faults.degraded_node_seconds, with.faults.degraded_node_seconds);
+  EXPECT_GT(monitor.probes, 0);
 }

@@ -3,6 +3,9 @@
 // training service.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "cloud/instance.hpp"
 #include "cloud/pricing.hpp"
 #include "core/provisioner.hpp"
@@ -12,6 +15,7 @@
 #include "orchestrator/scheduler.hpp"
 #include "orchestrator/service.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 #include "util/units.hpp"
 
 namespace orch = cynthia::orch;
@@ -265,4 +269,70 @@ TEST(ClusterManagerFaults, ZeroProbabilityNeverReplaces) {
   orch::ClusterManager mgr(sim, billing, 7);
   auto d = mgr.deploy(simple_plan(6, 2));
   EXPECT_EQ(d.replaced_nodes, 0);
+}
+
+TEST(JoinRetryPolicy, DefaultPolicyNeverDelaysAndNeverDrawsFromRng) {
+  orch::JoinRetryPolicy policy;  // base 0: the historical immediate retry
+  cu::Rng rng(42), untouched(42);
+  for (int round = 0; round < 6; ++round) {
+    EXPECT_EQ(policy.delay_seconds(round, rng), 0.0);
+  }
+  // A zero-delay policy must not perturb the shared random stream (deploy
+  // timelines are pinned by the determinism suite).
+  EXPECT_DOUBLE_EQ(rng.jitter(0.25), untouched.jitter(0.25));
+}
+
+TEST(JoinRetryPolicy, ScheduleGrowsExponentiallyAndCaps) {
+  orch::JoinRetryPolicy policy;
+  policy.base_seconds = 5.0;
+  policy.growth = 2.0;
+  policy.max_seconds = 30.0;
+  cu::Rng rng(1);
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(0, rng), 5.0);
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(1, rng), 10.0);
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(2, rng), 20.0);
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(3, rng), 30.0);  // capped
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(9, rng), 30.0);
+  EXPECT_THROW(policy.delay_seconds(-1, rng), std::invalid_argument);
+}
+
+TEST(JoinRetryPolicy, JitterIsSeededAndBounded) {
+  orch::JoinRetryPolicy policy;
+  policy.base_seconds = 10.0;
+  policy.jitter = 0.25;
+  cu::Rng a(7), b(7), c(8);
+  std::vector<double> from_a, from_b;
+  bool differs_across_seeds = false;
+  for (int round = 0; round < 4; ++round) {
+    from_a.push_back(policy.delay_seconds(round, a));
+    from_b.push_back(policy.delay_seconds(round, b));
+    const double other = policy.delay_seconds(round, c);
+    if (other != from_a.back()) differs_across_seeds = true;
+    const double nominal = std::min(10.0 * std::pow(2.0, round), policy.max_seconds);
+    EXPECT_GE(from_a.back(), nominal * 0.75);
+    EXPECT_LE(from_a.back(), nominal * 1.25);
+  }
+  EXPECT_EQ(from_a, from_b);  // same seed, same schedule
+  EXPECT_TRUE(differs_across_seeds);
+}
+
+TEST(JoinRetryPolicy, BackoffLengthensFlakyDeployments) {
+  orch::NodeTimings flaky;
+  flaky.join_failure_probability = 0.6;
+  cynthia::sim::Simulator sim;
+  cc::BillingMeter billing;
+  orch::ClusterManager immediate(sim, billing, 7, flaky);
+  auto d = immediate.deploy(simple_plan(4, 1));
+
+  cynthia::sim::Simulator sim2;
+  cc::BillingMeter billing2;
+  orch::ClusterManager patient(sim2, billing2, 7, flaky);
+  orch::JoinRetryPolicy policy;
+  policy.base_seconds = 20.0;
+  patient.set_join_retry(policy);
+  auto d2 = patient.deploy(simple_plan(4, 1));
+
+  // Same seed, same failures; the backoff only adds waiting time.
+  EXPECT_EQ(d2.replaced_nodes, d.replaced_nodes);
+  EXPECT_GT(d2.provisioning_seconds(), d.provisioning_seconds());
 }

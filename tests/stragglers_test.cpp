@@ -1,0 +1,298 @@
+// SLO-sentinel suite: straggler/degradation detection, mitigation policies,
+// and no-oscillation guarantees, run under the full invariant checker
+// (`ctest -L stragglers`). The StragglerDetector is driven both with
+// synthetic probes (exact threshold semantics) and end-to-end through
+// SloSentinel::run on fault-injected training.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cloud/instance.hpp"
+#include "core/predictor.hpp"
+#include "core/provisioner.hpp"
+#include "ddnn/monitor.hpp"
+#include "ddnn/trainer.hpp"
+#include "ddnn/workload.hpp"
+#include "faults/fault_spec.hpp"
+#include "orchestrator/sentinel.hpp"
+#include "util/check.hpp"
+
+namespace cc = cynthia::cloud;
+namespace cd = cynthia::ddnn;
+namespace core = cynthia::core;
+namespace cf = cynthia::faults;
+namespace orch = cynthia::orch;
+namespace cu = cynthia::util;
+
+namespace {
+
+/// Every test in this file runs with the runtime invariant checker on.
+class StragglersTest : public ::testing::Test {
+ protected:
+  void SetUp() override { cu::set_invariants_enabled(true); }
+  void TearDown() override { cu::set_invariants_enabled(false); }
+};
+
+const cc::InstanceType& m4() { return cc::Catalog::aws().at("m4.xlarge"); }
+
+/// A probe over `busy` with a healthy PS, `dt` seconds after the last one.
+cd::HealthProbe probe_at(double now, long iteration, std::vector<double> busy,
+                         double ps_sat = 0.0) {
+  cd::HealthProbe p;
+  p.now = now;
+  p.iteration = iteration;
+  p.total_iterations = 10000;
+  p.mode = cd::SyncMode::BSP;
+  p.worker_busy_seconds = std::move(busy);
+  p.window_seconds = 1.0;
+  p.ps_nic_saturated_fraction = ps_sat;
+  return p;
+}
+
+orch::StragglerDetector::Config detector_config() {
+  orch::StragglerDetector::Config cfg;
+  cfg.total_iterations = 10000;
+  cfg.replacement_after_seconds = 30.0;
+  return cfg;
+}
+
+core::ProvisionPlan manual_plan(int n_workers, int n_ps, long iterations) {
+  core::ProvisionPlan plan;
+  plan.feasible = true;
+  plan.type = m4();
+  plan.n_workers = n_workers;
+  plan.n_ps = n_ps;
+  plan.iterations = iterations;
+  plan.total_iterations = iterations;
+  return plan;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- detector
+
+TEST_F(StragglersTest, DetectorFlagsPersistentStragglerAfterHysteresis) {
+  auto cfg = detector_config();
+  std::vector<orch::DetectionEvent> detections;
+  orch::StragglerDetector det(cfg, &detections);
+
+  double t = 0.0;
+  long iter = 0;
+  // Warmup: a healthy, uniform cluster.
+  for (int k = 0; k < cfg.thresholds.warmup_probes + 1; ++k) {
+    auto a = det.observe(probe_at(t += 1.0, ++iter, {1.0, 1.0, 1.0, 1.0}));
+    EXPECT_EQ(a.kind, cd::MonitorAction::Kind::kNone);
+  }
+  // Worker 2 turns 2x slow; hysteresis demands consecutive anomalies.
+  cd::MonitorAction action;
+  int probes_until_action = 0;
+  for (int k = 0; k < 20; ++k) {
+    action = det.observe(probe_at(t += 1.0, ++iter, {1.0, 1.0, 2.0, 1.0}));
+    ++probes_until_action;
+    if (action.kind != cd::MonitorAction::Kind::kNone) break;
+  }
+  ASSERT_EQ(action.kind, cd::MonitorAction::Kind::kExcludeWorker);
+  EXPECT_EQ(action.target, 2);
+  EXPECT_DOUBLE_EQ(action.replacement_after_seconds, 30.0);
+  // The EWMA baseline must cross the threshold AND hold it for
+  // hysteresis_probes probes; a single anomaly can never trigger.
+  EXPECT_GE(probes_until_action, cfg.thresholds.hysteresis_probes);
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].kind, "straggler");
+  EXPECT_EQ(detections[0].worker, 2);
+}
+
+TEST_F(StragglersTest, DetectorIgnoresHealthyJitter) {
+  auto cfg = detector_config();
+  std::vector<orch::DetectionEvent> detections;
+  orch::StragglerDetector det(cfg, &detections);
+  // +/- 8% jitter is normal cloud noise; min_ratio gates the z-score.
+  double t = 0.0;
+  for (int k = 0; k < 60; ++k) {
+    const double wiggle = (k % 3 == 0) ? 1.08 : (k % 3 == 1 ? 0.95 : 1.0);
+    auto a = det.observe(probe_at(t += 1.0, k + 1, {1.0, wiggle, 1.02, 0.97}));
+    EXPECT_EQ(a.kind, cd::MonitorAction::Kind::kNone) << "probe " << k;
+  }
+  EXPECT_TRUE(detections.empty());
+}
+
+TEST_F(StragglersTest, DetectorDoesNotOscillate) {
+  auto cfg = detector_config();
+  std::vector<orch::DetectionEvent> detections;
+  std::vector<orch::MitigationRecord> mitigations;
+  orch::StragglerDetector det(cfg, &detections, &mitigations);
+
+  double t = 0.0;
+  long iter = 0;
+  int actions = 0;
+  double first_action_at = -1.0;
+  // A persistent anomaly (the mitigation "didn't take"): the cooldown must
+  // space out repeat actions by at least cooldown_seconds.
+  for (int k = 0; k < 200; ++k) {
+    auto a = det.observe(probe_at(t += 1.0, ++iter, {1.0, 1.0, 2.0, 1.0}));
+    if (a.kind != cd::MonitorAction::Kind::kNone) {
+      ++actions;
+      if (first_action_at < 0.0) {
+        first_action_at = t;
+      } else {
+        EXPECT_GE(t - first_action_at, cfg.thresholds.cooldown_seconds);
+        break;
+      }
+    }
+  }
+  EXPECT_GE(actions, 1);
+  EXPECT_EQ(mitigations.size(), static_cast<std::size_t>(actions));
+}
+
+TEST_F(StragglersTest, DetectorRoutesPsSaturationToAddPs) {
+  auto cfg = detector_config();
+  orch::StragglerDetector det(cfg);
+  double t = 0.0;
+  cd::MonitorAction action;
+  for (int k = 0; k < 20; ++k) {
+    action = det.observe(probe_at(t += 1.0, k + 1, {1.0, 1.0, 1.0, 1.0}, 0.99));
+    if (action.kind != cd::MonitorAction::Kind::kNone) break;
+  }
+  ASSERT_EQ(action.kind, cd::MonitorAction::Kind::kStop);
+  EXPECT_EQ(action.reason, "ps-bottleneck");
+}
+
+TEST_F(StragglersTest, DetectorForecastDowngradesBspToSsp) {
+  auto cfg = detector_config();
+  cfg.time_goal_seconds = 100.0;  // 10000 iterations at 1 s/iter cannot fit
+  orch::StragglerDetector det(cfg);
+  double t = 0.0;
+  cd::MonitorAction action;
+  for (int k = 0; k < 20; ++k) {
+    action = det.observe(probe_at(t += 1.0, k + 1, {1.0, 1.0, 1.0, 1.0}));
+    if (action.kind != cd::MonitorAction::Kind::kNone) break;
+  }
+  ASSERT_EQ(action.kind, cd::MonitorAction::Kind::kDowngradeSsp);
+  EXPECT_EQ(action.reason, "slo-forecast");
+}
+
+TEST_F(StragglersTest, PolicyNoneDetectsButNeverActs) {
+  auto cfg = detector_config();
+  cfg.policy = orch::MitigationPolicy::kNone;
+  std::vector<orch::DetectionEvent> detections;
+  orch::StragglerDetector det(cfg, &detections);
+  double t = 0.0;
+  for (int k = 0; k < 60; ++k) {
+    auto a = det.observe(probe_at(t += 1.0, k + 1, {1.0, 1.0, 3.0, 1.0}));
+    EXPECT_EQ(a.kind, cd::MonitorAction::Kind::kNone);
+  }
+  EXPECT_FALSE(detections.empty());
+}
+
+TEST_F(StragglersTest, PolicyParsingRoundTrips) {
+  for (const char* name : {"none", "replace", "add-ps", "ssp", "replan", "auto"}) {
+    EXPECT_STREQ(orch::to_string(orch::parse_mitigation_policy(name)), name);
+  }
+  EXPECT_THROW(orch::parse_mitigation_policy("fix-it"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- end-to-end
+
+TEST_F(StragglersTest, SentinelReplacesSlowWorkerAndBeatsUnmitigatedRun) {
+  const auto& w = cd::workload_by_name("cifar10");
+  const auto plan = manual_plan(4, 1, 400);
+  const auto schedule =
+      cf::FaultSchedule::parse("slow:wk1@200x4+100000");  // effectively permanent
+  const core::ProvisionGoal goal{cu::Seconds{1e9}, 1e9};
+
+  orch::SentinelOptions on;
+  const orch::SentinelReport mitigated = orch::SloSentinel(on).run(w, plan, schedule, goal);
+  orch::SentinelOptions off = on;
+  off.enabled = false;
+  const orch::SentinelReport plain = orch::SloSentinel(off).run(w, plan, schedule, goal);
+
+  EXPECT_FALSE(mitigated.detections.empty());
+  EXPECT_FALSE(mitigated.mitigations.empty());
+  ASSERT_FALSE(mitigated.training.monitor.exclusions.empty());
+  EXPECT_EQ(mitigated.training.monitor.exclusions[0].worker, 1);
+  EXPECT_EQ(mitigated.training.iterations, 400);
+  // Replacing the degraded node must beat riding out the 4x slowdown.
+  EXPECT_LT(mitigated.training.total_time, plain.training.total_time);
+  // ... and the replacement node costs extra dollars.
+  EXPECT_GT(mitigated.actual_cost.value(), 0.0);
+}
+
+TEST_F(StragglersTest, SentinelRunsAreDeterministic) {
+  const auto& w = cd::workload_by_name("cifar10");
+  const auto plan = manual_plan(4, 1, 300);
+  const auto schedule = cf::FaultSchedule::parse("slow:wk2@150x3+100000");
+  const core::ProvisionGoal goal{cu::Seconds{1e9}, 1e9};
+  const orch::SentinelOptions options;
+  const auto a = orch::SloSentinel(options).run(w, plan, schedule, goal);
+  const auto b = orch::SloSentinel(options).run(w, plan, schedule, goal);
+  EXPECT_EQ(a.training.total_time, b.training.total_time);
+  EXPECT_EQ(a.training.final_loss, b.training.final_loss);
+  EXPECT_EQ(a.actual_cost.value(), b.actual_cost.value());
+  ASSERT_EQ(a.detections.size(), b.detections.size());
+  for (std::size_t i = 0; i < a.detections.size(); ++i) {
+    EXPECT_EQ(a.detections[i].at_seconds, b.detections[i].at_seconds);
+    EXPECT_EQ(a.detections[i].kind, b.detections[i].kind);
+    EXPECT_EQ(a.detections[i].worker, b.detections[i].worker);
+  }
+}
+
+TEST_F(StragglersTest, SentinelHonorsMitigationBudget) {
+  const auto& w = cd::workload_by_name("cifar10");
+  const auto plan = manual_plan(4, 1, 400);
+  // Every worker degrades permanently, one after another.
+  const auto schedule = cf::FaultSchedule::parse(
+      "slow:wk0@150x4+100000;slow:wk1@300x4+100000;slow:wk2@450x4+100000;"
+      "slow:wk3@600x4+100000");
+  const core::ProvisionGoal goal{cu::Seconds{1e9}, 1e9};
+  orch::SentinelOptions options;
+  options.max_actions = 2;
+  const auto report = orch::SloSentinel(options).run(w, plan, schedule, goal);
+  EXPECT_LE(report.mitigations.size(), 2u);
+  EXPECT_EQ(report.training.iterations, 400);  // the budget still completes
+}
+
+TEST_F(StragglersTest, SentinelSspPolicyDowngradesUnderForecastMiss) {
+  const auto& w = cd::workload_by_name("cifar10");  // BSP
+  const auto plan = manual_plan(4, 1, 400);
+  // A uniform cluster-wide slowdown: no single straggler stands out, so the
+  // forecast detector is the one that must fire.
+  const auto schedule = cf::FaultSchedule::parse(
+      "slow:wk0@100x2+100000;slow:wk1@100x2+100000;slow:wk2@100x2+100000;"
+      "slow:wk3@100x2+100000");
+  orch::SentinelOptions options;
+  options.policy = orch::MitigationPolicy::kSsp;
+  // Tight but reachable: the fault-free run takes ~824 s.
+  const core::ProvisionGoal goal{cu::Seconds{1200.0}, 1e9};
+  const auto report = orch::SloSentinel(options).run(w, plan, schedule, goal);
+  EXPECT_TRUE(report.training.monitor.downgraded);
+  EXPECT_EQ(report.training.iterations, 400);
+  ASSERT_FALSE(report.mitigations.empty());
+  EXPECT_EQ(report.mitigations[0].action, "ssp-downgrade");
+}
+
+TEST_F(StragglersTest, SentinelDisabledMatchesPlainTraining) {
+  const auto& w = cd::workload_by_name("cifar10");
+  const auto plan = manual_plan(4, 1, 200);
+  const auto schedule = cf::FaultSchedule::parse("slow:wk1@100x2+100000");
+  const core::ProvisionGoal goal{cu::Seconds{1e9}, 1e9};
+  orch::SentinelOptions options;
+  options.enabled = false;
+  const auto report = orch::SloSentinel(options).run(w, plan, schedule, goal);
+
+  // The disabled sentinel must run the training bit-identically to a direct
+  // run_training call with the same cluster, seed, and schedule (no crash
+  // events here, so no recovery enrichment perturbs the timeline).
+  const auto cluster = cd::ClusterSpec::homogeneous(m4(), 4, 1);
+  cd::TrainOptions o;
+  o.iterations = 200;
+  o.seed = options.seed;
+  o.faults = &schedule;
+  const auto direct = cd::run_training(cluster, w, o);
+  EXPECT_EQ(report.training.total_time, direct.total_time);
+  EXPECT_EQ(report.training.final_loss, direct.final_loss);
+  EXPECT_EQ(report.training.computation_time, direct.computation_time);
+  EXPECT_EQ(report.training.communication_time, direct.communication_time);
+  EXPECT_TRUE(report.detections.empty());
+  EXPECT_TRUE(report.mitigations.empty());
+}
