@@ -1,0 +1,156 @@
+// Shared support for the perf microbenches (bench/perf_*).
+//
+// Unlike the fig*/table* benches — which reproduce paper results in
+// *simulated* time — the perf benches measure the framework's own
+// wall-clock hot paths (planner latency, fluid settle throughput) and emit
+// a BENCH_<name>.json file at the repo root so the speed trajectory is
+// visible across PRs. docs/PERF.md documents the schema and how CI gates
+// on it; tools/check_bench_regression.py compares two files.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cynthia::bench::perf {
+
+inline double now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times one call. The returned duration is wall-clock seconds.
+template <class Fn>
+double time_call(Fn&& fn) {
+  const double t0 = now_seconds();
+  fn();
+  return now_seconds() - t0;
+}
+
+/// Latency sample set with order-statistic summaries.
+class Samples {
+ public:
+  void add(double v) { values_.push_back(v); }
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+
+  [[nodiscard]] double quantile(double q) const {
+    if (values_.empty()) return 0.0;
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  }
+
+  [[nodiscard]] double mean() const {
+    if (values_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : values_) sum += v;
+    return sum / static_cast<double>(values_.size());
+  }
+
+  [[nodiscard]] double min() const {
+    return values_.empty() ? 0.0 : *std::min_element(values_.begin(), values_.end());
+  }
+  [[nodiscard]] double max() const {
+    return values_.empty() ? 0.0 : *std::max_element(values_.begin(), values_.end());
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Accumulates series + scalars and writes BENCH_<bench>.json. Series carry
+/// p50/p90/p99/mean/min/max/count; scalars are single numbers (speedups,
+/// hit rates, counters). All values are finite doubles.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void add_series(const std::string& name, const std::string& unit, const Samples& s) {
+    series_.push_back({name, unit, s});
+    std::printf("  %-44s p50 %11.3f us   p99 %11.3f us   (%zu calls)\n", name.c_str(),
+                s.quantile(0.5) * 1e6, s.quantile(0.99) * 1e6, s.count());
+  }
+
+  void add_scalar(const std::string& name, double value) {
+    scalars_.emplace_back(name, value);
+    std::printf("  %-44s %.6g\n", name.c_str(), value);
+  }
+
+  /// Directory for BENCH_*.json: CYNTHIA_BENCH_JSON_DIR or the working
+  /// directory (CI runs the benches from the repo root so the trajectory
+  /// files land beside README.md).
+  static std::string json_dir() {
+    const char* env = std::getenv("CYNTHIA_BENCH_JSON_DIR");
+    std::string dir = env ? env : ".";
+    std::filesystem::create_directories(dir);
+    return dir;
+  }
+
+  void write() const {
+    const std::string path = json_dir() + "/BENCH_" + bench_ + ".json";
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("BenchReport: cannot open " + path);
+    out << "{\n";
+    out << "  \"bench\": \"" << bench_ << "\",\n";
+    out << "  \"schema_version\": 1,\n";
+#ifdef NDEBUG
+    out << "  \"build_type\": \"Release\",\n";
+#else
+    out << "  \"build_type\": \"Debug\",\n";
+#endif
+    out << "  \"series\": [\n";
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      const auto& s = series_[i];
+      out << "    {\"name\": \"" << s.name << "\", \"unit\": \"" << s.unit << "\", "
+          << "\"count\": " << s.samples.count() << ", "
+          << "\"p50\": " << fmt(s.samples.quantile(0.5)) << ", "
+          << "\"p90\": " << fmt(s.samples.quantile(0.9)) << ", "
+          << "\"p99\": " << fmt(s.samples.quantile(0.99)) << ", "
+          << "\"mean\": " << fmt(s.samples.mean()) << ", "
+          << "\"min\": " << fmt(s.samples.min()) << ", "
+          << "\"max\": " << fmt(s.samples.max()) << "}" << (i + 1 < series_.size() ? "," : "")
+          << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"scalars\": {\n";
+    for (std::size_t i = 0; i < scalars_.size(); ++i) {
+      out << "    \"" << scalars_[i].first << "\": " << fmt(scalars_[i].second)
+          << (i + 1 < scalars_.size() ? "," : "") << "\n";
+    }
+    out << "  }\n";
+    out << "}\n";
+    std::printf("[bench-json] %s\n", path.c_str());
+  }
+
+ private:
+  struct Series {
+    std::string name;
+    std::string unit;
+    Samples samples;
+  };
+
+  static std::string fmt(double v) {
+    if (!std::isfinite(v)) return "0";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+  }
+
+  std::string bench_;
+  std::vector<Series> series_;
+  std::vector<std::pair<std::string, double>> scalars_;
+};
+
+}  // namespace cynthia::bench::perf

@@ -197,9 +197,17 @@ int cmd_plan(const Args& args) {
   auto types = args.flag("gpu") ? catalog.provisionable_with_accelerators()
                                 : catalog.provisionable();
   core::Provisioner prov(pred.model(), pred.loss(), std::move(types));
+  telemetry::Telemetry tel;
+  prov.set_metrics(&tel.metrics);
   const core::ProvisionGoal goal{util::minutes(*args.number("minutes")), *args.number("loss")};
   const auto plan = prov.plan(w.sync, goal);
   std::printf("plan: %s\n", plan.describe().c_str());
+  const auto stats = prov.stats();
+  std::printf("planner: %.3f ms, %llu candidate(s) evaluated, %llu pruned, cache %.0f%% hit\n",
+              tel.metrics.histogram(telemetry::metric::kPlannerPlanSeconds).sum() * 1e3,
+              static_cast<unsigned long long>(stats.candidates_evaluated),
+              static_cast<unsigned long long>(stats.candidates_pruned),
+              100.0 * stats.cache_hit_rate());
   if (plan.feasible) {
     std::printf("bounds: workers in [%d, %d], ratio r=%.1f, %s\n", plan.bounds.n_lower,
                 plan.bounds.n_upper, plan.bounds.r,

@@ -1,12 +1,110 @@
 #include "core/provisioner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <future>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/thread_pool.hpp"
+
 namespace cynthia::core {
+
+namespace {
+
+/// Shared pool for independent candidate evaluations. One per process: the
+/// planner is called from many contexts (service front-end, sentinel,
+/// benches) and per-call pool construction would dwarf a sub-millisecond
+/// search. Tasks are pure (no simulator state), so sharing is safe.
+util::ThreadPool& planner_pool() {
+  static util::ThreadPool pool;
+  return pool;
+}
+
+/// Self-timing scope for the operator-facing planner-latency metric. Like
+/// orchestrator/service.cpp, this wall-clock read never feeds simulated
+/// time — it only measures how long Algorithm 1 itself took.
+class PlannerTimer {
+ public:
+  explicit PlannerTimer(bool enabled) : enabled_(enabled) {
+    if (enabled_) {
+      start_ = std::chrono::steady_clock::now();  // cynthia-lint: allow(DET-001) — planner self-timing
+    }
+  }
+
+  [[nodiscard]] double seconds() const {
+    if (!enabled_) return 0.0;
+    const auto dt = std::chrono::steady_clock::now() - start_;  // cynthia-lint: allow(DET-001) — planner self-timing
+    return std::chrono::duration<double>(dt).count();  // cynthia-lint: allow(DET-001) — planner self-timing
+  }
+
+ private:
+  bool enabled_;
+  // cynthia-lint: allow(DET-001) — planner self-timing state, never simulated time
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Numerically-safe per-(type, n_ps) lower bounds on a candidate's
+/// predicted iteration time. Every expression replicates the operation
+/// order of CynthiaModel::predict_iteration bit-for-bit where equality
+/// matters (t_comm) and uses provably-not-larger inputs elsewhere
+/// (utilization <= 1), so for every n:
+///   t_comm_lb(n) == prediction.t_comm            (exact)
+///   comp_floor(n) <= prediction.t_comp           (rounding-monotone)
+/// and therefore t_iter_lb(n) <= prediction.t_iter. Pruning on these
+/// bounds can only skip candidates the unpruned scan would also reject,
+/// which is what makes the pruned search bit-identical (docs/PERF.md).
+struct RowBounds {
+  double witer = 0.0;
+  double gparam = 0.0;
+  double cpu = 0.0;        ///< per-docker compute capability of the type
+  double bw_supply = 0.0;  ///< headroom * aggregate effective PS bandwidth
+
+  RowBounds(const CynthiaModel& model, const cloud::InstanceType& type, int n_ps) {
+    const auto& profile = model.profile();
+    witer = profile.witer.value();
+    gparam = profile.gparam.value();
+    cpu = type.compute_gflops().value();
+    // Same summation order as estimate_utilization's PS loop.
+    double bw = 0.0;
+    for (int i = 0; i < n_ps; ++i) bw += effective_ps_bandwidth(type).value();
+    bw_supply = model.supply_headroom() * bw;
+  }
+
+  /// Exact t_comm for the candidate (Eq. 5 / the ASP branch).
+  [[nodiscard]] double t_comm(ddnn::SyncMode mode, int n) const {
+    if (mode == ddnn::SyncMode::BSP) {
+      return 2.0 * gparam * static_cast<double>(n) / bw_supply;
+    }
+    return 2.0 * gparam / bw_supply;
+  }
+
+  /// t_comp at full utilization (u == 1), a lower bound on the real t_comp.
+  [[nodiscard]] double comp_floor(ddnn::SyncMode mode, int n) const {
+    if (mode == ddnn::SyncMode::BSP) return witer / (static_cast<double>(n) * cpu);
+    return witer / cpu;
+  }
+
+  /// Lower bound on t_iter combining the two (max for BSP, sum for ASP,
+  /// mirroring Eq. 3's combination rule).
+  [[nodiscard]] double t_iter_lb(ddnn::SyncMode mode, int n) const {
+    if (mode == ddnn::SyncMode::BSP) return std::max(comp_floor(mode, n), t_comm(mode, n));
+    return comp_floor(mode, n) + t_comm(mode, n);
+  }
+};
+
+/// Lower bound on a candidate's dollar cost given a lower bound on its
+/// total time — the same expression shape as plan_cost().
+double cost_lb(const cloud::InstanceType& type, int n, int n_ps, double total_time_lb) {
+  const double hourly = type.docker_price().value() * (n + n_ps);
+  return hourly * total_time_lb / 3600.0;
+}
+
+}  // namespace
 
 util::Dollars plan_cost(const cloud::InstanceType& type, int n_workers, int n_ps,
                         util::Seconds duration) {
@@ -26,16 +124,62 @@ std::string ProvisionPlan::describe() const {
   return os.str();
 }
 
+/// Per-instance-type search result: the type's local best candidate plus
+/// the trace and counters its scan produced. Reduced in catalog order so
+/// the merged outcome is bit-identical to one serial scan.
+struct Provisioner::TypeSearch {
+  bool has_best = false;
+  CandidateEvaluation best;
+  WorkerBounds bounds;
+  std::vector<CandidateEvaluation> trace;
+  std::uint64_t evaluated = 0;
+  std::uint64_t pruned = 0;
+};
+
 Provisioner::Provisioner(CynthiaModel model, LossModel loss,
                          std::vector<cloud::InstanceType> types)
     : model_(std::move(model)), loss_(std::move(loss)), types_(std::move(types)) {
   if (types_.empty()) throw std::invalid_argument("Provisioner: empty instance type list");
+  digest_ = profile_digest(model_.profile(), model_.supply_headroom());
+  // Dense fast path for this profile's own candidate grid. Bounds cover the
+  // default quotas (max_workers_quota 64, n_ps + max_extra_ps well under 8);
+  // larger shapes silently use the sharded map instead.
+  cache_.enable_dense(digest_, static_cast<std::uint32_t>(types_.size()), 128, 8);
+}
+
+Provisioner::Provisioner(Provisioner&& other) noexcept
+    : model_(std::move(other.model_)),
+      loss_(std::move(other.loss_)),
+      types_(std::move(other.types_)),
+      digest_(other.digest_),
+      cache_(std::move(other.cache_)),
+      considered_(std::move(other.considered_)),
+      plans_(other.plans_.load(std::memory_order_relaxed)),
+      evaluated_(other.evaluated_.load(std::memory_order_relaxed)),
+      pruned_(other.pruned_.load(std::memory_order_relaxed)),
+      metrics_(other.metrics_) {}
+
+IterationPrediction Provisioner::predict_cached(const cloud::InstanceType& type,
+                                                std::size_t type_index, int n_wk, int n_ps,
+                                                ddnn::SyncMode mode, bool use_cache) const {
+  if (!use_cache) {
+    return model_.predict_iteration(ddnn::ClusterSpec::homogeneous(type, n_wk, n_ps), mode);
+  }
+  const PredictionCache::Key key{
+      digest_, PredictionCache::pack(static_cast<std::uint32_t>(type_index),
+                                     static_cast<std::uint32_t>(n_wk),
+                                     static_cast<std::uint32_t>(n_ps),
+                                     static_cast<std::uint32_t>(mode))};
+  return cache_.get_or_compute(key, [&] {
+    return model_.predict_iteration(ddnn::ClusterSpec::homogeneous(type, n_wk, n_ps), mode);
+  });
 }
 
 std::optional<CandidateEvaluation> Provisioner::evaluate(const cloud::InstanceType& type,
-                                                         int n_wk, int n_ps,
-                                                         ddnn::SyncMode mode,
-                                                         const ProvisionGoal& goal) const {
+                                                         std::size_t type_index, int n_wk,
+                                                         int n_ps, ddnn::SyncMode mode,
+                                                         const ProvisionGoal& goal,
+                                                         bool use_cache) const {
   CandidateEvaluation c;
   c.type = type.name;
   c.n_workers = n_wk;
@@ -43,13 +187,103 @@ std::optional<CandidateEvaluation> Provisioner::evaluate(const cloud::InstanceTy
   // BSP: the budget is global; ASP: per-worker (Constraint 9 applies to the
   // per-iteration time times the iterations the critical path executes).
   c.iterations = loss_.iterations_for(goal.target_loss, n_wk);
-  const auto cluster = ddnn::ClusterSpec::homogeneous(type, n_wk, n_ps);
-  const IterationPrediction p = model_.predict_iteration(cluster, mode);
-  c.t_iter = p.t_iter;
-  c.total_time = p.t_iter * static_cast<double>(c.iterations);
+  c.prediction = predict_cached(type, type_index, n_wk, n_ps, mode, use_cache);
+  c.t_iter = c.prediction.t_iter;
+  c.total_time = c.prediction.t_iter * static_cast<double>(c.iterations);
   c.cost = plan_cost(type, n_wk, n_ps, util::Seconds{c.total_time}).value();
   c.feasible = c.total_time <= goal.time_goal.value();
   return c;
+}
+
+template <class SearchFn>
+std::vector<Provisioner::TypeSearch> Provisioner::run_type_searches(
+    SearchFn&& search, std::size_t estimated_candidates, const ProvisionOptions& options) const {
+  std::vector<TypeSearch> results(types_.size());
+  const auto threshold =
+      static_cast<std::size_t>(std::max(1, options.parallel_min_candidates));
+  const bool parallel =
+      options.parallel_eval && types_.size() > 1 && estimated_candidates >= threshold;
+  if (parallel) {
+    auto& pool = planner_pool();
+    std::vector<std::future<TypeSearch>> futures;
+    futures.reserve(types_.size());
+    for (std::size_t i = 0; i < types_.size(); ++i) {
+      futures.push_back(pool.submit([&search, i] { return search(i); }));
+    }
+    // Drain every task before rethrowing: the search closures reference this
+    // call's stack, so unwinding while siblings still run would dangle.
+    // Rethrowing the lowest-index failure matches the serial scan, which
+    // throws at the first offending type.
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < types_.size(); ++i) {
+      try {
+        results[i] = futures[i].get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  } else {
+    for (std::size_t i = 0; i < types_.size(); ++i) results[i] = search(i);
+  }
+  return results;
+}
+
+void Provisioner::publish_trace_and_stats(std::vector<TypeSearch>& results,
+                                          const ProvisionOptions& options) const {
+  std::uint64_t evaluated = 0, pruned = 0;
+  std::size_t trace_size = 0;
+  for (const TypeSearch& r : results) {
+    evaluated += r.evaluated;
+    pruned += r.pruned;
+    trace_size += r.trace.size();
+  }
+  plans_.fetch_add(1, std::memory_order_relaxed);
+  evaluated_.fetch_add(evaluated, std::memory_order_relaxed);
+  pruned_.fetch_add(pruned, std::memory_order_relaxed);
+
+  // Deterministic emission order: catalog order, then each type's own scan
+  // order — identical whether the searches ran serially or in parallel.
+  std::lock_guard lock(considered_mutex_);
+  considered_.clear();
+  if (options.keep_trace) {
+    considered_.reserve(trace_size);
+    for (TypeSearch& r : results) {
+      considered_.insert(considered_.end(), std::make_move_iterator(r.trace.begin()),
+                         std::make_move_iterator(r.trace.end()));
+    }
+  }
+}
+
+void Provisioner::record_latency(double planner_seconds) const {
+  if (metrics_ == nullptr) return;
+  // Latencies span sub-microsecond cache hits to milliseconds of cold
+  // exhaustive scans; half-decade buckets keep the p50 readable.
+  telemetry::HistogramOptions hist;
+  hist.lowest_bound = 1e-7;
+  hist.growth = 3.1622776601683795;  // sqrt(10): two buckets per decade
+  hist.bucket_count = 24;
+  metrics_->histogram(telemetry::metric::kPlannerPlanSeconds, hist).observe(planner_seconds);
+  metrics_->counter(telemetry::metric::kPlannerPlans).inc(1.0);
+  const PlannerStats s = stats();
+  metrics_->gauge(telemetry::metric::kPlannerCandidates)
+      .set(static_cast<double>(s.candidates_evaluated));
+  metrics_->gauge(telemetry::metric::kPlannerPruned)
+      .set(static_cast<double>(s.candidates_pruned));
+  metrics_->gauge(telemetry::metric::kPlannerCacheHits).set(static_cast<double>(s.cache_hits));
+  metrics_->gauge(telemetry::metric::kPlannerCacheMisses)
+      .set(static_cast<double>(s.cache_misses));
+  metrics_->gauge(telemetry::metric::kPlannerCacheHitRate).set(s.cache_hit_rate());
+}
+
+PlannerStats Provisioner::stats() const {
+  PlannerStats s;
+  s.plans = plans_.load(std::memory_order_relaxed);
+  s.candidates_evaluated = evaluated_.load(std::memory_order_relaxed);
+  s.candidates_pruned = pruned_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  return s;
 }
 
 ProvisionPlan Provisioner::plan(ddnn::SyncMode mode, const ProvisionGoal& goal,
@@ -57,55 +291,61 @@ ProvisionPlan Provisioner::plan(ddnn::SyncMode mode, const ProvisionGoal& goal,
   if (goal.time_goal.value() <= 0.0) {
     throw std::invalid_argument("Provisioner: time goal must be > 0");
   }
-  considered_.clear();
+  const PlannerTimer timer(metrics_ != nullptr);
 
-  ProvisionPlan best;
-  best.feasible = false;
-  double best_cost = std::numeric_limits<double>::infinity();
-  WorkerBounds best_bounds;
+  auto search_type = [&](std::size_t ti) -> TypeSearch {
+    const cloud::InstanceType& type = types_[ti];
+    TypeSearch out;
+    auto consider = [&](int n_wk, int n_ps) -> bool {
+      auto cand = evaluate(type, ti, n_wk, n_ps, mode, goal, options.use_cache);
+      ++out.evaluated;
+      if (!cand) return false;
+      if (options.keep_trace) out.trace.push_back(*cand);
+      if (!cand->feasible) return false;
+      if (!out.has_best || cand->cost < out.best.cost) {
+        out.has_best = true;
+        out.best = *cand;
+      }
+      return true;
+    };
 
-  auto consider = [&](const cloud::InstanceType& type, int n_wk, int n_ps,
-                      const WorkerBounds& bounds) -> bool {
-    auto cand = evaluate(type, n_wk, n_ps, mode, goal);
-    if (!cand) return false;
-    if (options.keep_trace) considered_.push_back(*cand);
-    if (!cand->feasible) return false;
-    if (cand->cost < best_cost) {
-      best_cost = cand->cost;
-      best.feasible = true;
-      best.type = type;
-      best.n_workers = n_wk;
-      best.n_ps = n_ps;
-      best.iterations = cand->iterations;
-      // ASP/SSP iteration budgets are per worker (Eq. 20 semantics).
-      best.total_iterations = mode == ddnn::SyncMode::BSP
-                                  ? cand->iterations
-                                  : cand->iterations * static_cast<long>(n_wk);
-      best.t_iter = cand->t_iter;
-      best.predicted_time = util::Seconds{cand->total_time};
-      best.predicted_cost = util::Dollars{cand->cost};
-      best.diagnostics =
-          model_.predict_iteration(ddnn::ClusterSpec::homogeneous(type, n_wk, n_ps), mode);
-      best_bounds = bounds;
-    }
-    return true;
-  };
-
-  for (const auto& type : types_) {
     if (options.exhaustive) {
-      WorkerBounds none;  // exhaustive mode carries no bound information
       for (int n_ps = 1; n_ps <= options.exhaustive_max_ps; ++n_ps) {
+        const RowBounds row(model_, type, n_ps);
         for (int n = 1; n <= options.exhaustive_max_workers; ++n) {
-          consider(type, n, n_ps, none);
+          if (options.prune) {
+            const long iters = loss_.iterations_for(goal.target_loss, n);
+            const double di = static_cast<double>(iters);
+            if (mode == ddnn::SyncMode::BSP) {
+              // BSP iteration budgets are n-independent, so both bounds
+              // grow monotonically in n: break the row, not just skip.
+              if (row.t_comm(mode, n) * di > goal.time_goal.value()) {
+                out.pruned += static_cast<std::uint64_t>(options.exhaustive_max_workers - n + 1);
+                break;
+              }
+              if (out.has_best &&
+                  cost_lb(type, n, n_ps, row.t_comm(mode, n) * di) >= out.best.cost) {
+                out.pruned += static_cast<std::uint64_t>(options.exhaustive_max_workers - n + 1);
+                break;
+              }
+            }
+            if (row.t_iter_lb(mode, n) * di > goal.time_goal.value()) {
+              ++out.pruned;  // provably infeasible; skip this n only
+              continue;
+            }
+          }
+          consider(n, n_ps);
         }
       }
-      continue;
+      return out;
     }
+
     const WorkerBounds bounds =
         compute_bounds(model_.profile(), loss_, type, mode, goal.time_goal, goal.target_loss,
                        model_.supply_headroom());
-    if (!bounds.feasible) continue;
-    if (bounds.n_lower > options.max_workers_quota) continue;  // over account quota
+    if (!bounds.feasible) return out;
+    if (bounds.n_lower > options.max_workers_quota) return out;  // over account quota
+    out.bounds = bounds;
     // Minimum PS count first (Theorem 4.1); escalate only if nothing in the
     // interval meets the goal.
     for (int extra = 0; extra <= options.max_extra_ps; ++extra) {
@@ -114,17 +354,72 @@ ProvisionPlan Provisioner::plan(ddnn::SyncMode mode, const ProvisionGoal& goal,
           std::min(options.max_workers_quota,
                    upper_bound_for_ps(bounds, model_.profile(), type, mode, n_ps,
                                       model_.supply_headroom()));
+      const RowBounds row(model_, type, n_ps);
       bool any_feasible = false;
       for (int n = bounds.n_lower; n <= upper; ++n) {
-        const bool feasible = consider(type, n, n_ps, bounds);
+        if (options.prune) {
+          const long iters = loss_.iterations_for(goal.target_loss, n);
+          const double di = static_cast<double>(iters);
+          if (mode == ddnn::SyncMode::BSP) {
+            if (row.t_comm(mode, n) * di > goal.time_goal.value()) {
+              out.pruned += static_cast<std::uint64_t>(upper - n + 1);
+              break;  // communication already blows the budget for all larger n
+            }
+            // A local best implies this row already produced a feasible
+            // candidate, so breaking cannot change the PS-escalation
+            // decision — only skip provably-not-cheaper grid points.
+            if (out.has_best &&
+                cost_lb(type, n, n_ps, row.t_comm(mode, n) * di) >= out.best.cost) {
+              out.pruned += static_cast<std::uint64_t>(upper - n + 1);
+              break;
+            }
+          }
+          if (row.t_iter_lb(mode, n) * di > goal.time_goal.value()) {
+            ++out.pruned;
+            continue;
+          }
+        }
+        const bool feasible = consider(n, n_ps);
         any_feasible = any_feasible || feasible;
         if (feasible && options.first_feasible_only) break;  // Alg. 1 line 11
       }
       if (any_feasible) break;  // keep the minimum feasible PS count
     }
+    return out;
+  };
+
+  const std::size_t estimated =
+      options.exhaustive
+          ? types_.size() * static_cast<std::size_t>(options.exhaustive_max_ps) *
+                static_cast<std::size_t>(options.exhaustive_max_workers)
+          : types_.size() * static_cast<std::size_t>(options.max_extra_ps + 1) * 16;
+  std::vector<TypeSearch> results = run_type_searches(search_type, estimated, options);
+
+  ProvisionPlan best;
+  best.feasible = false;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t ti = 0; ti < results.size(); ++ti) {
+    const TypeSearch& r = results[ti];
+    if (!r.has_best || r.best.cost >= best_cost) continue;
+    best_cost = r.best.cost;
+    best.feasible = true;
+    best.type = types_[ti];
+    best.n_workers = r.best.n_workers;
+    best.n_ps = r.best.n_ps;
+    best.iterations = r.best.iterations;
+    // ASP/SSP iteration budgets are per worker (Eq. 20 semantics).
+    best.total_iterations = mode == ddnn::SyncMode::BSP
+                                ? r.best.iterations
+                                : r.best.iterations * static_cast<long>(r.best.n_workers);
+    best.t_iter = r.best.t_iter;
+    best.predicted_time = util::Seconds{r.best.total_time};
+    best.predicted_cost = util::Dollars{r.best.cost};
+    best.diagnostics = r.best.prediction;
+    best.bounds = r.bounds;
   }
 
-  best.bounds = best_bounds;
+  publish_trace_and_stats(results, options);
+  record_latency(timer.seconds());
   return best;
 }
 
@@ -149,49 +444,118 @@ ProvisionPlan Provisioner::replan(ddnn::SyncMode mode, long remaining_iterations
     // want the cheapest-effort answer in that case, which is "keep going".
     ProvisionPlan none;
     none.feasible = false;
+    std::lock_guard lock(considered_mutex_);
+    considered_.clear();
     return none;
   }
-  considered_.clear();
-
-  ProvisionPlan best;
-  best.feasible = false;
-  double best_cost = std::numeric_limits<double>::infinity();
+  const PlannerTimer timer(metrics_ != nullptr);
 
   const int max_workers = std::min(options.max_workers_quota, options.exhaustive_max_workers);
   const int max_ps = std::max(1, options.exhaustive_max_ps);
-  for (const auto& type : types_) {
+  const double budget = remaining_time.value();
+  const double derate = degradation.capability_derate;
+
+  auto search_type = [&](std::size_t ti) -> TypeSearch {
+    const cloud::InstanceType& type = types_[ti];
+    TypeSearch out;
     for (int n_ps = 1; n_ps <= max_ps; ++n_ps) {
+      const RowBounds row(model_, type, n_ps);
       for (int n = 1; n <= max_workers; ++n) {
-        const auto cluster = ddnn::ClusterSpec::homogeneous(type, n, n_ps);
-        IterationPrediction p = model_.predict_iteration(cluster, mode);
-        p.t_iter /= degradation.capability_derate;
         // BSP budgets are global; ASP/SSP execute remaining/n per worker.
         const long per_worker =
             mode == ddnn::SyncMode::BSP
                 ? remaining_iterations
                 : (remaining_iterations + n - 1) / static_cast<long>(n);
+        if (options.prune) {
+          const double dper = static_cast<double>(per_worker);
+          // Same derate division / per-worker multiplication order as the
+          // real evaluation below, so lb <= actual total_time numerically.
+          const double total_lb = (row.t_iter_lb(mode, n) / derate) * dper;
+          if (mode == ddnn::SyncMode::BSP) {
+            const double comm_total_lb = (row.t_comm(mode, n) / derate) * dper;
+            if (comm_total_lb > budget) {
+              out.pruned += static_cast<std::uint64_t>(max_workers - n + 1);
+              break;  // t_comm grows with n; every larger n is infeasible too
+            }
+            if (out.has_best && cost_lb(type, n, n_ps, comm_total_lb) >= out.best.cost) {
+              out.pruned += static_cast<std::uint64_t>(max_workers - n + 1);
+              break;  // cost lower bound grows with n past the best
+            }
+          } else if (per_worker == 1) {
+            // Tail of the ASP/SSP grid: per-worker work has bottomed out at
+            // one iteration, so both bounds are monotone in n from here.
+            if (total_lb > budget ||
+                (out.has_best && cost_lb(type, n, n_ps, total_lb) >= out.best.cost)) {
+              out.pruned += static_cast<std::uint64_t>(max_workers - n + 1);
+              break;
+            }
+          }
+          if (total_lb > budget) {
+            ++out.pruned;  // provably infeasible at this n
+            continue;
+          }
+        }
+        IterationPrediction p = predict_cached(type, ti, n, n_ps, mode, options.use_cache);
+        ++out.evaluated;
+        p.t_iter /= derate;
         const double total_time = p.t_iter * static_cast<double>(per_worker);
         const double cost = plan_cost(type, n, n_ps, util::Seconds{total_time}).value();
+        const bool feasible = total_time <= budget;
         if (options.keep_trace) {
-          considered_.push_back({type.name, n, n_ps, per_worker, p.t_iter, total_time, cost,
-                                 total_time <= remaining_time.value()});
+          CandidateEvaluation trace_entry;
+          trace_entry.type = type.name;
+          trace_entry.n_workers = n;
+          trace_entry.n_ps = n_ps;
+          trace_entry.iterations = per_worker;
+          trace_entry.t_iter = p.t_iter;
+          trace_entry.total_time = total_time;
+          trace_entry.cost = cost;
+          trace_entry.feasible = feasible;
+          trace_entry.prediction = p;
+          out.trace.push_back(std::move(trace_entry));
         }
-        if (total_time > remaining_time.value()) continue;
-        if (cost >= best_cost) continue;
-        best_cost = cost;
-        best.feasible = true;
-        best.type = type;
-        best.n_workers = n;
-        best.n_ps = n_ps;
-        best.iterations = per_worker;
-        best.total_iterations = remaining_iterations;
-        best.t_iter = p.t_iter;
-        best.predicted_time = util::Seconds{total_time};
-        best.predicted_cost = util::Dollars{cost};
-        best.diagnostics = p;
+        if (!feasible) continue;
+        if (out.has_best && cost >= out.best.cost) continue;
+        out.has_best = true;
+        out.best.type = type.name;
+        out.best.n_workers = n;
+        out.best.n_ps = n_ps;
+        out.best.iterations = per_worker;
+        out.best.t_iter = p.t_iter;
+        out.best.total_time = total_time;
+        out.best.cost = cost;
+        out.best.feasible = true;
+        out.best.prediction = p;
       }
     }
+    return out;
+  };
+
+  const std::size_t estimated = types_.size() * static_cast<std::size_t>(max_ps) *
+                                static_cast<std::size_t>(std::max(1, max_workers));
+  std::vector<TypeSearch> results = run_type_searches(search_type, estimated, options);
+
+  ProvisionPlan best;
+  best.feasible = false;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t ti = 0; ti < results.size(); ++ti) {
+    const TypeSearch& r = results[ti];
+    if (!r.has_best || r.best.cost >= best_cost) continue;
+    best_cost = r.best.cost;
+    best.feasible = true;
+    best.type = types_[ti];
+    best.n_workers = r.best.n_workers;
+    best.n_ps = r.best.n_ps;
+    best.iterations = r.best.iterations;
+    best.total_iterations = remaining_iterations;
+    best.t_iter = r.best.t_iter;
+    best.predicted_time = util::Seconds{r.best.total_time};
+    best.predicted_cost = util::Dollars{r.best.cost};
+    best.diagnostics = r.best.prediction;
   }
+
+  publish_trace_and_stats(results, options);
+  record_latency(timer.seconds());
   return best;
 }
 

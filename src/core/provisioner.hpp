@@ -4,8 +4,20 @@
 // within the Theorem 4.1 bounds for the homogeneous (type, n_wk, n_ps)
 // plan that meets both goals at minimum predicted dollar cost (Eq. 8 under
 // Constraints 9-11).
+//
+// The search hot path is engineered for sub-millisecond planning (the SLO
+// sentinel and the multi-tenant service call it thousands of times):
+// perf-model evaluations are memoized in a thread-safe PredictionCache,
+// independent per-type searches fan out across a shared util::ThreadPool
+// with a deterministic reduction (the chosen plan is bit-identical to the
+// serial scan), and provably non-winning grid points are pruned with
+// Theorem 4.1 bound structure plus cost-monotonicity lower bounds (see
+// docs/PERF.md for the safety argument).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -14,8 +26,13 @@
 #include "core/bounds.hpp"
 #include "core/loss_model.hpp"
 #include "core/perf_model.hpp"
+#include "core/prediction_cache.hpp"
 #include "ddnn/workload.hpp"
 #include "util/units.hpp"
+
+namespace cynthia::telemetry {
+class MetricsRegistry;
+}  // namespace cynthia::telemetry
 
 namespace cynthia::core {
 
@@ -35,6 +52,9 @@ struct CandidateEvaluation {
   double total_time = 0.0;
   double cost = 0.0;
   bool feasible = false;
+  /// Full model diagnostics for this candidate (reused for the chosen
+  /// plan's diagnostics instead of re-running the model).
+  IterationPrediction prediction;
 };
 
 struct ProvisionPlan {
@@ -76,12 +96,35 @@ struct ProvisionOptions {
   int exhaustive_max_ps = 4;
 
   /// Record every candidate into `considered` (costs memory on sweeps).
+  /// With `prune` enabled, provably skipped grid points are absent from the
+  /// trace; the chosen plan is unaffected.
   bool keep_trace = false;
 
   /// Account-level instance quota: plans needing more workers than this are
   /// rejected (EC2 accounts cannot launch unbounded fleets). Applies to the
   /// bounded search; the exhaustive grid has its own explicit limits.
   int max_workers_quota = 64;
+
+  /// Memoize perf-model evaluations in the provisioner's PredictionCache
+  /// (shared across plan/replan/sentinel calls on this Provisioner).
+  bool use_cache = true;
+
+  /// Skip grid points that a numerically-safe lower bound proves infeasible
+  /// or no cheaper than the best candidate found so far (Theorem 4.1 bound
+  /// structure + cost monotonicity; docs/PERF.md gives the argument). The
+  /// chosen plan is bit-identical with pruning on or off.
+  bool prune = true;
+
+  /// Fan independent per-type searches out across the shared planner
+  /// thread pool when the estimated candidate count reaches
+  /// `parallel_min_candidates`. Reduction order is deterministic (catalog
+  /// order, then scan order), so the result is bit-identical to serial.
+  /// The threshold is set where the pool's ~10 us dispatch overhead breaks
+  /// even: warm-cache candidates cost ~15 ns each, so the default-quota
+  /// grids (~768 points) run serial and only large cold exhaustive sweeps
+  /// fan out. Lower it to force the parallel path (stress tests do).
+  bool parallel_eval = true;
+  int parallel_min_candidates = 4096;
 };
 
 /// Degradation-aware inputs to Provisioner::replan(), measured by the caller
@@ -97,9 +140,33 @@ struct ReplanDegradation {
   double slack_margin = 0.0;
 };
 
+/// Cumulative hot-path statistics for one Provisioner (all plan/replan
+/// calls since construction). Mirrored into telemetry when a registry is
+/// attached via set_metrics().
+struct PlannerStats {
+  std::uint64_t plans = 0;                 ///< plan() + replan() calls
+  std::uint64_t candidates_evaluated = 0;  ///< perf-model evaluations requested
+  std::uint64_t candidates_pruned = 0;     ///< grid points provably skipped
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  [[nodiscard]] double cache_hit_rate() const {
+    const double total = static_cast<double>(cache_hits + cache_misses);
+    return total > 0.0 ? static_cast<double>(cache_hits) / total : 0.0;
+  }
+};
+
 class Provisioner {
  public:
   Provisioner(CynthiaModel model, LossModel loss, std::vector<cloud::InstanceType> types);
+
+  /// Movable for construction-time plumbing (bench harnesses aggregate a
+  /// Provisioner by value). Moving while a planning call is in flight on
+  /// the source is undefined; the cache and counters carry over.
+  Provisioner(Provisioner&& other) noexcept;
+  Provisioner& operator=(Provisioner&&) = delete;
+  Provisioner(const Provisioner&) = delete;
+  Provisioner& operator=(const Provisioner&) = delete;
 
   /// Runs Algorithm 1. `mode` is the workload's sync mechanism.
   [[nodiscard]] ProvisionPlan plan(ddnn::SyncMode mode, const ProvisionGoal& goal,
@@ -111,17 +178,20 @@ class Provisioner {
   /// finishes `remaining_iterations` global updates within `remaining_time`.
   /// Theorem 4.1's worker bounds assume the iteration count comes from the
   /// loss model; here it is pinned by the checkpoint instead, so the search
-  /// scans the quota-limited grid directly and keeps the cheapest feasible
-  /// candidate (possibly a different n_wk/n_ps than the original plan).
-  /// `degradation` biases the prediction by the measured slowdown and holds
-  /// back a slack margin, so the new plan survives the conditions that
-  /// invalidated the old one.
+  /// scans the quota-limited grid (pruned by the same bound structure) and
+  /// keeps the cheapest feasible candidate (possibly a different n_wk/n_ps
+  /// than the original plan). `degradation` biases the prediction by the
+  /// measured slowdown and holds back a slack margin, so the new plan
+  /// survives the conditions that invalidated the old one.
   [[nodiscard]] ProvisionPlan replan(ddnn::SyncMode mode, long remaining_iterations,
                                      util::Seconds remaining_time,
                                      const ProvisionOptions& options = {},
                                      const ReplanDegradation& degradation = {}) const;
 
-  /// Candidates examined by the last call when keep_trace was set.
+  /// Candidates examined by the last call when keep_trace was set, in
+  /// deterministic emission order (catalog order, then scan order) even
+  /// when candidate evaluation ran in parallel. Mutation is serialized
+  /// internally; read it after the planning call returns.
   [[nodiscard]] const std::vector<CandidateEvaluation>& considered() const {
     return considered_;
   }
@@ -129,17 +199,55 @@ class Provisioner {
   [[nodiscard]] const CynthiaModel& model() const { return model_; }
   [[nodiscard]] const LossModel& loss() const { return loss_; }
 
+  /// Snapshot of the cumulative hot-path counters.
+  [[nodiscard]] PlannerStats stats() const;
+
+  /// Prediction-cache introspection (tests and benches).
+  [[nodiscard]] const PredictionCache& cache() const { return cache_; }
+  void clear_cache() const { cache_.clear(); }
+
+  /// Attaches a metrics registry: every subsequent plan/replan records its
+  /// wall-clock latency plus cache/prune counters (telemetry/telemetry.hpp
+  /// names). Not owned; nullptr detaches.
+  void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
+  struct TypeSearch;  // per-type search result (provisioner.cpp)
+
   CynthiaModel model_;
   LossModel loss_;
   std::vector<cloud::InstanceType> types_;
+  std::uint64_t digest_ = 0;  ///< profile_digest(model_.profile(), headroom)
+  mutable PredictionCache cache_;
+  mutable std::mutex considered_mutex_;  ///< guards considered_ across calls
   mutable std::vector<CandidateEvaluation> considered_;
+  mutable std::atomic<std::uint64_t> plans_{0};
+  mutable std::atomic<std::uint64_t> evaluated_{0};
+  mutable std::atomic<std::uint64_t> pruned_{0};
+  telemetry::MetricsRegistry* metrics_ = nullptr;
 
-  /// Evaluates one homogeneous candidate; returns nullopt if infeasible.
+  /// Memoized predict_iteration over the homogeneous candidate shape.
+  [[nodiscard]] IterationPrediction predict_cached(const cloud::InstanceType& type,
+                                                   std::size_t type_index, int n_wk, int n_ps,
+                                                   ddnn::SyncMode mode, bool use_cache) const;
+
+  /// Evaluates one homogeneous candidate; returns nullopt if invalid.
   [[nodiscard]] std::optional<CandidateEvaluation> evaluate(const cloud::InstanceType& type,
-                                                            int n_wk, int n_ps,
-                                                            ddnn::SyncMode mode,
-                                                            const ProvisionGoal& goal) const;
+                                                            std::size_t type_index, int n_wk,
+                                                            int n_ps, ddnn::SyncMode mode,
+                                                            const ProvisionGoal& goal,
+                                                            bool use_cache) const;
+
+  /// Runs one search task per instance type — serial or across the shared
+  /// planner pool — and stores traces/stats; reduction happens in catalog
+  /// order either way.
+  template <class SearchFn>
+  std::vector<TypeSearch> run_type_searches(SearchFn&& search, std::size_t estimated_candidates,
+                                            const ProvisionOptions& options) const;
+
+  void publish_trace_and_stats(std::vector<TypeSearch>& results,
+                               const ProvisionOptions& options) const;
+  void record_latency(double planner_seconds) const;
 };
 
 /// Eq. 8: dollar cost of running the homogeneous plan for `duration`.

@@ -33,7 +33,9 @@ class Session {
         fluid_(sim_),
         rng_(options.seed),
         loss_(workload, cluster.n_workers(), options.seed ^ 0xA5A55A5A12345678ULL),
-        tel_(options.telemetry) {}
+        tel_(options.telemetry) {
+    fluid_.set_incremental(options.fluid_incremental);
+  }
 
   virtual ~Session() = default;
 
@@ -399,6 +401,8 @@ void Session::finalize(double end_time) {
     mtr.counter(metric::kIterations).inc(static_cast<double>(total_iterations_));
     mtr.counter(metric::kSimEvents).inc(static_cast<double>(sim_.events_fired()));
     mtr.counter(metric::kFluidSettles).inc(static_cast<double>(fluid_.settle_count()));
+    mtr.counter(metric::kFluidFlowsResolved).inc(static_cast<double>(fluid_.flows_resolved()));
+    mtr.counter(metric::kFluidFlowsAvoided).inc(static_cast<double>(fluid_.flows_avoided()));
     auto snapshot_util = [&](const std::vector<sim::ResourceId>& ids) {
       for (sim::ResourceId id : ids) {
         mtr.gauge("fluid.util." + fluid_.resource_name(id))

@@ -77,6 +77,13 @@ struct TrainOptions {
   /// training from iteration 0.
   long checkpoint_interval_iterations = 50;
 
+  /// Component-scoped fluid reallocation (sim/fluid.hpp): after each
+  /// start/finish/cancel/capacity event only the touched connected
+  /// component is re-water-filled. Allocations — and therefore run results
+  /// — are bit-identical with this on or off; off exists for the
+  /// equivalence tests and the perf_fluid baseline.
+  bool fluid_incremental = true;
+
   /// > 0: cut the run at this simulated time and finalize what completed
   /// (the elastic re-planner uses this to end segment one at the first
   /// crash). The result carries stopped_early = true.

@@ -45,7 +45,7 @@ JobId FluidSystem::start_job(double volume, std::vector<ResourceId> resources,
   job.resources = std::move(resources);
   job.on_complete = std::move(on_complete);
   jobs_.push_back(std::move(job));
-  reallocate();
+  reallocate(jobs_.back().resources);
   return id;
 }
 
@@ -53,8 +53,9 @@ void FluidSystem::cancel_job(JobId id) {
   auto it = std::find_if(jobs_.begin(), jobs_.end(), [&](const Job& j) { return j.id == id; });
   if (it == jobs_.end()) return;
   settle();
+  const std::vector<ResourceId> touched = std::move(it->resources);
   jobs_.erase(it);
-  reallocate();
+  reallocate(touched);
 }
 
 const FluidSystem::Job* FluidSystem::find_job(JobId id) const {
@@ -112,7 +113,7 @@ void FluidSystem::set_resource_capacity(ResourceId id, double capacity) {
   }
   settle();
   resources_[id].capacity = capacity;
-  reallocate();
+  reallocate({id});
 }
 
 const util::RateTrace* FluidSystem::resource_trace(ResourceId id) {
@@ -190,15 +191,139 @@ std::vector<double> FluidSystem::compute_maxmin_rates() const {
   return rates;
 }
 
-void FluidSystem::reallocate() {
-  const auto rates = compute_maxmin_rates();
-  for (auto& r : resources_) r.used_rate = 0.0;
+void FluidSystem::reallocate(const std::vector<ResourceId>& touched) {
+  ++realloc_count_;
+  if (incremental_ && !touched.empty()) {
+    resolve_component(touched);
+  } else {
+    const auto rates = compute_maxmin_rates();
+    for (auto& r : resources_) r.used_rate = 0.0;
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      jobs_[j].rate = rates[j];
+      for (ResourceId rid : jobs_[j].resources) resources_[rid].used_rate += rates[j];
+    }
+    flows_resolved_ += jobs_.size();
+  }
+  schedule_completion();
+}
+
+/// Component-scoped max-min: water-fills only the connected component(s) of
+/// the bipartite job/resource graph reachable from the touched resources.
+/// Correctness rests on two facts. (1) Max-min fairness decomposes exactly
+/// by component — the global water-filling's freeze sequence restricted to
+/// one component reads and writes only that component's capacities and
+/// counts, in the same ascending-index order the restricted solve uses, so
+/// the restricted solve reproduces the global rates bit-for-bit. (2) The
+/// affected set is closed: every job crossing an affected resource is
+/// itself affected, so untouched jobs keep rates (and their resources keep
+/// used_rate sums) that a global re-solve would recompute identically.
+void FluidSystem::resolve_component(const std::vector<ResourceId>& touched) {
+  const std::size_t n = jobs_.size();
+  const std::size_t nr = resources_.size();
+
+  // CSR adjacency resource -> crossing job indices: one O(edges) pass, far
+  // below the water-filling work it lets us skip.
+  std::vector<std::size_t> head(nr + 1, 0);
+  for (const auto& job : jobs_) {
+    for (ResourceId rid : job.resources) ++head[rid + 1];
+  }
+  for (std::size_t r = 0; r < nr; ++r) head[r + 1] += head[r];
+  std::vector<std::size_t> adj(head.back());
+  std::vector<std::size_t> cursor(head.begin(), head.end() - 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (ResourceId rid : jobs_[j].resources) adj[cursor[rid]++] = j;
+  }
+
+  // Flood-fill the affected component(s) from the touched resources.
+  std::vector<char> res_in(nr, 0);
+  std::vector<char> job_in(n, 0);
+  std::vector<ResourceId> frontier;
+  for (ResourceId rid : touched) {
+    if (!res_in[rid]) {
+      res_in[rid] = 1;
+      frontier.push_back(rid);
+    }
+  }
+  while (!frontier.empty()) {
+    const ResourceId r = frontier.back();
+    frontier.pop_back();
+    for (std::size_t e = head[r]; e < head[r + 1]; ++e) {
+      const std::size_t j = adj[e];
+      if (job_in[j]) continue;
+      job_in[j] = 1;
+      for (ResourceId rid : jobs_[j].resources) {
+        if (!res_in[rid]) {
+          res_in[rid] = 1;
+          frontier.push_back(rid);
+        }
+      }
+    }
+  }
+
+  // Ascending-index member lists keep the freeze/accumulation order equal
+  // to the global solver's, independent of flood-fill visit order.
+  std::vector<ResourceId> res_ids;
+  std::vector<std::size_t> job_ids;
+  for (std::size_t r = 0; r < nr; ++r) {
+    if (res_in[r]) res_ids.push_back(r);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    if (job_in[j]) job_ids.push_back(j);
+  }
+
+  // Progressive water-filling restricted to the component (same arithmetic
+  // as compute_maxmin_rates over the affected subset).
+  std::vector<double> rem_cap(nr, 0.0);
+  std::vector<int> unfrozen_on(nr, 0);
+  for (ResourceId r : res_ids) rem_cap[r] = resources_[r].capacity;
+  for (std::size_t j : job_ids) {
+    for (ResourceId rid : jobs_[j].resources) ++unfrozen_on[rid];
+  }
+  std::vector<char> frozen(n, 0);
+  std::size_t frozen_count = 0;
+  while (frozen_count < job_ids.size()) {
+    double best_share = std::numeric_limits<double>::infinity();
+    ResourceId best_r = nr;
+    for (ResourceId r : res_ids) {
+      if (unfrozen_on[r] == 0) continue;
+      const double share = rem_cap[r] / unfrozen_on[r];
+      if (share < best_share) {
+        best_share = share;
+        best_r = r;
+      }
+    }
+    if (best_r == nr) break;  // remaining jobs use no resources
+    best_share = std::max(0.0, best_share);
+    for (std::size_t j : job_ids) {
+      if (frozen[j]) continue;
+      const auto& rs = jobs_[j].resources;
+      if (std::find(rs.begin(), rs.end(), best_r) == rs.end()) continue;
+      frozen[j] = 1;
+      ++frozen_count;
+      jobs_[j].rate = best_share;
+      for (ResourceId rid : rs) {
+        rem_cap[rid] = std::max(0.0, rem_cap[rid] - best_share);
+        --unfrozen_on[rid];
+      }
+    }
+  }
+
+  // Rebuild used_rate for affected resources only; every job crossing them
+  // is affected, so the ascending-index accumulation matches the global one.
+  for (ResourceId r : res_ids) resources_[r].used_rate = 0.0;
+  for (std::size_t j : job_ids) {
+    for (ResourceId rid : jobs_[j].resources) resources_[rid].used_rate += jobs_[j].rate;
+  }
+
+  flows_resolved_ += job_ids.size();
+  flows_avoided_ += n - job_ids.size();
+}
+
+void FluidSystem::schedule_completion() {
   double min_finish = std::numeric_limits<double>::infinity();
-  for (std::size_t j = 0; j < jobs_.size(); ++j) {
-    jobs_[j].rate = rates[j];
-    for (ResourceId rid : jobs_[j].resources) resources_[rid].used_rate += rates[j];
-    if (rates[j] > 0.0) {
-      min_finish = std::min(min_finish, jobs_[j].remaining / rates[j]);
+  for (const auto& job : jobs_) {
+    if (job.rate > 0.0) {
+      min_finish = std::min(min_finish, job.remaining / job.rate);
     }
   }
   if (completion_event_ != 0) {
@@ -284,7 +409,11 @@ void FluidSystem::on_completion_event() {
       ++it;
     }
   }
-  reallocate();
+  std::vector<ResourceId> touched;
+  for (const Job& job : finished) {
+    touched.insert(touched.end(), job.resources.begin(), job.resources.end());
+  }
+  reallocate(touched);
   const double now = sim_->now();
   for (auto& job : finished) {
     if (job.on_complete) job.on_complete(now);

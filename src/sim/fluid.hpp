@@ -89,6 +89,24 @@ class FluidSystem {
   /// Number of settle passes performed (telemetry: fluid hot-path count).
   [[nodiscard]] std::size_t settle_count() const { return settle_count_; }
 
+  /// Toggles component-scoped reallocation (default on). Max-min fairness
+  /// decomposes exactly over connected components of the job/resource
+  /// bipartite graph, so after an event only the touched component is
+  /// re-water-filled; allocations are bit-identical to the global solve
+  /// either way (tests/fluid_incremental_test.cpp) — off exists for the
+  /// equivalence suite and perf baselines.
+  void set_incremental(bool on) { incremental_ = on; }
+  [[nodiscard]] bool incremental() const { return incremental_; }
+
+  /// Reallocation passes performed (every job start/finish/cancel and
+  /// capacity change triggers one).
+  [[nodiscard]] std::size_t realloc_count() const { return realloc_count_; }
+  /// Cumulative flows actually re-solved by water-filling across all
+  /// reallocations; the global solver re-solves every active flow every
+  /// time, so `flows_avoided()` is the incremental win.
+  [[nodiscard]] std::uint64_t flows_resolved() const { return flows_resolved_; }
+  [[nodiscard]] std::uint64_t flows_avoided() const { return flows_avoided_; }
+
   static constexpr double kEpsilonVolume = 1e-9;
 
  private:
@@ -116,9 +134,21 @@ class FluidSystem {
   double last_settle_ = 0.0;
   EventId completion_event_ = 0;
   std::size_t settle_count_ = 0;
+  bool incremental_ = true;
+  std::size_t realloc_count_ = 0;
+  std::uint64_t flows_resolved_ = 0;
+  std::uint64_t flows_avoided_ = 0;
 
   void settle();
-  void reallocate();
+  /// Re-runs max-min after an event that touched `touched` resources (job
+  /// started/removed there, or capacity changed). Incremental mode
+  /// water-fills only the touched connected component; an empty list (or
+  /// incremental off) solves globally.
+  void reallocate(const std::vector<ResourceId>& touched);
+  void resolve_component(const std::vector<ResourceId>& touched);
+  /// Reschedules the next completion event from the current rates and
+  /// checks the starvation invariant (shared tail of every reallocation).
+  void schedule_completion();
   void on_completion_event();
   void verify_allocation() const;
   [[nodiscard]] std::vector<double> compute_maxmin_rates() const;

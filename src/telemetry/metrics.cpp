@@ -1,5 +1,7 @@
 #include "telemetry/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <limits>
 #include <ostream>
@@ -64,6 +66,31 @@ void Histogram::observe(double value) {
     }
   }
   counts_[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::approx_quantile(double quantile_frac) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double q = std::clamp(quantile_frac, 0.0, 1.0);
+  // Rank of the target observation (1-based, ceil(q*total) clamped to >= 1).
+  const auto target = static_cast<std::uint64_t>(
+      std::max<double>(1.0, std::ceil(q * static_cast<double>(total))));
+  const auto counts = bucket_counts();
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += counts[i];
+    if (cumulative < target) continue;
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    // Overflow bucket has no finite upper bound; the observed max caps it.
+    const double upper = i < bounds_.size() ? bounds_[i] : max();
+    const double within =
+        static_cast<double>(target - before) / static_cast<double>(counts[i]);
+    const double estimate = lower + (upper - lower) * within;
+    return std::clamp(estimate, min(), max());
+  }
+  return max();
 }
 
 std::vector<std::uint64_t> Histogram::bucket_counts() const {

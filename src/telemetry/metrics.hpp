@@ -103,6 +103,13 @@ class Histogram {
   /// overflow. Copied out so readers never race a concurrent observe().
   [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
 
+  /// Approximate quantile (q in [0,1]) from the bucket layout: finds the
+  /// bucket holding the q-th observation and interpolates linearly inside
+  /// it, clamped to the observed [min, max]. Resolution is bounded by the
+  /// bucket growth ratio; good enough for p50/p99 trend lines, not exact
+  /// order statistics. Returns 0 when empty.
+  [[nodiscard]] double approx_quantile(double quantile_frac) const;
+
   /// Computes the bound layout for the given options (also used by tests).
   static std::vector<double> make_bounds(const HistogramOptions& options);
 

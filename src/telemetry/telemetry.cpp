@@ -18,6 +18,17 @@ TelemetrySummary TelemetrySummary::from(const MetricsRegistry& metrics) {
   }
   const double end_to_end = s.provisioning_seconds + s.train_seconds;
   if (end_to_end > 0.0) s.provisioning_fraction = s.provisioning_seconds / end_to_end;
+
+  s.planner_plans = static_cast<long>(metrics.counter_value(metric::kPlannerPlans));
+  if (const Histogram* h = metrics.find_histogram(metric::kPlannerPlanSeconds)) {
+    s.planner_p50_ms = h->approx_quantile(0.5) * 1e3;
+    s.planner_p99_ms = h->approx_quantile(0.99) * 1e3;
+  }
+  s.planner_cache_hit_rate = metrics.gauge_value(metric::kPlannerCacheHitRate);
+  s.planner_candidates_evaluated = metrics.gauge_value(metric::kPlannerCandidates);
+  s.planner_candidates_pruned = metrics.gauge_value(metric::kPlannerPruned);
+  s.fluid_flows_resolved = metrics.counter_value(metric::kFluidFlowsResolved);
+  s.fluid_flows_avoided = metrics.counter_value(metric::kFluidFlowsAvoided);
   return s;
 }
 
@@ -33,6 +44,18 @@ util::Table TelemetrySummary::table(const std::string& title) const {
   t.row({"barrier / wait", util::Table::pct(100.0 * barrier_fraction)});
   t.row({"provisioning overhead", util::Table::pct(100.0 * provisioning_fraction)});
   if (billing_dollars > 0.0) t.row({"billing ($)", util::Table::num(billing_dollars, 3)});
+  if (planner_plans > 0) {
+    t.row({"planner calls", std::to_string(planner_plans)});
+    t.row({"planner p50 (ms)", util::Table::num(planner_p50_ms, 3)});
+    t.row({"planner p99 (ms)", util::Table::num(planner_p99_ms, 3)});
+    t.row({"planner cache hit rate", util::Table::pct(100.0 * planner_cache_hit_rate)});
+    t.row({"candidates evaluated", util::Table::num(planner_candidates_evaluated, 0)});
+    t.row({"candidates pruned", util::Table::num(planner_candidates_pruned, 0)});
+  }
+  if (fluid_flows_resolved + fluid_flows_avoided > 0.0) {
+    t.row({"fluid flows re-solved", util::Table::num(fluid_flows_resolved, 0)});
+    t.row({"fluid flows avoided", util::Table::num(fluid_flows_avoided, 0)});
+  }
   return t;
 }
 

@@ -64,6 +64,20 @@ inline constexpr char kSentinelExclusions[] = "sentinel.exclusions";
 inline constexpr char kSentinelSspDowngrades[] = "sentinel.ssp_downgrades";
 inline constexpr char kSentinelAddedPs[] = "sentinel.added_ps";
 inline constexpr char kSentinelReplans[] = "sentinel.replans";
+// Provisioner hot path (core/provisioner.hpp, set_metrics()): planner call
+// latency histogram plus cumulative search/cache counters mirrored from
+// PlannerStats as gauges.
+inline constexpr char kPlannerPlans[] = "planner.plans";
+inline constexpr char kPlannerPlanSeconds[] = "planner.plan_seconds";         // histogram
+inline constexpr char kPlannerCandidates[] = "planner.candidates_evaluated";  // gauge
+inline constexpr char kPlannerPruned[] = "planner.candidates_pruned";         // gauge
+inline constexpr char kPlannerCacheHits[] = "planner.cache_hits";             // gauge
+inline constexpr char kPlannerCacheMisses[] = "planner.cache_misses";         // gauge
+inline constexpr char kPlannerCacheHitRate[] = "planner.cache_hit_rate";      // gauge
+// Incremental fluid solver (sim/fluid.hpp): flows actually re-solved by
+// max-min settles vs. flows the component-scoped settle proved untouched.
+inline constexpr char kFluidFlowsResolved[] = "sim.fluid_flows_resolved";
+inline constexpr char kFluidFlowsAvoided[] = "sim.fluid_flows_avoided";
 }  // namespace metric
 
 /// Metrics + trace for one experiment run.
@@ -85,6 +99,20 @@ struct TelemetrySummary {
   double billing_dollars = 0.0;
   long iterations = 0;
   int workers = 0;
+
+  // Planner hot path (zero unless a Provisioner had set_metrics() pointed
+  // at this registry — then plan/replan latency and cache efficiency show
+  // up in the summary table).
+  long planner_plans = 0;
+  double planner_p50_ms = 0.0;
+  double planner_p99_ms = 0.0;
+  double planner_cache_hit_rate = 0.0;
+  double planner_candidates_evaluated = 0.0;
+  double planner_candidates_pruned = 0.0;
+
+  // Incremental fluid solver: flows re-solved vs. provably untouched.
+  double fluid_flows_resolved = 0.0;
+  double fluid_flows_avoided = 0.0;
 
   static TelemetrySummary from(const MetricsRegistry& metrics);
 

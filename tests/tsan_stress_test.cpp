@@ -1,7 +1,9 @@
-// Contention stress tests for the two components that are allowed to touch
-// threads: util::ThreadPool and the telemetry metrics registry. Built and
-// run under ThreadSanitizer in CI (see .github/workflows/ci.yml); under a
-// plain build they still verify that concurrent updates sum correctly.
+// Contention stress tests for the components that are allowed to touch
+// threads: util::ThreadPool, the telemetry metrics registry, and the
+// provisioner hot path (shared PredictionCache + parallel candidate
+// evaluation). Built and run under ThreadSanitizer in CI (see
+// .github/workflows/ci.yml); under a plain build they still verify that
+// concurrent updates sum correctly and plans stay deterministic.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -9,16 +11,27 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <numeric>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cloud/instance.hpp"
+#include "core/loss_model.hpp"
+#include "core/provisioner.hpp"
+#include "ddnn/workload.hpp"
+#include "profiler/profiler.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/units.hpp"
 
 namespace ct = cynthia::telemetry;
 namespace cu = cynthia::util;
+namespace co = cynthia::core;
+namespace cd = cynthia::ddnn;
+namespace cc = cynthia::cloud;
+namespace cp = cynthia::profiler;
 
 namespace {
 constexpr int kThreads = 8;
@@ -117,6 +130,97 @@ TEST(TsanStress, HistogramConservesCountAndSumUnderContention) {
   EXPECT_EQ(bucket_total, expected) << "every observation must land in exactly one bucket";
   EXPECT_GT(h.sum(), 0.0);
   EXPECT_GE(h.max(), h.min());
+}
+
+// --------------------------------------------------------------- provisioner
+
+namespace {
+
+co::Provisioner stress_provisioner() {
+  static std::map<std::string, cp::ProfileResult> cache;
+  const char* name = "cifar10";
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(name, cp::profile_workload(cd::workload_by_name(name),
+                                                 cc::Catalog::aws().at("m4.xlarge")))
+             .first;
+  }
+  const auto& w = cd::workload_by_name(name);
+  co::LossModel loss(cd::SyncMode::BSP, w.loss().beta0, w.loss().beta1);
+  return co::Provisioner(co::CynthiaModel(it->second), std::move(loss),
+                         cc::Catalog::aws().provisionable());
+}
+
+}  // namespace
+
+TEST(TsanStress, ConcurrentPlansOnSharedProvisionerAreDeterministic) {
+  const auto prov = stress_provisioner();
+  const co::ProvisionGoal goal{cu::minutes(90), 0.8};
+  // Parallel candidate evaluation forced on, so the pool-backed search, the
+  // shared PredictionCache (dense slots + shards), and the stats counters
+  // all see contention from plan() and replan() callers simultaneously.
+  co::ProvisionOptions options;
+  options.parallel_min_candidates = 1;
+  options.keep_trace = true;
+
+  const auto reference = prov.plan(cd::SyncMode::BSP, goal, options);
+  ASSERT_TRUE(reference.feasible);
+  const std::size_t reference_trace_size = prov.considered().size();
+  const auto reference_replan =
+      prov.replan(cd::SyncMode::BSP, 2000, cu::minutes(45), options);
+
+  std::atomic<int> mismatches{0};
+  hammer([&](int t) {
+    for (int j = 0; j < 25; ++j) {
+      if ((t + j) % 2 == 0) {
+        const auto plan = prov.plan(cd::SyncMode::BSP, goal, options);
+        if (plan.n_workers != reference.n_workers || plan.n_ps != reference.n_ps ||
+            plan.t_iter != reference.t_iter ||
+            plan.predicted_cost.value() != reference.predicted_cost.value()) {
+          mismatches.fetch_add(1);
+        }
+      } else {
+        const auto plan = prov.replan(cd::SyncMode::BSP, 2000, cu::minutes(45), options);
+        if (plan.n_workers != reference_replan.n_workers ||
+            plan.n_ps != reference_replan.n_ps || plan.t_iter != reference_replan.t_iter) {
+          mismatches.fetch_add(1);
+        }
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0) << "every concurrent caller must get the same plan";
+
+  // considered() holds whichever call published last; every publication is
+  // serialized and complete, so the trace is a full deterministic sequence.
+  const auto final_plan = prov.plan(cd::SyncMode::BSP, goal, options);
+  EXPECT_EQ(final_plan.n_workers, reference.n_workers);
+  EXPECT_EQ(prov.considered().size(), reference_trace_size);
+
+  const auto stats = prov.stats();
+  EXPECT_EQ(stats.plans, 2u + kThreads * 25u + 1u);
+}
+
+TEST(TsanStress, CacheClearBetweenContendedPhasesKeepsPlansIdentical) {
+  const auto prov = stress_provisioner();
+  const co::ProvisionGoal goal{cu::minutes(90), 0.8};
+  co::ProvisionOptions options;
+  options.parallel_min_candidates = 1;
+  const auto reference = prov.plan(cd::SyncMode::BSP, goal, options);
+  ASSERT_TRUE(reference.feasible);
+  // clear_cache() requires quiescence (prediction_cache.hpp), so clears run
+  // between hammer phases; each phase then repopulates the cache under full
+  // contention and every caller must still see the identical plan.
+  for (int phase = 0; phase < 3; ++phase) {
+    prov.clear_cache();
+    hammer([&](int) {
+      for (int j = 0; j < 10; ++j) {
+        const auto plan = prov.plan(cd::SyncMode::BSP, goal, options);
+        ASSERT_EQ(plan.n_workers, reference.n_workers);
+        ASSERT_EQ(plan.t_iter, reference.t_iter);
+      }
+    });
+  }
 }
 
 TEST(TsanStress, RegistryCreationRaceYieldsOneMetricPerName) {
