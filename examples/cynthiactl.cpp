@@ -9,7 +9,22 @@
 //              [--iterations S] [--stragglers]
 //              [--faults SPEC] [--fault-seed N] [--fault-horizon S]
 //              [--mitigate[=POLICY]] [--minutes M] [--loss L]
-//              [--trace-out F] [--metrics-out F]  run the training simulator
+//              [--trace-out F] [--metrics-out F] [--journal-out F]
+//                                              run the training simulator
+//   cynthiactl report <workload> --workers N --iterations S [--ps K]
+//              [--type T] [--faults SPEC] [--fault-seed N] [--fault-horizon S]
+//              [--policy P] [--minutes M] [--loss L] [--bound FRAC]
+//              [--journal-out F.jsonl] [--report-out F.html] [--json-out F.json]
+//                                              sentinel run + run journal +
+//                                              cost/SLO attribution report
+//
+// `report` runs the SLO sentinel with the run journal always on, derives the
+// cost-attribution ledger (every billing settlement classified by phase x
+// cause x node; the ledger sums bit-for-bit to the billing meter) and the
+// prediction-audit ledger (per-segment predicted vs measured iteration time,
+// flagged beyond --bound, default 10%), and renders a self-contained HTML
+// report plus a machine-readable JSON twin (tools/check_report.py validates
+// it in CI). Like simulate --mitigate, a missed verdict exits 3.
 //
 // --mitigate attaches the SLO sentinel (orch::SloSentinel): stragglers and
 // degradations are detected online and mitigated under POLICY (none |
@@ -61,6 +76,7 @@
 #include "orchestrator/cluster_manager.hpp"
 #include "orchestrator/sentinel.hpp"
 #include "profiler/profiler.hpp"
+#include "telemetry/report.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
@@ -251,7 +267,7 @@ double provision_for_telemetry(telemetry::Telemetry& tel, cloud::BillingMeter& b
     plan.n_ps = n_ps;
     manager.deploy(plan);
   }
-  tel.tracer.set_time_offset(psim.now());
+  tel.set_time_offset(psim.now());
   return psim.now();
 }
 
@@ -316,7 +332,9 @@ int cmd_simulate(const Args& args) {
 
   const std::string trace_out = args.text("trace-out", "");
   const std::string metrics_out = args.text("metrics-out", "");
-  const bool telemetry_on = !trace_out.empty() || !metrics_out.empty();
+  const std::string journal_out = args.text("journal-out", "");
+  const bool telemetry_on =
+      !trace_out.empty() || !metrics_out.empty() || !journal_out.empty();
   telemetry::Telemetry tel;
 
   const bool mitigate = args.flag("mitigate") || args.options.count("mitigate") > 0;
@@ -395,6 +413,10 @@ int cmd_simulate(const Args& args) {
       telemetry::TelemetrySummary::from(tel.metrics).table().print(std::cout);
       if (!trace_out.empty()) tel.tracer.write_chrome_json_file(trace_out);
       if (!metrics_out.empty()) tel.metrics.write_csv_file(metrics_out);
+      if (!journal_out.empty()) {
+        tel.journal.write_jsonl_file(journal_out);
+        std::printf("[journal] %s (%zu records)\n", journal_out.c_str(), tel.journal.size());
+      }
     }
     const bool missed = (time_goal_given && !report.time_goal_met) ||
                         (loss_goal_given && !report.loss_goal_met);
@@ -413,9 +435,14 @@ int cmd_simulate(const Args& args) {
   const auto r = ddnn::run_training(cluster, w, o);
 
   if (telemetry_on) {
-    // Instances billed from launch through end of training.
+    // Instances billed from launch through end of training; one journal
+    // settlement mirrors the meter so the cost ledger sums to the gauge.
+    const double bill_until = provision_seconds + r.total_time;
     tel.metrics.gauge(telemetry::metric::kBillingDollars)
-        .set(billing.total(provision_seconds + r.total_time).value());
+        .set(billing.total(bill_until).value());
+    cloud::journal_meter_settlement(tel.journal, billing, bill_until,
+                                    telemetry::CostPhase::kTrain,
+                                    telemetry::CostCause::kPlan, provision_seconds);
   }
   util::Table t("Simulation: " + w.name + " on " + std::to_string(n) + "x " + type.name +
                 " + " + std::to_string(ps) + " PS");
@@ -454,8 +481,133 @@ int cmd_simulate(const Args& args) {
       tel.metrics.write_csv_file(metrics_out);
       std::printf("[metrics] %s\n", metrics_out.c_str());
     }
+    if (!journal_out.empty()) {
+      tel.journal.write_jsonl_file(journal_out);
+      std::printf("[journal] %s (%zu records)\n", journal_out.c_str(), tel.journal.size());
+    }
   }
   return 0;
+}
+
+int cmd_report(const Args& args) {
+  if (args.positional.size() < 2 || !args.number("workers") ||
+      args.number("iterations").value_or(0) <= 0) {
+    std::puts(
+        "usage: cynthiactl report <workload> --workers N --iterations S [--ps K]"
+        " [--type T] [--faults SPEC] [--fault-seed N] [--fault-horizon S]"
+        " [--policy P] [--minutes M] [--loss L] [--bound FRAC]"
+        " [--journal-out F.jsonl] [--report-out F.html] [--json-out F.json]");
+    return 2;
+  }
+  const auto w = resolve_workload(args.positional[1]);
+  const auto& type = resolve_type(args.text("type", "m4.xlarge"));
+  const int n = static_cast<int>(*args.number("workers"));
+  const int ps = static_cast<int>(args.number("ps").value_or(1));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.number("seed").value_or(1));
+  const double horizon_seconds = args.number("fault-horizon").value_or(3600.0);
+  const faults::FaultSchedule schedule =
+      build_fault_schedule(args, n, ps, seed, horizon_seconds);
+  if (!schedule.empty()) {
+    std::printf("[faults] %zu event(s): %s\n", schedule.size(), schedule.to_string().c_str());
+  }
+
+  // The journal is the whole point of this command: telemetry is always on.
+  telemetry::Telemetry tel;
+  ddnn::TrainOptions o;
+  o.iterations = static_cast<long>(*args.number("iterations"));
+  o.seed = seed;
+  o.telemetry = &tel;
+  o.trace_bucket_seconds = 1.0;
+
+  orch::SentinelOptions so;
+  so.policy = orch::parse_mitigation_policy(args.text("policy", "auto"));
+  so.seed = seed;
+  so.training = o;
+  core::ProvisionPlan plan;
+  plan.feasible = true;
+  plan.type = type;
+  plan.n_workers = n;
+  plan.n_ps = ps;
+  plan.iterations = o.iterations;
+  plan.total_iterations = o.iterations;
+  const bool time_goal_given = args.number("minutes").has_value();
+  const bool loss_goal_given = args.number("loss").has_value();
+  core::ProvisionGoal goal;
+  goal.time_goal =
+      time_goal_given ? util::minutes(*args.number("minutes")) : util::Seconds{1e12};
+  goal.target_loss = loss_goal_given ? *args.number("loss") : 0.0;
+
+  const orch::SloSentinel sentinel(so);
+  const auto report = sentinel.run(w, plan, schedule, goal);
+
+  const double bound = args.number("bound").value_or(0.10);
+  const std::string title = w.name + " on " + std::to_string(n) + "x " + type.name + " + " +
+                            std::to_string(ps) + " PS (policy " +
+                            orch::to_string(so.policy) + ", seed " + std::to_string(seed) +
+                            ")";
+  const telemetry::RunReport run = telemetry::RunReport::build(tel.journal, title, bound);
+
+  util::Table t("Report: " + title);
+  t.header({"metric", "value"});
+  t.row({"iterations", std::to_string(report.training.iterations)});
+  t.row({"total time (s)", util::Table::num(report.training.total_time, 1)});
+  t.row({"final loss", util::Table::num(report.achieved_loss, 3)});
+  t.row({"segments", std::to_string(report.segments)});
+  t.row({"detections", std::to_string(report.detections.size())});
+  t.row({"mitigations", std::to_string(report.mitigations.size())});
+  t.row({"cost ($)", util::Table::num(report.actual_cost.value(), 3)});
+  t.row({"attributed ($)", util::Table::num(run.total_cost_dollars(), 3)});
+  t.row({"  provision ($)",
+         util::Table::num(run.cost.phase_dollars(telemetry::CostPhase::kProvision), 3)});
+  t.row({"  train ($)",
+         util::Table::num(run.cost.phase_dollars(telemetry::CostPhase::kTrain), 3)});
+  t.row({"  mitigate ($)",
+         util::Table::num(run.cost.phase_dollars(telemetry::CostPhase::kMitigate), 3)});
+  t.row({"  recover ($)",
+         util::Table::num(run.cost.phase_dollars(telemetry::CostPhase::kRecover), 3)});
+  std::size_t flagged = 0;
+  for (const auto& row : run.audit.rows) {
+    if (row.flagged) ++flagged;
+  }
+  t.row({"audit segments", std::to_string(run.audit.rows.size())});
+  t.row({"audit flagged (>" + util::Table::pct(100.0 * bound) + ")",
+         std::to_string(flagged)});
+  if (time_goal_given) t.row({"Tg verdict", report.time_goal_met ? "met" : "MISSED"});
+  if (loss_goal_given) t.row({"loss verdict", report.loss_goal_met ? "met" : "MISSED"});
+  t.row({"journal records", std::to_string(tel.journal.size())});
+  char digest[32];
+  std::snprintf(digest, sizeof digest, "0x%016llx",
+                static_cast<unsigned long long>(tel.journal.digest()));
+  t.row({"journal digest", digest});
+  t.print(std::cout);
+
+  // The exactness invariant the ledger is built around: the grouped fold
+  // over the attribution entries reproduces the meter chain bit-for-bit.
+  if (run.total_cost_dollars() != report.actual_cost.value()) {
+    std::fprintf(stderr, "error: attribution $%.17g != meter $%.17g\n",
+                 run.total_cost_dollars(), report.actual_cost.value());
+    return 1;
+  }
+
+  const std::string journal_out = args.text("journal-out", "");
+  const std::string report_out = args.text("report-out", "");
+  const std::string json_out = args.text("json-out", "");
+  if (!journal_out.empty()) {
+    tel.journal.write_jsonl_file(journal_out);
+    std::printf("[journal] %s (%zu records)\n", journal_out.c_str(), tel.journal.size());
+  }
+  if (!report_out.empty()) {
+    run.write_html_file(report_out);
+    std::printf("[report] %s\n", report_out.c_str());
+  }
+  if (!json_out.empty()) {
+    run.write_json_file(json_out);
+    std::printf("[json] %s\n", json_out.c_str());
+  }
+
+  const bool missed = (time_goal_given && !report.time_goal_met) ||
+                      (loss_goal_given && !report.loss_goal_met);
+  return missed ? 3 : 0;
 }
 
 }  // namespace
@@ -464,7 +616,7 @@ int main(int argc, char** argv) {
   const Args args = Args::parse(argc, argv);
   if (args.positional.empty()) {
     std::puts("cynthiactl — cost-efficient DDNN provisioning toolkit");
-    std::puts("commands: catalog | models | profile | plan | simulate");
+    std::puts("commands: catalog | models | profile | plan | simulate | report");
     std::puts("global flags: --check (enable runtime invariant checking),");
     std::puts("              --seed N (simulation seed; also drives --faults rate:<r>)");
     return 2;
@@ -477,6 +629,7 @@ int main(int argc, char** argv) {
     if (cmd == "profile") return cmd_profile(args);
     if (cmd == "plan") return cmd_plan(args);
     if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "report") return cmd_report(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

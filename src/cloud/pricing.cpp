@@ -74,4 +74,18 @@ std::size_t BillingMeter::running_count() const {
       std::count_if(records_.begin(), records_.end(), [](const auto& r) { return r.running(); }));
 }
 
+void journal_meter_settlement(telemetry::Journal& journal, const BillingMeter& meter,
+                              double now, telemetry::CostPhase phase,
+                              telemetry::CostCause cause, double provision_end_seconds,
+                              const std::string& detail) {
+  const int settlement = journal.next_settlement();
+  for (const BillingRecord& r : meter.records()) {
+    const bool died_provisioning = !r.running() && r.stop_time <= provision_end_seconds;
+    journal.billing_delta(now, settlement,
+                          died_provisioning ? telemetry::CostPhase::kProvision : phase, cause,
+                          r.instance_id, BillingMeter::record_charge(r, now).value(),
+                          detail.empty() ? r.type_name : detail + " " + r.type_name);
+  }
+}
+
 }  // namespace cynthia::cloud

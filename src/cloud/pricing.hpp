@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cloud/instance.hpp"
+#include "telemetry/journal.hpp"
 #include "util/units.hpp"
 
 namespace cynthia::cloud {
@@ -53,6 +54,12 @@ class BillingMeter {
   [[nodiscard]] const std::vector<BillingRecord>& records() const { return records_; }
   [[nodiscard]] std::size_t running_count() const;
 
+  /// The charge total(until) accrues for one record — public so the journal
+  /// settlement below can mirror total()'s per-record fold exactly.
+  [[nodiscard]] static util::Dollars record_charge(const BillingRecord& r, double until) {
+    return charge(r, until);
+  }
+
  private:
   std::vector<BillingRecord> records_;
 
@@ -64,5 +71,18 @@ class BillingMeter {
 
   [[nodiscard]] static util::Dollars charge(const BillingRecord& r, double until);
 };
+
+/// Journals one settlement of `meter` as-of `now`: one kBillingDelta per
+/// billing record, in meter order, under a single fresh settlement id —
+/// the deltas fold back (telemetry::CostLedger::total) to exactly the
+/// value meter.total(now) returned to the caller, bit for bit.
+///
+/// Attribution: records that stopped at or before `provision_end_seconds`
+/// never survived provisioning (join-failure replacements) and are tagged
+/// {kProvision, cause}; everything else gets {phase, cause}.
+void journal_meter_settlement(telemetry::Journal& journal, const BillingMeter& meter,
+                              double now, telemetry::CostPhase phase,
+                              telemetry::CostCause cause, double provision_end_seconds,
+                              const std::string& detail = "");
 
 }  // namespace cynthia::cloud

@@ -157,7 +157,8 @@ Provisioner::Provisioner(Provisioner&& other) noexcept
       plans_(other.plans_.load(std::memory_order_relaxed)),
       evaluated_(other.evaluated_.load(std::memory_order_relaxed)),
       pruned_(other.pruned_.load(std::memory_order_relaxed)),
-      metrics_(other.metrics_) {}
+      metrics_(other.metrics_),
+      journal_(other.journal_) {}
 
 IterationPrediction Provisioner::predict_cached(const cloud::InstanceType& type,
                                                 std::size_t type_index, int n_wk, int n_ps,
@@ -274,6 +275,30 @@ void Provisioner::record_latency(double planner_seconds) const {
   metrics_->gauge(telemetry::metric::kPlannerCacheMisses)
       .set(static_cast<double>(s.cache_misses));
   metrics_->gauge(telemetry::metric::kPlannerCacheHitRate).set(s.cache_hit_rate());
+}
+
+void Provisioner::record_journal(const ProvisionPlan& plan, const char* call) const {
+  if (journal_ == nullptr) return;
+  if (plan.feasible) {
+    telemetry::JournalRecord r;
+    r.t = 0.0;
+    r.kind = telemetry::JournalKind::kPlanChosen;
+    r.subject = plan.describe();
+    r.detail = call;
+    r.value = plan.predicted_cost.value();
+    r.predicted = plan.predicted_time.value();
+    r.actual = plan.t_iter;
+    r.iterations = plan.total_iterations;
+    journal_->record(std::move(r));
+  } else {
+    journal_->event(0.0, telemetry::JournalKind::kPlanChosen, "infeasible", call);
+  }
+  const PlannerStats s = stats();
+  journal_->event(0.0, telemetry::JournalKind::kPlanSummary, "planner",
+                  std::string(call) + ": evaluated=" + std::to_string(s.candidates_evaluated) +
+                      " pruned=" + std::to_string(s.candidates_pruned) +
+                      " cache_hits=" + std::to_string(s.cache_hits),
+                  static_cast<double>(s.candidates_evaluated));
 }
 
 PlannerStats Provisioner::stats() const {
@@ -420,6 +445,7 @@ ProvisionPlan Provisioner::plan(ddnn::SyncMode mode, const ProvisionGoal& goal,
 
   publish_trace_and_stats(results, options);
   record_latency(timer.seconds());
+  record_journal(best, "plan");
   return best;
 }
 
@@ -556,6 +582,7 @@ ProvisionPlan Provisioner::replan(ddnn::SyncMode mode, long remaining_iterations
 
   publish_trace_and_stats(results, options);
   record_latency(timer.seconds());
+  record_journal(best, "replan");
   return best;
 }
 

@@ -31,6 +31,7 @@
 #include "util/units.hpp"
 
 namespace cynthia::telemetry {
+class Journal;
 class MetricsRegistry;
 }  // namespace cynthia::telemetry
 
@@ -211,6 +212,15 @@ class Provisioner {
   /// names). Not owned; nullptr detaches.
   void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Attaches a run journal: every subsequent plan/replan appends a
+  /// kPlanChosen record (the winning plan, or "infeasible") plus a
+  /// kPlanSummary record with the cumulative evaluated/pruned/cache
+  /// counters. Planner records carry t=0 — planning overhead is host-clock
+  /// time, never simulated time. Unlike the metrics registry, the journal
+  /// is single-threaded: only attach it when plan() is called from one
+  /// thread (the service front-end, sentinel, and cynthiactl all are).
+  void set_journal(telemetry::Journal* journal) { journal_ = journal; }
+
  private:
   struct TypeSearch;  // per-type search result (provisioner.cpp)
 
@@ -225,6 +235,7 @@ class Provisioner {
   mutable std::atomic<std::uint64_t> evaluated_{0};
   mutable std::atomic<std::uint64_t> pruned_{0};
   telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::Journal* journal_ = nullptr;
 
   /// Memoized predict_iteration over the homogeneous candidate shape.
   [[nodiscard]] IterationPrediction predict_cached(const cloud::InstanceType& type,
@@ -248,6 +259,7 @@ class Provisioner {
   void publish_trace_and_stats(std::vector<TypeSearch>& results,
                                const ProvisionOptions& options) const;
   void record_latency(double planner_seconds) const;
+  void record_journal(const ProvisionPlan& plan, const char* call) const;
 };
 
 /// Eq. 8: dollar cost of running the homogeneous plan for `duration`.

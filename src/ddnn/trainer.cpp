@@ -487,6 +487,7 @@ void Session::apply_fault(const faults::FaultSpec& fault, std::size_t idx) {
   if (tel_on()) {
     tel_->tracer.instant("faults", "inject:" + fault.to_string(), "fault", sim_.now());
     tel_->metrics.counter(metric::kFaultsInjected).inc();
+    tel_->journal.event(sim_.now(), telemetry::JournalKind::kFaultInjected, fault.to_string());
   }
   switch (fault.kind) {
     case faults::FaultKind::kSlowdown:
@@ -563,6 +564,7 @@ void Session::recover_fault(const faults::FaultSpec& fault, std::size_t idx) {
   result_.faults.events[idx].recovered_at = sim_.now();
   if (tel_on()) {
     tel_->tracer.instant("faults", "recover:" + fault.to_string(), "fault", sim_.now());
+    tel_->journal.event(sim_.now(), telemetry::JournalKind::kFaultRecovered, fault.to_string());
   }
   switch (fault.kind) {
     case faults::FaultKind::kSlowdown:
@@ -1449,16 +1451,16 @@ TrainResult run_training(const ClusterSpec& cluster, const WorkloadSpec& workloa
   double saved_offset = 0.0;
   if (tel != nullptr) {
     saved_offset = tel->tracer.time_offset();
-    tel->tracer.set_time_offset(saved_offset + cut);
+    tel->set_time_offset(saved_offset + cut);
   }
   TrainResult second;
   try {
     second = run_one(cluster, continued, o2);
   } catch (...) {
-    if (tel != nullptr) tel->tracer.set_time_offset(saved_offset);
+    if (tel != nullptr) tel->set_time_offset(saved_offset);
     throw;
   }
-  if (tel != nullptr) tel->tracer.set_time_offset(saved_offset);
+  if (tel != nullptr) tel->set_time_offset(saved_offset);
 
   return merge_train_segments(first, second, cut, /*gap_outage_seconds=*/0.0, carried_ptr);
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "cloud/pricing.hpp"
 #include "orchestrator/cluster_manager.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/telemetry.hpp"
@@ -42,10 +43,12 @@ using detail::replacement_seed;
 using detail::restore_read_seconds;
 
 /// Bills every fired crash's replacement node: metered from the moment the
-/// master reacts (detection) until the end of training.
+/// master reacts (detection) until the end of training. With a journal
+/// attached, each node becomes its own billing settlement so the cost
+/// ledger's grouped fold reproduces this `+=` chain bit-for-bit.
 void add_replacement_costs(FaultRunReport& report, const core::ProvisionPlan& plan,
                            const ddnn::TrainResult& result, std::size_t first_index,
-                           double detection_seconds) {
+                           double detection_seconds, telemetry::Journal* journal) {
   std::size_t k = first_index;
   for (const auto& outcome : result.faults.events) {
     if (outcome.spec.kind != faults::FaultKind::kCrash) continue;
@@ -55,7 +58,14 @@ void add_replacement_costs(FaultRunReport& report, const core::ProvisionPlan& pl
     const double tail =
         result.total_time - (outcome.injected_at + detection_seconds + provision);
     const double window = provision + std::max(0.0, tail);
-    report.actual_cost += core::plan_cost(plan.type, 1, 0, util::Seconds{window});
+    const util::Dollars dollars = core::plan_cost(plan.type, 1, 0, util::Seconds{window});
+    report.actual_cost += dollars;
+    if (journal != nullptr) {
+      journal->billing_delta(result.total_time, journal->next_settlement(),
+                             telemetry::CostPhase::kRecover, telemetry::CostCause::kFault,
+                             "crash-replacement-" + std::to_string(k - 1), dollars.value(),
+                             plan.type.name);
+    }
   }
 }
 
@@ -77,8 +87,12 @@ void record_recovery_instants(telemetry::Telemetry* tel, const RecoveryOptions& 
     const double detected = shift + outcome.injected_at + options.detection_seconds;
     tel->tracer.instant("faults", "detect:" + outcome.spec.to_string(), "recovery", detected);
     tel->tracer.instant("faults", "replacement_ready", "recovery", detected + provision);
+    tel->journal.event(detected, telemetry::JournalKind::kDetection, outcome.spec.to_string(),
+                       "heartbeat timeout", options.detection_seconds);
     if (outcome.recovered_at >= 0.0) {
       tel->tracer.instant("faults", "resume", "recovery", shift + outcome.recovered_at);
+      tel->journal.event(shift + outcome.recovered_at, telemetry::JournalKind::kMitigation,
+                         "repair-in-place", outcome.spec.to_string());
     }
     recovery_total += options.detection_seconds + provision + restore_seconds;
   }
@@ -212,10 +226,26 @@ FaultRunReport RecoveryController::repair_in_place(const ddnn::WorkloadSpec& wor
   control_plane.run_until(deployment.ready_at + report.training.total_time);
   manager.teardown(deployment);
   report.actual_cost = billing.total(control_plane.now());
-  add_replacement_costs(report, plan, report.training, 0, options_.detection_seconds);
+  telemetry::Telemetry* tel = options_.training.telemetry;
+  if (tel != nullptr) {
+    cloud::journal_meter_settlement(tel->journal, billing, control_plane.now(),
+                                    telemetry::CostPhase::kTrain, telemetry::CostCause::kPlan,
+                                    deployment.ready_at);
+  }
+  add_replacement_costs(report, plan, report.training, 0, options_.detection_seconds,
+                        tel != nullptr ? &tel->journal : nullptr);
 
   report.time_goal_met = report.training.total_time <= goal.time_goal.value();
   report.loss_goal_met = report.achieved_loss <= goal.target_loss * 1.05;
+  if (tel != nullptr) {
+    tel->metrics.gauge(telemetry::metric::kBillingDollars).set(report.actual_cost.value());
+    tel->journal.verdict(report.training.total_time, "time-goal", report.time_goal_met,
+                         goal.time_goal.value(), report.training.total_time);
+    if (goal.target_loss > 0.0) {
+      tel->journal.verdict(report.training.total_time, "loss-goal", report.loss_goal_met,
+                           goal.target_loss, report.achieved_loss);
+    }
+  }
   return report;
 }
 
@@ -271,6 +301,18 @@ FaultRunReport RecoveryController::elastic_replan(const ddnn::WorkloadSpec& work
     report.actual_cost = billing1.total(control_plane1.now());
     report.time_goal_met = seg1.total_time <= goal.time_goal.value();
     report.loss_goal_met = report.achieved_loss <= goal.target_loss * 1.05;
+    if (tel != nullptr) {
+      cloud::journal_meter_settlement(tel->journal, billing1, control_plane1.now(),
+                                      telemetry::CostPhase::kTrain,
+                                      telemetry::CostCause::kPlan, deployment1.ready_at);
+      tel->metrics.gauge(telemetry::metric::kBillingDollars).set(report.actual_cost.value());
+      tel->journal.verdict(seg1.total_time, "time-goal", report.time_goal_met,
+                           goal.time_goal.value(), seg1.total_time);
+      if (goal.target_loss > 0.0) {
+        tel->journal.verdict(seg1.total_time, "loss-goal", report.loss_goal_met,
+                             goal.target_loss, report.achieved_loss);
+      }
+    }
     return report;
   }
 
@@ -333,8 +375,16 @@ FaultRunReport RecoveryController::elastic_replan(const ddnn::WorkloadSpec& work
     tel->tracer.instant("faults", "resume", "recovery", report.resume_at);
     tel->metrics.counter(telemetry::metric::kFaultRecoverySeconds)
         .inc(report.resume_at - crash_at);
+    tel->journal.event(detected, telemetry::JournalKind::kDetection, first_crash->to_string(),
+                       "heartbeat timeout", options_.detection_seconds);
+    tel->journal.event(detected, telemetry::JournalKind::kReplan, "recovery",
+                       report.replanned
+                           ? "elastic replan -> " + next.describe()
+                           : "replan infeasible; original shape on fresh nodes");
+    tel->journal.event(report.resume_at, telemetry::JournalKind::kMitigation, "elastic-replan",
+                       "resume on replacement cluster " + next.type.name);
     saved_offset = tel->tracer.time_offset();
-    tel->tracer.set_time_offset(saved_offset + report.resume_at);
+    tel->set_time_offset(saved_offset + report.resume_at);
   }
 
   // Segment 2: resume from the checkpoint on the new cluster. The loss
@@ -346,7 +396,7 @@ FaultRunReport RecoveryController::elastic_replan(const ddnn::WorkloadSpec& work
   train2.loss_iteration_offset = durable;
   train2.stop_after_seconds = 0.0;
   const ddnn::TrainResult seg2 = ddnn::run_training(deployment2.spec, workload, train2);
-  if (tel != nullptr) tel->tracer.set_time_offset(saved_offset);
+  if (tel != nullptr) tel->set_time_offset(saved_offset);
 
   record_recovery_instants(tel, options_, report.restore_seconds, seg2,
                            report.replacement_provisioning, 1, report.resume_at);
@@ -363,10 +413,28 @@ FaultRunReport RecoveryController::elastic_replan(const ddnn::WorkloadSpec& work
   manager2.teardown(deployment2);
   report.actual_cost = billing1.total(control_plane1.now());
   report.actual_cost += billing2.total(control_plane2.now());
-  add_replacement_costs(report, next, seg2, 1, options_.detection_seconds);
+  if (tel != nullptr) {
+    cloud::journal_meter_settlement(tel->journal, billing1, control_plane1.now(),
+                                    telemetry::CostPhase::kTrain, telemetry::CostCause::kPlan,
+                                    deployment1.ready_at, "original");
+    cloud::journal_meter_settlement(tel->journal, billing2, control_plane2.now(),
+                                    telemetry::CostPhase::kTrain, telemetry::CostCause::kFault,
+                                    deployment2.ready_at, "replacement");
+  }
+  add_replacement_costs(report, next, seg2, 1, options_.detection_seconds,
+                        tel != nullptr ? &tel->journal : nullptr);
 
   report.time_goal_met = report.training.total_time <= goal.time_goal.value();
   report.loss_goal_met = report.achieved_loss <= goal.target_loss * 1.05;
+  if (tel != nullptr) {
+    tel->metrics.gauge(telemetry::metric::kBillingDollars).set(report.actual_cost.value());
+    tel->journal.verdict(report.training.total_time, "time-goal", report.time_goal_met,
+                         goal.time_goal.value(), report.training.total_time);
+    if (goal.target_loss > 0.0) {
+      tel->journal.verdict(report.training.total_time, "loss-goal", report.loss_goal_met,
+                           goal.target_loss, report.achieved_loss);
+    }
+  }
   return report;
 }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "cloud/pricing.hpp"
 #include "ddnn/loss.hpp"
 #include "orchestrator/cluster_manager.hpp"
 #include "orchestrator/recovery.hpp"
@@ -375,16 +376,16 @@ SentinelReport SloSentinel::run(const ddnn::WorkloadSpec& workload,
     const bool shift = tel != nullptr && elapsed > 0.0;
     if (shift) {
       saved_offset = tel->tracer.time_offset();
-      tel->tracer.set_time_offset(saved_offset + elapsed);
+      tel->set_time_offset(saved_offset + elapsed);
     }
     ddnn::TrainResult seg;
     try {
       seg = ddnn::run_training(cluster, current_workload, o);
     } catch (...) {
-      if (shift) tel->tracer.set_time_offset(saved_offset);
+      if (shift) tel->set_time_offset(saved_offset);
       throw;
     }
-    if (shift) tel->tracer.set_time_offset(saved_offset);
+    if (shift) tel->set_time_offset(saved_offset);
     actions_remaining = detector.actions_remaining();
 
     // run_training services the BSP -> SSP downgrade internally; later
@@ -395,6 +396,7 @@ SentinelReport SloSentinel::run(const ddnn::WorkloadSpec& workload,
     }
 
     const double cut = seg.total_time;  // segment clock
+    const long seg_iterations = seg.iterations;
     if (!have_merged) {
       merged = std::move(seg);
       have_merged = true;
@@ -403,6 +405,14 @@ SentinelReport SloSentinel::run(const ddnn::WorkloadSpec& workload,
     }
     report.segments = seg_i + 1;
     done = merged.iterations;
+
+    if (tel != nullptr) {
+      const double actual_t_iter =
+          cut / static_cast<double>(std::max<long>(1, seg_iterations));
+      tel->journal.segment(elapsed, "segment-" + std::to_string(seg_i),
+                           merged.monitor.stopped ? merged.monitor.stop_reason : "completed",
+                           seg_iterations, current_plan.t_iter, actual_t_iter, cut);
+    }
 
     if (!merged.monitor.stopped) break;  // the budget completed (or a fault cut it)
 
@@ -525,17 +535,41 @@ SentinelReport SloSentinel::run(const ddnn::WorkloadSpec& workload,
   control_plane.run_until(deployment.ready_at + held);
   manager.teardown(deployment);
   report.actual_cost = billing.total(control_plane.now());
+  // Each `+=` below is mirrored as one journal billing settlement, so the
+  // cost ledger's grouped fold reproduces this chain bit-for-bit.
+  if (tel != nullptr) {
+    cloud::journal_meter_settlement(tel->journal, billing, control_plane.now(),
+                                    telemetry::CostPhase::kTrain, telemetry::CostCause::kPlan,
+                                    deployment.ready_at, "original");
+  }
+  auto journal_cost = [&](telemetry::CostPhase phase, telemetry::CostCause cause,
+                          const std::string& node, double dollars, const std::string& what) {
+    if (tel == nullptr) return;
+    tel->journal.billing_delta(job_end, tel->journal.next_settlement(), phase, cause, node,
+                               dollars, what);
+  };
   // Added shards / the replanned cluster: Eq. 8 over their lease windows.
+  int extra_index = 0;
   for (const ExtraNodes& extra : extras) {
     const double window = std::max(0.0, job_end - extra.from_seconds);
-    report.actual_cost +=
+    const util::Dollars dollars =
         core::plan_cost(extra.type, extra.n_workers, extra.n_ps, util::Seconds{window});
+    report.actual_cost += dollars;
+    journal_cost(telemetry::CostPhase::kMitigate, telemetry::CostCause::kSentinelAction,
+                 "extra-" + std::to_string(extra_index++), dollars.value(),
+                 extra.type.name + " +" + std::to_string(extra.n_workers) + "wk/" +
+                     std::to_string(extra.n_ps) + "ps");
   }
   // Straggler replacements: one node each from blacklist+detection to end.
   for (const ddnn::MonitorExclusion& e : report.training.monitor.exclusions) {
     if (e.replaced_at < 0.0) continue;  // permanent blacklist, no new node
     const double window = std::max(0.0, job_end - (e.at + options_.detection_seconds));
-    report.actual_cost += core::plan_cost(report.plan.type, 1, 0, util::Seconds{window});
+    const util::Dollars dollars =
+        core::plan_cost(report.plan.type, 1, 0, util::Seconds{window});
+    report.actual_cost += dollars;
+    journal_cost(telemetry::CostPhase::kMitigate, telemetry::CostCause::kSentinelAction,
+                 "replace-wk" + std::to_string(e.worker), dollars.value(),
+                 report.plan.type.name);
   }
   // Crash replacements (repair-in-place), mirroring RecoveryController.
   {
@@ -548,8 +582,12 @@ SentinelReport SloSentinel::run(const ddnn::WorkloadSpec& workload,
       const double tail =
           job_end - (outcome.injected_at + options_.detection_seconds + provision);
       const double window = provision + std::max(0.0, tail);
-      report.actual_cost +=
+      const util::Dollars dollars =
           core::plan_cost(report.plan.type, 1, 0, util::Seconds{window});
+      report.actual_cost += dollars;
+      journal_cost(telemetry::CostPhase::kRecover, telemetry::CostCause::kFault,
+                   "crash-replacement-" + std::to_string(k - 1), dollars.value(),
+                   report.plan.type.name);
     }
   }
 
@@ -571,6 +609,34 @@ SentinelReport SloSentinel::run(const ddnn::WorkloadSpec& workload,
       mtr.counter(metric::kSentinelAddedPs).inc(static_cast<double>(report.added_ps));
     }
     if (report.replanned) mtr.counter(metric::kSentinelReplans).inc();
+    // The gauge holds the fully-attributed job cost; the journal's cost
+    // ledger sums to exactly this value.
+    mtr.gauge(metric::kBillingDollars).set(report.actual_cost.value());
+
+    for (const DetectionEvent& d : report.detections) {
+      tel->journal.event(
+          d.at_seconds, telemetry::JournalKind::kDetection,
+          d.worker >= 0 ? d.kind + ":wk" + std::to_string(d.worker) : d.kind,
+          "severity " + std::to_string(d.severity), d.severity);
+    }
+    for (const MitigationRecord& m : report.mitigations) {
+      tel->journal.event(m.at_seconds, telemetry::JournalKind::kMitigation, m.action, m.detail);
+    }
+    if (report.replanned) {
+      tel->journal.event(job_end, telemetry::JournalKind::kReplan, "sentinel",
+                         "replan -> " + report.replacement_plan.describe());
+    }
+    tel->journal.verdict(job_end, "time-goal", report.time_goal_met, goal.time_goal.value(),
+                         job_end);
+    if (goal.target_loss > 0.0) {
+      tel->journal.verdict(job_end, "loss-goal", report.loss_goal_met, goal.target_loss,
+                           report.achieved_loss);
+    }
+    if (plan.predicted_cost.value() > 0.0) {
+      tel->journal.verdict(job_end, "cost",
+                           report.actual_cost.value() <= plan.predicted_cost.value() * 1.1,
+                           plan.predicted_cost.value(), report.actual_cost.value());
+    }
   }
   return report;
 }

@@ -2,9 +2,11 @@
 
 #include <chrono>
 
+#include "cloud/pricing.hpp"
 #include "ddnn/loss.hpp"
 #include "orchestrator/cluster_manager.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace cynthia::orch {
 
@@ -25,6 +27,11 @@ std::optional<JobReport> TrainingService::submit(const ddnn::WorkloadSpec& workl
   auto types = options_.instance_types;
   if (types.empty()) types = catalog_->provisionable();
   core::Provisioner provisioner(predictor.model(), predictor.loss(), types);
+  telemetry::Telemetry* tel = options_.training.telemetry;
+  if (tel != nullptr) {
+    provisioner.set_metrics(&tel->metrics);
+    provisioner.set_journal(&tel->journal);
+  }
   // Wall-clock here times the planner itself (an overhead metric reported to
   // the operator); it never feeds back into simulated time, so determinism of
   // the simulation is unaffected.
@@ -38,6 +45,7 @@ std::optional<JobReport> TrainingService::submit(const ddnn::WorkloadSpec& workl
   sim::Simulator control_plane;
   cloud::BillingMeter billing;
   ClusterManager manager(control_plane, billing, options_.seed);
+  if (tel != nullptr) manager.set_telemetry(tel);
   Deployment deployment = manager.deploy(report.plan);
   report.provisioning_seconds = deployment.provisioning_seconds();
 
@@ -56,6 +64,24 @@ std::optional<JobReport> TrainingService::submit(const ddnn::WorkloadSpec& workl
 
   report.time_goal_met = report.training.total_time <= goal.time_goal.value();
   report.loss_goal_met = report.achieved_loss <= goal.target_loss * 1.05;  // noise tolerance
+  if (tel != nullptr) {
+    cloud::journal_meter_settlement(tel->journal, billing, control_plane.now(),
+                                    telemetry::CostPhase::kTrain, telemetry::CostCause::kPlan,
+                                    deployment.ready_at);
+    tel->metrics.gauge(telemetry::metric::kBillingDollars).set(report.actual_cost.value());
+    tel->journal.verdict(report.training.total_time, "time-goal", report.time_goal_met,
+                         goal.time_goal.value(), report.training.total_time);
+    if (goal.target_loss > 0.0) {
+      tel->journal.verdict(report.training.total_time, "loss-goal", report.loss_goal_met,
+                           goal.target_loss, report.achieved_loss);
+    }
+    if (report.plan.predicted_cost.value() > 0.0) {
+      tel->journal.verdict(
+          report.training.total_time, "cost",
+          report.actual_cost.value() <= report.plan.predicted_cost.value() * 1.1,
+          report.plan.predicted_cost.value(), report.actual_cost.value());
+    }
+  }
   return report;
 }
 
@@ -68,6 +94,10 @@ std::optional<FaultRunReport> TrainingService::submit_with_faults(
   auto types = options_.instance_types;
   if (types.empty()) types = catalog_->provisionable();
   core::Provisioner provisioner(predictor.model(), predictor.loss(), types);
+  if (telemetry::Telemetry* tel = options_.training.telemetry; tel != nullptr) {
+    provisioner.set_metrics(&tel->metrics);
+    provisioner.set_journal(&tel->journal);
+  }
   const core::ProvisionPlan plan = provisioner.plan(workload.sync, goal);
   if (!plan.feasible) return std::nullopt;
 

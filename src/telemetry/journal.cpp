@@ -1,0 +1,220 @@
+#include "telemetry/journal.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace cynthia::telemetry {
+
+const char* to_string(JournalKind kind) {
+  switch (kind) {
+    case JournalKind::kPlanChosen: return "plan-chosen";
+    case JournalKind::kPlanSummary: return "plan-summary";
+    case JournalKind::kNodeLifecycle: return "node-lifecycle";
+    case JournalKind::kFaultInjected: return "fault-injected";
+    case JournalKind::kFaultRecovered: return "fault-recovered";
+    case JournalKind::kDetection: return "detection";
+    case JournalKind::kMitigation: return "mitigation";
+    case JournalKind::kReplan: return "replan";
+    case JournalKind::kSegment: return "segment";
+    case JournalKind::kBillingDelta: return "billing-delta";
+    case JournalKind::kVerdict: return "verdict";
+  }
+  return "?";
+}
+
+const char* to_string(CostPhase phase) {
+  switch (phase) {
+    case CostPhase::kProvision: return "provision";
+    case CostPhase::kTrain: return "train";
+    case CostPhase::kMitigate: return "mitigate";
+    case CostPhase::kRecover: return "recover";
+  }
+  return "?";
+}
+
+const char* to_string(CostCause cause) {
+  switch (cause) {
+    case CostCause::kPlan: return "plan";
+    case CostCause::kFault: return "fault";
+    case CostCause::kSentinelAction: return "sentinel-action";
+  }
+  return "?";
+}
+
+namespace detail {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // JSON has no inf/nan literals; clamp to null-adjacent sentinels that
+  // still parse (the simulation never produces them on healthy paths).
+  if (std::strstr(buf, "inf") != nullptr || std::strstr(buf, "nan") != nullptr) {
+    return "0";
+  }
+  return buf;
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+namespace {
+
+std::uint64_t fnv1a_double(std::uint64_t hash, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  return fnv1a(hash, &bits, sizeof bits);
+}
+
+std::uint64_t fnv1a_string(std::uint64_t hash, const std::string& s) {
+  hash = fnv1a(hash, s.data(), s.size());
+  // Separator byte so ("ab","c") and ("a","bc") hash differently.
+  const unsigned char sep = 0xff;
+  return fnv1a(hash, &sep, 1);
+}
+
+}  // namespace
+}  // namespace detail
+
+bool Journal::admit() {
+  if (records_.size() >= kMaxRecords) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+void Journal::record(JournalRecord r) {
+  if (!admit()) return;
+  r.t += offset_;
+  records_.push_back(std::move(r));
+}
+
+void Journal::event(double t, JournalKind kind, std::string subject, std::string detail,
+                    double value) {
+  JournalRecord r;
+  r.t = t;
+  r.kind = kind;
+  r.subject = std::move(subject);
+  r.detail = std::move(detail);
+  r.value = value;
+  record(std::move(r));
+}
+
+void Journal::segment(double t, std::string subject, std::string detail, long iterations,
+                      double predicted_t_iter, double actual_t_iter, double seconds) {
+  JournalRecord r;
+  r.t = t;
+  r.kind = JournalKind::kSegment;
+  r.subject = std::move(subject);
+  r.detail = std::move(detail);
+  r.iterations = iterations;
+  r.predicted = predicted_t_iter;
+  r.actual = actual_t_iter;
+  r.value = seconds;
+  record(std::move(r));
+}
+
+void Journal::verdict(double t, std::string subject, bool met, double predicted,
+                      double actual) {
+  JournalRecord r;
+  r.t = t;
+  r.kind = JournalKind::kVerdict;
+  r.subject = std::move(subject);
+  r.detail = met ? "met" : "missed";
+  r.value = met ? 1.0 : 0.0;
+  r.predicted = predicted;
+  r.actual = actual;
+  record(std::move(r));
+}
+
+void Journal::billing_delta(double t, int settlement, CostPhase phase, CostCause cause,
+                            std::string node, double dollars, std::string detail) {
+  JournalRecord r;
+  r.t = t;
+  r.kind = JournalKind::kBillingDelta;
+  r.subject = std::move(node);
+  r.detail = std::move(detail);
+  r.value = dollars;
+  r.settlement = settlement;
+  r.phase = phase;
+  r.cause = cause;
+  record(std::move(r));
+}
+
+std::uint64_t Journal::digest() const {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const JournalRecord& r : records_) {
+    hash = detail::fnv1a_double(hash, r.t);
+    const int kind = static_cast<int>(r.kind);
+    hash = detail::fnv1a(hash, &kind, sizeof kind);
+    hash = detail::fnv1a_string(hash, r.subject);
+    hash = detail::fnv1a_string(hash, r.detail);
+    hash = detail::fnv1a_double(hash, r.value);
+    hash = detail::fnv1a(hash, &r.iterations, sizeof r.iterations);
+    hash = detail::fnv1a_double(hash, r.predicted);
+    hash = detail::fnv1a_double(hash, r.actual);
+    hash = detail::fnv1a(hash, &r.settlement, sizeof r.settlement);
+    const int phase = static_cast<int>(r.phase);
+    const int cause = static_cast<int>(r.cause);
+    hash = detail::fnv1a(hash, &phase, sizeof phase);
+    hash = detail::fnv1a(hash, &cause, sizeof cause);
+  }
+  return hash;
+}
+
+void Journal::write_jsonl(std::ostream& os) const {
+  for (const JournalRecord& r : records_) {
+    os << "{\"t\":" << detail::json_number(r.t)                            //
+       << ",\"kind\":\"" << to_string(r.kind) << '"'                       //
+       << ",\"subject\":\"" << detail::json_escape(r.subject) << '"'       //
+       << ",\"detail\":\"" << detail::json_escape(r.detail) << '"'        //
+       << ",\"value\":" << detail::json_number(r.value)                    //
+       << ",\"iterations\":" << r.iterations                               //
+       << ",\"predicted\":" << detail::json_number(r.predicted)            //
+       << ",\"actual\":" << detail::json_number(r.actual)                  //
+       << ",\"settlement\":" << r.settlement                               //
+       << ",\"phase\":\"" << to_string(r.phase) << '"'                     //
+       << ",\"cause\":\"" << to_string(r.cause) << "\"}\n";
+  }
+}
+
+void Journal::write_jsonl_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Journal: cannot open " + path);
+  write_jsonl(out);
+}
+
+}  // namespace cynthia::telemetry

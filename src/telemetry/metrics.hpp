@@ -107,7 +107,9 @@ class Histogram {
   /// bucket holding the q-th observation and interpolates linearly inside
   /// it, clamped to the observed [min, max]. Resolution is bounded by the
   /// bucket growth ratio; good enough for p50/p99 trend lines, not exact
-  /// order statistics. Returns 0 when empty.
+  /// order statistics. An empty histogram returns exactly 0.0 for every
+  /// quantile — deterministic, never NaN — so callers (report generation
+  /// included) need no empty-run special case.
   [[nodiscard]] double approx_quantile(double quantile_frac) const;
 
   /// Computes the bound layout for the given options (also used by tests).

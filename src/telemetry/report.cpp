@@ -1,0 +1,396 @@
+#include "telemetry/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace cynthia::telemetry {
+
+namespace {
+
+using detail::json_escape;
+using detail::json_number;
+
+std::string fmt(double v, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string hex_digest(std::uint64_t digest) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void json_record(std::ostream& os, const JournalRecord& r) {
+  os << "{\"t\":" << json_number(r.t) << ",\"kind\":\"" << to_string(r.kind)
+     << "\",\"subject\":\"" << json_escape(r.subject) << "\",\"detail\":\""
+     << json_escape(r.detail) << "\",\"value\":" << json_number(r.value) << '}';
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ CostLedger
+
+CostLedger CostLedger::from(const Journal& journal) {
+  CostLedger ledger;
+  for (const JournalRecord& r : journal.records()) {
+    if (r.kind != JournalKind::kBillingDelta) continue;
+    CostLedgerEntry e;
+    e.t = r.t;
+    e.settlement = r.settlement;
+    e.phase = r.phase;
+    e.cause = r.cause;
+    e.node = r.subject;
+    e.detail = r.detail;
+    e.dollars = r.value;
+    ledger.entries_.push_back(std::move(e));
+  }
+  return ledger;
+}
+
+util::Dollars CostLedger::total() const {
+  // Grouped fold, NOT a flat sum: within a settlement the deltas re-run the
+  // BillingMeter::total() per-record fold; across settlements the subtotals
+  // re-run the orchestrator's chain of `actual_cost +=` additions. Both
+  // levels preserve the original operand order, so the result is
+  // bit-identical to the run's actual_cost.
+  util::Dollars sum{};
+  std::size_t i = 0;
+  while (i < entries_.size()) {
+    const int settlement = entries_[i].settlement;
+    util::Dollars subtotal{};
+    for (; i < entries_.size() && entries_[i].settlement == settlement; ++i) {
+      subtotal += util::Dollars{entries_[i].dollars};
+    }
+    sum += subtotal;
+  }
+  return sum;
+}
+
+double CostLedger::phase_dollars(CostPhase phase) const {
+  double sum = 0.0;
+  for (const auto& e : entries_) {
+    if (e.phase == phase) sum += e.dollars;
+  }
+  return sum;
+}
+
+double CostLedger::cause_dollars(CostCause cause) const {
+  double sum = 0.0;
+  for (const auto& e : entries_) {
+    if (e.cause == cause) sum += e.dollars;
+  }
+  return sum;
+}
+
+std::map<std::string, double> CostLedger::node_dollars() const {
+  std::map<std::string, double> by_node;
+  for (const auto& e : entries_) by_node[e.node] += e.dollars;
+  return by_node;
+}
+
+// -------------------------------------------------------- PredictionAudit
+
+PredictionAudit PredictionAudit::from(const Journal& journal, double bound_frac) {
+  PredictionAudit audit;
+  audit.bound_frac = bound_frac;
+  for (const JournalRecord& r : journal.records()) {
+    if (r.kind == JournalKind::kSegment) {
+      PredictionAuditRow row;
+      row.segment = r.subject;
+      row.detail = r.detail;
+      row.start_seconds = r.t;
+      row.seconds = r.value;
+      row.iterations = r.iterations;
+      row.predicted_t_iter = r.predicted;
+      row.actual_t_iter = r.actual;
+      if (r.predicted > 0.0) {
+        row.error_frac = r.actual / r.predicted - 1.0;
+        row.flagged = std::abs(row.error_frac) > bound_frac;
+      }
+      audit.rows.push_back(std::move(row));
+    } else if (r.kind == JournalKind::kVerdict && r.subject == "time-goal") {
+      audit.has_tg = true;
+      audit.tg_predicted_seconds = r.predicted;
+      audit.tg_actual_seconds = r.actual;
+      if (r.predicted > 0.0) {
+        audit.tg_error_frac = r.actual / r.predicted - 1.0;
+        audit.tg_flagged = std::abs(audit.tg_error_frac) > bound_frac;
+      }
+    }
+  }
+  return audit;
+}
+
+// -------------------------------------------------------------- RunReport
+
+RunReport RunReport::build(const Journal& journal, std::string title, double bound_frac) {
+  RunReport report;
+  report.title = std::move(title);
+  report.cost = CostLedger::from(journal);
+  report.audit = PredictionAudit::from(journal, bound_frac);
+  report.timeline = journal.records();
+  std::stable_sort(report.timeline.begin(), report.timeline.end(),
+                   [](const JournalRecord& a, const JournalRecord& b) { return a.t < b.t; });
+  for (const JournalRecord& r : journal.records()) {
+    if (r.kind == JournalKind::kDetection) report.detections.push_back(r);
+    if (r.kind == JournalKind::kMitigation || r.kind == JournalKind::kReplan) {
+      report.mitigations.push_back(r);
+    }
+    if (r.kind == JournalKind::kVerdict) report.verdicts.push_back(r);
+  }
+  report.journal_digest = journal.digest();
+  report.journal_records = journal.size();
+  report.journal_dropped = journal.dropped();
+  return report;
+}
+
+void RunReport::write_json(std::ostream& os) const {
+  os << "{\"schema_version\":1,\"title\":\"" << json_escape(title) << "\"";
+  os << ",\"journal\":{\"records\":" << journal_records
+     << ",\"dropped\":" << journal_dropped << ",\"digest\":\"" << hex_digest(journal_digest)
+     << "\"}";
+
+  // Cost-attribution ledger. total_dollars is the bit-exact grouped fold.
+  os << ",\"cost\":{\"total_dollars\":" << json_number(total_cost_dollars());
+  os << ",\"by_phase\":{";
+  const CostPhase phases[] = {CostPhase::kProvision, CostPhase::kTrain, CostPhase::kMitigate,
+                              CostPhase::kRecover};
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i > 0) os << ',';
+    os << '"' << to_string(phases[i]) << "\":" << json_number(cost.phase_dollars(phases[i]));
+  }
+  os << "},\"by_cause\":{";
+  const CostCause causes[] = {CostCause::kPlan, CostCause::kFault, CostCause::kSentinelAction};
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (i > 0) os << ',';
+    os << '"' << to_string(causes[i]) << "\":" << json_number(cost.cause_dollars(causes[i]));
+  }
+  os << "},\"by_node\":{";
+  bool first = true;
+  for (const auto& [node, dollars] : cost.node_dollars()) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(node) << "\":" << json_number(dollars);
+  }
+  os << "},\"entries\":[";
+  first = true;
+  for (const CostLedgerEntry& e : cost.entries()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"t\":" << json_number(e.t) << ",\"settlement\":" << e.settlement
+       << ",\"phase\":\"" << to_string(e.phase) << "\",\"cause\":\"" << to_string(e.cause)
+       << "\",\"node\":\"" << json_escape(e.node) << "\",\"detail\":\""
+       << json_escape(e.detail) << "\",\"dollars\":" << json_number(e.dollars) << '}';
+  }
+  os << "]}";
+
+  // Prediction-audit ledger.
+  os << ",\"prediction\":{\"bound_frac\":" << json_number(audit.bound_frac)
+     << ",\"segments\":[";
+  first = true;
+  for (const PredictionAuditRow& row : audit.rows) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"segment\":\"" << json_escape(row.segment) << "\",\"detail\":\""
+       << json_escape(row.detail) << "\",\"start_seconds\":" << json_number(row.start_seconds)
+       << ",\"seconds\":" << json_number(row.seconds) << ",\"iterations\":" << row.iterations
+       << ",\"predicted_t_iter\":" << json_number(row.predicted_t_iter)
+       << ",\"actual_t_iter\":" << json_number(row.actual_t_iter)
+       << ",\"error_frac\":" << json_number(row.error_frac)
+       << ",\"flagged\":" << (row.flagged ? "true" : "false") << '}';
+  }
+  os << "],\"tg\":{\"present\":" << (audit.has_tg ? "true" : "false")
+     << ",\"predicted_seconds\":" << json_number(audit.tg_predicted_seconds)
+     << ",\"actual_seconds\":" << json_number(audit.tg_actual_seconds)
+     << ",\"error_frac\":" << json_number(audit.tg_error_frac)
+     << ",\"flagged\":" << (audit.tg_flagged ? "true" : "false") << "}}";
+
+  auto record_array = [&](const char* key, const std::vector<JournalRecord>& records) {
+    os << ",\"" << key << "\":[";
+    bool f = true;
+    for (const JournalRecord& r : records) {
+      if (!f) os << ',';
+      f = false;
+      json_record(os, r);
+    }
+    os << ']';
+  };
+  // Verdict records keep their met/missed flag in "detail" and the
+  // predicted/actual pair explicitly.
+  os << ",\"verdicts\":[";
+  first = true;
+  for (const JournalRecord& r : verdicts) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"t\":" << json_number(r.t) << ",\"subject\":\"" << json_escape(r.subject)
+       << "\",\"met\":" << (r.value > 0.0 ? "true" : "false")
+       << ",\"predicted\":" << json_number(r.predicted)
+       << ",\"actual\":" << json_number(r.actual) << '}';
+  }
+  os << ']';
+  record_array("detections", detections);
+  record_array("mitigations", mitigations);
+  os << "}\n";
+}
+
+void RunReport::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("RunReport: cannot open " + path);
+  write_json(out);
+}
+
+void RunReport::write_html(std::ostream& os) const {
+  const double total = total_cost_dollars();
+  os << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>"
+     << html_escape(title) << "</title>\n<style>\n"
+     << "body{font:14px/1.45 -apple-system,'Segoe UI',sans-serif;margin:2em auto;"
+        "max-width:70em;color:#222}\n"
+     << "h1{font-size:1.4em}h2{font-size:1.1em;margin-top:1.6em;"
+        "border-bottom:1px solid #ddd;padding-bottom:.2em}\n"
+     << "table{border-collapse:collapse;margin:.6em 0}\n"
+     << "td,th{border:1px solid #ccc;padding:.25em .6em;text-align:left;"
+        "font-variant-numeric:tabular-nums}\n"
+     << "th{background:#f4f4f4}\n"
+     << ".bar{display:inline-block;height:.9em;background:#4a88c7;"
+        "vertical-align:middle}\n"
+     << ".met{color:#1a7a2e;font-weight:600}.missed{color:#b3261e;font-weight:600}\n"
+     << ".flag{color:#b3261e;font-weight:600}\n"
+     << ".muted{color:#777}\n"
+     << "</style></head><body>\n";
+  os << "<h1>" << html_escape(title) << "</h1>\n";
+  os << "<p class=\"muted\">journal: " << journal_records << " record(s), digest "
+     << hex_digest(journal_digest);
+  if (journal_dropped > 0) os << ", " << journal_dropped << " dropped at the cap";
+  os << "</p>\n";
+
+  // --- SLO verdict chain ---
+  os << "<h2>SLO verdict chain</h2>\n";
+  if (verdicts.empty()) {
+    os << "<p class=\"muted\">no goals were set for this run</p>\n";
+  } else {
+    os << "<table><tr><th>goal</th><th>target</th><th>achieved</th>"
+          "<th>verdict</th></tr>\n";
+    for (const JournalRecord& r : verdicts) {
+      const bool met = r.value > 0.0;
+      os << "<tr><td>" << html_escape(r.subject) << "</td><td>" << fmt(r.predicted, 3)
+         << "</td><td>" << fmt(r.actual, 3) << "</td><td class=\""
+         << (met ? "met\">met" : "missed\">MISSED") << "</td></tr>\n";
+    }
+    os << "</table>\n";
+  }
+
+  // --- cost waterfall ---
+  os << "<h2>Cost waterfall ($" << fmt(total, 4) << " total)</h2>\n";
+  os << "<table><tr><th>phase</th><th>cause</th><th>node</th><th>$</th>"
+        "<th>share</th></tr>\n";
+  for (const CostLedgerEntry& e : cost.entries()) {
+    const double share = total > 0.0 ? 100.0 * e.dollars / total : 0.0;
+    os << "<tr><td>" << to_string(e.phase) << "</td><td>" << to_string(e.cause)
+       << "</td><td>" << html_escape(e.node)
+       << (e.detail.empty() ? "" : " <span class=\"muted\">" + html_escape(e.detail) + "</span>")
+       << "</td><td>" << fmt(e.dollars, 5) << "</td><td><span class=\"bar\" style=\"width:"
+       << fmt(std::max(0.0, share) * 3.0, 1) << "px\"></span> " << fmt(share, 1)
+       << "%</td></tr>\n";
+  }
+  os << "</table>\n";
+  os << "<table><tr><th>phase</th><th>$</th></tr>\n";
+  for (CostPhase phase : {CostPhase::kProvision, CostPhase::kTrain, CostPhase::kMitigate,
+                          CostPhase::kRecover}) {
+    os << "<tr><td>" << to_string(phase) << "</td><td>"
+       << fmt(cost.phase_dollars(phase), 5) << "</td></tr>\n";
+  }
+  os << "</table>\n";
+
+  // --- mitigation log ---
+  os << "<h2>Detections &amp; mitigations</h2>\n";
+  if (detections.empty() && mitigations.empty()) {
+    os << "<p class=\"muted\">none</p>\n";
+  } else {
+    os << "<table><tr><th>t (s)</th><th>what</th><th>subject</th><th>detail</th></tr>\n";
+    for (const JournalRecord& r : detections) {
+      os << "<tr><td>" << fmt(r.t, 1) << "</td><td>detect</td><td>"
+         << html_escape(r.subject) << "</td><td>" << html_escape(r.detail) << "</td></tr>\n";
+    }
+    for (const JournalRecord& r : mitigations) {
+      os << "<tr><td>" << fmt(r.t, 1) << "</td><td>" << to_string(r.kind) << "</td><td>"
+         << html_escape(r.subject) << "</td><td>" << html_escape(r.detail) << "</td></tr>\n";
+    }
+    os << "</table>\n";
+  }
+
+  // --- prediction-error table ---
+  os << "<h2>Prediction audit (bound " << fmt(100.0 * audit.bound_frac, 0) << "%)</h2>\n";
+  os << "<table><tr><th>segment</th><th>start (s)</th><th>iters</th>"
+        "<th>predicted t_iter</th><th>measured t_iter</th><th>error</th></tr>\n";
+  for (const PredictionAuditRow& row : audit.rows) {
+    os << "<tr><td>" << html_escape(row.segment)
+       << (row.detail.empty() ? "" : " <span class=\"muted\">" + html_escape(row.detail) + "</span>")
+       << "</td><td>" << fmt(row.start_seconds, 1) << "</td><td>" << row.iterations
+       << "</td><td>"
+       << (row.predicted_t_iter > 0.0 ? fmt(row.predicted_t_iter, 4) : std::string("-"))
+       << "</td><td>" << fmt(row.actual_t_iter, 4) << "</td><td"
+       << (row.flagged ? " class=\"flag\"" : "") << '>'
+       << (row.predicted_t_iter > 0.0 ? fmt(100.0 * row.error_frac, 1) + "%"
+                                      : std::string("-"))
+       << (row.flagged ? " (diverged)" : "") << "</td></tr>\n";
+  }
+  if (audit.has_tg) {
+    os << "<tr><td>Tg forecast</td><td>-</td><td>-</td><td>"
+       << fmt(audit.tg_predicted_seconds, 1) << " s</td><td>"
+       << fmt(audit.tg_actual_seconds, 1) << " s</td><td"
+       << (audit.tg_flagged ? " class=\"flag\"" : "") << '>'
+       << (audit.tg_predicted_seconds > 0.0 ? fmt(100.0 * audit.tg_error_frac, 1) + "%"
+                                            : std::string("-"))
+       << "</td></tr>\n";
+  }
+  os << "</table>\n";
+
+  // --- timeline ---
+  constexpr std::size_t kMaxTimelineRows = 500;
+  os << "<h2>Timeline</h2>\n";
+  os << "<table><tr><th>t (s)</th><th>kind</th><th>subject</th><th>detail</th>"
+        "<th>value</th></tr>\n";
+  std::size_t shown = 0;
+  for (const JournalRecord& r : timeline) {
+    if (shown++ >= kMaxTimelineRows) break;
+    os << "<tr><td>" << fmt(r.t, 2) << "</td><td>" << to_string(r.kind) << "</td><td>"
+       << html_escape(r.subject) << "</td><td>" << html_escape(r.detail) << "</td><td>"
+       << fmt(r.value, 4) << "</td></tr>\n";
+  }
+  os << "</table>\n";
+  if (timeline.size() > kMaxTimelineRows) {
+    os << "<p class=\"muted\">" << (timeline.size() - kMaxTimelineRows)
+       << " more record(s) omitted here; the JSONL journal has every record.</p>\n";
+  }
+  os << "</body></html>\n";
+}
+
+void RunReport::write_html_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("RunReport: cannot open " + path);
+  write_html(out);
+}
+
+}  // namespace cynthia::telemetry

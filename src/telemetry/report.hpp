@@ -1,0 +1,122 @@
+// Derived per-run ledgers and the `cynthiactl report` renderers.
+//
+// Everything here is computed from a Journal after the run finished; the
+// run itself is never touched. Two ledgers carry exactness invariants:
+//
+//   * CostLedger — every kBillingDelta record becomes one entry, and
+//     total() reproduces the run's actual_cost arithmetic *bit-for-bit*:
+//     deltas are folded left-to-right within each settlement group (the
+//     order BillingMeter::total() folded its per-record charges), and the
+//     settlement subtotals are folded in emission order (the order the
+//     orchestrator's `actual_cost += ...` statements executed). Floating
+//     point addition is not associative, so this grouped fold — not a flat
+//     sum — is what makes `ledger.total() == report.actual_cost` exact.
+//   * PredictionAudit — per-segment predicted vs measured iteration time
+//     from kSegment records plus the Tg forecast verdict, flagging
+//     divergence beyond the model's calibration bound (the paper's Fig. 6
+//     class of error, default 10%).
+//
+// RunReport bundles both with the timeline/verdict/mitigation record
+// streams and renders a self-contained HTML report plus a machine-readable
+// JSON twin (schema_version 1, validated in CI by tools/check_report.py).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/journal.hpp"
+#include "util/units.hpp"
+
+namespace cynthia::telemetry {
+
+/// One attributed charge: {phase} x {node} x {cause} plus the settlement
+/// group that ties it to the exact fold the run performed.
+struct CostLedgerEntry {
+  double t = 0.0;
+  int settlement = -1;
+  CostPhase phase = CostPhase::kTrain;
+  CostCause cause = CostCause::kPlan;
+  std::string node;
+  std::string detail;
+  double dollars = 0.0;
+};
+
+class CostLedger {
+ public:
+  /// Extracts every kBillingDelta record, journal order preserved.
+  static CostLedger from(const Journal& journal);
+
+  [[nodiscard]] const std::vector<CostLedgerEntry>& entries() const { return entries_; }
+
+  /// Bit-exact reproduction of the run's actual_cost (see file comment).
+  [[nodiscard]] util::Dollars total() const;
+
+  /// Display-only rollups (flat sums; only total() is bit-exact).
+  [[nodiscard]] double phase_dollars(CostPhase phase) const;
+  [[nodiscard]] double cause_dollars(CostCause cause) const;
+  [[nodiscard]] std::map<std::string, double> node_dollars() const;
+
+ private:
+  std::vector<CostLedgerEntry> entries_;
+};
+
+/// One training segment's prediction error.
+struct PredictionAuditRow {
+  std::string segment;
+  std::string detail;
+  double start_seconds = 0.0;
+  double seconds = 0.0;
+  long iterations = 0;
+  double predicted_t_iter = 0.0;  ///< 0 when the run had no model prediction
+  double actual_t_iter = 0.0;
+  double error_frac = 0.0;  ///< actual/predicted - 1; 0 when unpredicted
+  bool flagged = false;     ///< |error| beyond the bound
+};
+
+struct PredictionAudit {
+  double bound_frac = 0.10;  ///< divergence flag threshold
+  std::vector<PredictionAuditRow> rows;
+
+  /// Tg forecast error from the "time-goal" verdict record, when present.
+  bool has_tg = false;
+  double tg_predicted_seconds = 0.0;
+  double tg_actual_seconds = 0.0;
+  double tg_error_frac = 0.0;
+  bool tg_flagged = false;
+
+  static PredictionAudit from(const Journal& journal, double bound_frac = 0.10);
+};
+
+/// Everything `cynthiactl report` renders, derived from one Journal.
+struct RunReport {
+  std::string title;
+  CostLedger cost;
+  PredictionAudit audit;
+  std::vector<JournalRecord> timeline;  ///< stable-sorted by time
+  std::vector<JournalRecord> detections;
+  std::vector<JournalRecord> mitigations;
+  std::vector<JournalRecord> verdicts;
+  std::uint64_t journal_digest = 0;
+  std::size_t journal_records = 0;
+  std::size_t journal_dropped = 0;
+
+  static RunReport build(const Journal& journal, std::string title,
+                         double bound_frac = 0.10);
+
+  /// The ledger's bit-exact total, as a plain double for display.
+  [[nodiscard]] double total_cost_dollars() const { return cost.total().value(); }
+
+  /// Machine-readable twin (schema_version 1; tools/check_report.py).
+  void write_json(std::ostream& os) const;
+  void write_json_file(const std::string& path) const;
+
+  /// Self-contained HTML: verdict chain, cost waterfall, mitigation log,
+  /// prediction-error table, timeline.
+  void write_html(std::ostream& os) const;
+  void write_html_file(const std::string& path) const;
+};
+
+}  // namespace cynthia::telemetry

@@ -20,6 +20,7 @@
 
 #include <string>
 
+#include "telemetry/journal.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/table.hpp"
@@ -80,10 +81,20 @@ inline constexpr char kFluidFlowsResolved[] = "sim.fluid_flows_resolved";
 inline constexpr char kFluidFlowsAvoided[] = "sim.fluid_flows_avoided";
 }  // namespace metric
 
-/// Metrics + trace for one experiment run.
+/// Metrics + trace + run journal for one experiment run. The journal is
+/// the structured-event side (telemetry/journal.hpp): typed records the
+/// cost-attribution and prediction-audit ledgers are derived from.
 struct Telemetry {
   MetricsRegistry metrics;
   Tracer tracer;
+  Journal journal;
+
+  /// Shifts both sim-time sinks onto the same composed timeline (segmented
+  /// runs: provisioning, then training; or per-segment sentinel legs).
+  void set_time_offset(double seconds) {
+    tracer.set_time_offset(seconds);
+    journal.set_time_offset(seconds);
+  }
 };
 
 /// Per-run breakdown in the shape of the paper's Fig. 3 decomposition:

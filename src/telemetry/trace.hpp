@@ -11,6 +11,7 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace cynthia::telemetry {
@@ -28,6 +29,11 @@ struct TraceEvent {
   double duration = 0.0; ///< spans only
 };
 
+/// Single-threaded by contract: unlike the wait-free metrics, the tracer
+/// belongs to the thread that constructed it. The contract is enforced —
+/// every recording call CYNTHIA_DCHECKs the caller against the owning
+/// thread id captured at construction, so cross-thread misuse fails loudly
+/// under CYNTHIA_INVARIANTS builds instead of silently corrupting traces.
 class Tracer {
  public:
   /// Records a span on `track` covering [t0, t1] in simulation seconds.
@@ -41,7 +47,10 @@ class Tracer {
   /// Offset added to all subsequently recorded times. Lets phases measured
   /// on separate simulation clocks (provisioning, then training) compose
   /// into one sequential timeline.
-  void set_time_offset(double seconds) { offset_ = seconds; }
+  void set_time_offset(double seconds) {
+    assert_owning_thread();
+    offset_ = seconds;
+  }
   [[nodiscard]] double time_offset() const { return offset_; }
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
@@ -72,9 +81,11 @@ class Tracer {
   std::map<std::string, int> track_ids_;
   double offset_ = 0.0;
   std::size_t dropped_ = 0;
+  std::thread::id owner_ = std::this_thread::get_id();
 
   int track_id(const std::string& track);
   bool admit();
+  void assert_owning_thread() const;
 };
 
 }  // namespace cynthia::telemetry

@@ -21,6 +21,8 @@
 #include "orchestrator/spot_runner.hpp"
 #include "sim/fluid.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace cf = cynthia::faults;
@@ -29,6 +31,7 @@ namespace cc = cynthia::cloud;
 namespace core = cynthia::core;
 namespace orch = cynthia::orch;
 namespace sim = cynthia::sim;
+namespace ct = cynthia::telemetry;
 
 namespace {
 
@@ -368,4 +371,64 @@ TEST(TrainingService, SubmitWithFaultsReportsRecovery) {
   EXPECT_TRUE(report->plan.feasible);
   EXPECT_GT(report->actual_cost.value(), 0.0);
   EXPECT_EQ(report->training.iterations, report->plan.total_iterations);
+}
+
+// ------------------------------------------------ journal cost attribution
+
+TEST(RecoveryController, JournalLedgerSumsToActualCostExactly) {
+  // Repair-in-place path: the original meter settlement plus per-crash
+  // replacement deltas must reproduce report.actual_cost bit-for-bit.
+  const auto& w = cd::workload_by_name("mnist");
+  const auto plan = manual_plan(4, 1, 300);
+  const auto schedule = cf::FaultSchedule::parse("crash:ps0@3;slow:wk0@1x2+4");
+  const core::ProvisionGoal goal{cynthia::util::Seconds{3600.0}, 1.0};
+
+  ct::Telemetry tel;
+  orch::RecoveryOptions options;
+  options.training.telemetry = &tel;
+  const auto report = orch::RecoveryController(options).run(w, plan, schedule, goal);
+  EXPECT_GE(report.training.faults.crashes, 1);
+
+  const auto ledger = ct::CostLedger::from(tel.journal);
+  EXPECT_FALSE(ledger.entries().empty());
+  EXPECT_EQ(ledger.total().value(), report.actual_cost.value());
+  EXPECT_EQ(tel.metrics.gauge_value(ct::metric::kBillingDollars),
+            report.actual_cost.value());
+  EXPECT_GT(ledger.phase_dollars(ct::CostPhase::kRecover), 0.0)
+      << "crash replacements must be attributed to the recover phase";
+
+  // ... and the journal must not perturb the run it observes.
+  orch::RecoveryOptions off = options;
+  off.training.telemetry = nullptr;
+  const auto plain = orch::RecoveryController(off).run(w, plan, schedule, goal);
+  expect_identical(report.training, plain.training);
+  EXPECT_EQ(report.actual_cost.value(), plain.actual_cost.value());
+}
+
+TEST(RecoveryController, ElasticJournalLedgerSumsToActualCostExactly) {
+  // Elastic path: two meter settlements (original + replacement cluster)
+  // plus per-crash plan-cost deltas, still bitwise-equal to actual_cost.
+  const auto& w = cd::workload_by_name("mnist");
+  const auto predictor = core::Predictor::build(w, m4());
+  const core::Provisioner provisioner(predictor.model(), predictor.loss(),
+                                      cc::Catalog::aws().provisionable());
+  const auto plan = manual_plan(4, 1, 300);
+  const auto schedule = cf::FaultSchedule::parse("crash:ps0@3");
+  const core::ProvisionGoal goal{cynthia::util::Seconds{3600.0}, 1.0};
+
+  ct::Telemetry tel;
+  orch::RecoveryOptions options;
+  options.elastic = true;
+  options.training.telemetry = &tel;
+  const auto report =
+      orch::RecoveryController(options).run(w, plan, schedule, goal, &provisioner);
+  EXPECT_GE(report.training.faults.crashes, 1);
+
+  const auto ledger = ct::CostLedger::from(tel.journal);
+  EXPECT_FALSE(ledger.entries().empty());
+  EXPECT_EQ(ledger.total().value(), report.actual_cost.value());
+  EXPECT_EQ(tel.metrics.gauge_value(ct::metric::kBillingDollars),
+            report.actual_cost.value());
+  EXPECT_GT(ledger.cause_dollars(ct::CostCause::kFault), 0.0)
+      << "the replacement cluster must be attributed to the fault";
 }

@@ -125,6 +125,33 @@ TEST(LintInc, FlagsBitsStdcppAndParentEscapes) {
   EXPECT_EQ(count_rule(f, "INC-002"), 2);
 }
 
+// ------------------------------------------------------------- TEL rules
+
+TEST(LintTel, FlagsDuplicateMetricNameConstants) {
+  const auto f = scan("src/telemetry/telemetry.hpp",
+                      "#pragma once\n"
+                      "inline constexpr char kA[] = \"trainer.comp_seconds\";\n"
+                      "inline constexpr char kB[] = \"trainer.comp_seconds\";\n"
+                      "inline constexpr char kC[] = \"trainer.barrier_seconds\";\n");
+  EXPECT_EQ(count_rule(f, "TEL-001"), 1);
+  EXPECT_EQ(f[0].line, 3) << "the duplicate, not the original, is flagged";
+}
+
+TEST(LintTel, UniqueNamesAndOtherDirectoriesAreClean) {
+  const auto clean = scan("src/telemetry/telemetry.hpp",
+                          "#pragma once\n"
+                          "inline constexpr char kA[] = \"trainer.comp_seconds\";\n"
+                          "inline constexpr char kB[] = \"trainer.barrier_seconds\";\n");
+  EXPECT_EQ(count_rule(clean, "TEL-001"), 0);
+  // Duplicate string constants outside telemetry headers are not metric
+  // registry keys; out of scope.
+  const auto other = scan("src/core/names.hpp",
+                          "#pragma once\n"
+                          "inline constexpr char kA[] = \"x\";\n"
+                          "inline constexpr char kB[] = \"x\";\n");
+  EXPECT_EQ(count_rule(other, "TEL-001"), 0);
+}
+
 // ----------------------------------------------------------- suppression
 
 TEST(LintSuppress, SameLineCommentDisarmsRule) {
@@ -188,9 +215,9 @@ TEST(LintOutput, CleanScanRendersEmpty) {
 
 TEST(LintCatalog, EveryFamilyRepresented) {
   const auto& rules = cl::rule_catalog();
-  EXPECT_GE(rules.size(), 7u);
-  for (const char* id :
-       {"DET-001", "DET-002", "DET-003", "FLT-001", "UNITS-001", "INC-001", "INC-002"}) {
+  EXPECT_GE(rules.size(), 8u);
+  for (const char* id : {"DET-001", "DET-002", "DET-003", "FLT-001", "UNITS-001", "INC-001",
+                         "INC-002", "TEL-001"}) {
     EXPECT_TRUE(std::any_of(rules.begin(), rules.end(),
                             [&](const cl::RuleInfo& r) { return r.id == id; }))
         << id;

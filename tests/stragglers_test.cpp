@@ -16,6 +16,8 @@
 #include "ddnn/workload.hpp"
 #include "faults/fault_spec.hpp"
 #include "orchestrator/sentinel.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace cc = cynthia::cloud;
@@ -295,4 +297,36 @@ TEST_F(StragglersTest, SentinelDisabledMatchesPlainTraining) {
   EXPECT_EQ(report.training.communication_time, direct.communication_time);
   EXPECT_TRUE(report.detections.empty());
   EXPECT_TRUE(report.mitigations.empty());
+}
+
+TEST_F(StragglersTest, JournalLedgerSumsToSentinelCostExactly) {
+  // A replaced straggler puts kMitigate settlements next to the original
+  // meter settlement: the attribution ledger must still reproduce
+  // report.actual_cost bit-for-bit (and the gauge mirrors it).
+  const auto& w = cd::workload_by_name("cifar10");
+  const auto plan = manual_plan(4, 1, 400);
+  const auto schedule = cf::FaultSchedule::parse("slow:wk1@200x4+100000");
+  const core::ProvisionGoal goal{cu::Seconds{1e9}, 1e9};
+
+  cynthia::telemetry::Telemetry tel;
+  orch::SentinelOptions options;
+  options.training.telemetry = &tel;
+  const auto report = orch::SloSentinel(options).run(w, plan, schedule, goal);
+  ASSERT_FALSE(report.mitigations.empty());
+
+  const auto ledger = cynthia::telemetry::CostLedger::from(tel.journal);
+  EXPECT_FALSE(ledger.entries().empty());
+  EXPECT_EQ(ledger.total().value(), report.actual_cost.value());
+  EXPECT_EQ(tel.metrics.gauge_value(cynthia::telemetry::metric::kBillingDollars),
+            report.actual_cost.value());
+  EXPECT_GT(ledger.cause_dollars(cynthia::telemetry::CostCause::kSentinelAction), 0.0)
+      << "the straggler replacement must be attributed to a sentinel action";
+
+  // ... and carrying the journal must not perturb the run itself.
+  orch::SentinelOptions off = options;
+  off.training.telemetry = nullptr;
+  const auto plain = orch::SloSentinel(off).run(w, plan, schedule, goal);
+  EXPECT_EQ(report.training.total_time, plain.training.total_time);
+  EXPECT_EQ(report.training.final_loss, plain.training.final_loss);
+  EXPECT_EQ(report.actual_cost.value(), plain.actual_cost.value());
 }

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -77,6 +78,22 @@ TEST(Histogram, EmptyHistogramReportsZeroExtrema) {
   EXPECT_EQ(h.count(), 0u);
   EXPECT_DOUBLE_EQ(h.min(), 0.0);
   EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, EmptyHistogramQuantileIsExactlyZero) {
+  // Documented contract: with no observations every quantile is a
+  // deterministic 0.0 — never NaN, never a bucket midpoint — so report
+  // generators can render empty runs without special-casing.
+  ct::Histogram h;
+  for (const double q : {0.0, 0.5, 0.99, 1.0, -0.25, 7.0}) {
+    const double v = h.approx_quantile(q);
+    EXPECT_EQ(v, 0.0) << "q=" << q;
+    EXPECT_FALSE(std::isnan(v));
+  }
+  // One observation flips it to the real statistic; draining back to empty
+  // is impossible (histograms are append-only), so 0.0 only means "empty".
+  h.observe(3.0);
+  EXPECT_GT(h.approx_quantile(0.5), 0.0);
 }
 
 // ------------------------------------------------------ counters / gauges

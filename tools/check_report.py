@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Validate a `cynthiactl report` JSON twin (and optionally its JSONL journal).
+
+Checks, in order:
+  1. the JSON parses and carries schema_version 1 with every top-level key;
+  2. the cost section is internally consistent: per-phase / per-cause maps
+     cover the known enumerators, and re-running the grouped settlement fold
+     over cost.entries reproduces cost.total_dollars EXACTLY (Python floats
+     are IEEE-754 doubles, so `0.0 + a + b` here is the same arithmetic the
+     C++ CostLedger::total() performed);
+  3. the journal digest looks like an FNV-1a hex literal and the record
+     count is plausible;
+  4. prediction-audit rows and verdicts have the advertised field sets;
+  5. (with --journal) every JSONL line is a JSON object with the full
+     11-field journal schema and the line count matches journal.records.
+
+Stdlib only — CI runs it straight after the report smoke. Exit 0 on pass,
+1 with a message on the first violation.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+PHASES = ("provision", "train", "mitigate", "recover")
+CAUSES = ("plan", "fault", "sentinel-action")
+JOURNAL_FIELDS = (
+    "t", "kind", "subject", "detail", "value", "iterations",
+    "predicted", "actual", "settlement", "phase", "cause",
+)
+
+
+def fail(msg):
+    print(f"check_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_cost(cost):
+    for key in ("total_dollars", "by_phase", "by_cause", "by_node", "entries"):
+        require(key in cost, f"cost.{key} missing")
+    for phase in PHASES:
+        require(phase in cost["by_phase"], f"cost.by_phase.{phase} missing")
+    for cause in CAUSES:
+        require(cause in cost["by_cause"], f"cost.by_cause.{cause} missing")
+
+    entries = cost["entries"]
+    require(isinstance(entries, list), "cost.entries is not a list")
+    for i, e in enumerate(entries):
+        for key in ("t", "settlement", "phase", "cause", "node", "detail", "dollars"):
+            require(key in e, f"cost.entries[{i}].{key} missing")
+        require(e["phase"] in PHASES, f"cost.entries[{i}].phase {e['phase']!r} unknown")
+        require(e["cause"] in CAUSES, f"cost.entries[{i}].cause {e['cause']!r} unknown")
+        require(e["settlement"] >= 0, f"cost.entries[{i}].settlement < 0")
+
+    # Re-run the grouped fold: per-settlement subtotal first (the
+    # BillingMeter::total() per-record fold), then the chain of subtotal
+    # additions (the orchestrator's `actual_cost +=` chain). Equality must
+    # be exact, not approximate — that is the attribution invariant.
+    total = 0.0
+    i = 0
+    while i < len(entries):
+        settlement = entries[i]["settlement"]
+        subtotal = 0.0
+        while i < len(entries) and entries[i]["settlement"] == settlement:
+            subtotal += entries[i]["dollars"]
+            i += 1
+        total += subtotal
+    require(
+        total == cost["total_dollars"],
+        f"grouped fold over cost.entries gives {total!r}, "
+        f"but cost.total_dollars is {cost['total_dollars']!r} (must be bit-identical)",
+    )
+    print(f"check_report: cost fold OK: {len(entries)} entrie(s) -> ${total:.6f}")
+
+
+def check_prediction(prediction):
+    for key in ("bound_frac", "segments", "tg"):
+        require(key in prediction, f"prediction.{key} missing")
+    for i, row in enumerate(prediction["segments"]):
+        for key in ("segment", "detail", "start_seconds", "seconds", "iterations",
+                    "predicted_t_iter", "actual_t_iter", "error_frac", "flagged"):
+            require(key in row, f"prediction.segments[{i}].{key} missing")
+        require(isinstance(row["flagged"], bool), f"prediction.segments[{i}].flagged not bool")
+    tg = prediction["tg"]
+    for key in ("present", "predicted_seconds", "actual_seconds", "error_frac", "flagged"):
+        require(key in tg, f"prediction.tg.{key} missing")
+
+
+def check_records(name, records, fields):
+    require(isinstance(records, list), f"{name} is not a list")
+    for i, r in enumerate(records):
+        for key in fields:
+            require(key in r, f"{name}[{i}].{key} missing")
+
+
+def check_report(path):
+    with open(path, encoding="utf-8") as f:
+        report = json.load(f)
+
+    require(report.get("schema_version") == 1,
+            f"schema_version is {report.get('schema_version')!r}, expected 1")
+    for key in ("title", "journal", "cost", "prediction", "verdicts",
+                "detections", "mitigations"):
+        require(key in report, f"top-level key {key!r} missing")
+
+    journal = report["journal"]
+    for key in ("records", "dropped", "digest"):
+        require(key in journal, f"journal.{key} missing")
+    require(re.fullmatch(r"0x[0-9a-f]{16}", journal["digest"]),
+            f"journal.digest {journal['digest']!r} is not a 16-digit hex literal")
+    require(journal["records"] > 0, "journal.records is 0 — nothing was instrumented")
+    require(journal["dropped"] == 0, f"journal dropped {journal['dropped']} record(s)")
+
+    check_cost(report["cost"])
+    check_prediction(report["prediction"])
+    check_records("verdicts", report["verdicts"],
+                  ("t", "subject", "met", "predicted", "actual"))
+    check_records("detections", report["detections"],
+                  ("t", "kind", "subject", "detail", "value"))
+    check_records("mitigations", report["mitigations"],
+                  ("t", "kind", "subject", "detail", "value"))
+    return report
+
+
+def check_journal(path, expected_records):
+    n = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                fail(f"{path}:{lineno}: not valid JSON: {err}")
+            missing = [k for k in JOURNAL_FIELDS if k not in record]
+            require(not missing, f"{path}:{lineno}: missing field(s) {missing}")
+            extra = [k for k in record if k not in JOURNAL_FIELDS]
+            require(not extra, f"{path}:{lineno}: unexpected field(s) {extra}")
+            n += 1
+    require(
+        n == expected_records,
+        f"{path} has {n} record line(s), but the report says journal.records="
+        f"{expected_records}",
+    )
+    print(f"check_report: journal OK: {n} JSONL record(s), schema complete")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("report", help="path to the report --json-out file")
+    ap.add_argument("--journal", help="optional path to the --journal-out JSONL file")
+    args = ap.parse_args()
+
+    report = check_report(args.report)
+    if args.journal:
+        check_journal(args.journal, report["journal"]["records"])
+    print("check_report: PASS")
+
+
+if __name__ == "__main__":
+    main()

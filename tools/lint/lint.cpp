@@ -473,6 +473,32 @@ void rule_inc_hygiene(const Context& ctx) {
   }
 }
 
+/// TEL-001: duplicate metric-name string constants in telemetry headers.
+/// Two kFoo constants aliasing the same registry name silently merge their
+/// series (the registry keys on the string); every name is declared once.
+void rule_tel_metric_names(const Context& ctx) {
+  if (!is_header(ctx.path) || !path_has_component(ctx.path, "telemetry")) return;
+  std::map<std::string, int> first_line;  // metric name -> declaring line
+  for (std::size_t li = 0; li < ctx.lines.size(); ++li) {
+    if (ctx.lines[li].code.find("constexpr char") == std::string::npos) continue;
+    // The code view blanks literal contents; read the name from the raw line.
+    const std::string& raw = ctx.raw_lines[li];
+    const auto open = raw.find('"');
+    if (open == std::string::npos) continue;
+    const auto close = raw.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    const std::string name = raw.substr(open + 1, close - open - 1);
+    if (name.empty()) continue;
+    const auto [it, inserted] = first_line.emplace(name, static_cast<int>(li) + 1);
+    if (!inserted) {
+      ctx.report("TEL-001", static_cast<int>(li) + 1,
+                 "metric name \"" + name + "\" duplicates the constant on line " +
+                     std::to_string(it->second) +
+                     "; two constants aliasing one name silently merge their series");
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rule_catalog() {
@@ -484,6 +510,7 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"UNITS-001", "units", "double parameters in headers need unit-bearing names"},
       {"INC-001", "includes", "headers must use #pragma once"},
       {"INC-002", "includes", "no <bits/stdc++.h> or '..' includes"},
+      {"TEL-001", "telemetry", "metric-name constants in telemetry headers must be unique"},
   };
   return kCatalog;
 }
@@ -503,6 +530,7 @@ std::vector<Finding> scan_source(const std::string& path, std::string_view conte
   rule_units_param_names(ctx);
   rule_inc_pragma_once(ctx);
   rule_inc_hygiene(ctx);
+  rule_tel_metric_names(ctx);
 
   std::erase_if(findings,
                 [&](const Finding& f) { return sup.allows(f.rule, f.line); });
