@@ -439,10 +439,11 @@ int cmd_simulate(const Args& args) {
     // settlement mirrors the meter so the cost ledger sums to the gauge.
     const double bill_until = provision_seconds + r.total_time;
     tel.metrics.gauge(telemetry::metric::kBillingDollars)
-        .set(billing.total(bill_until).value());
-    cloud::journal_meter_settlement(tel.journal, billing, bill_until,
+        .set(billing.total(util::Seconds{bill_until}).value());
+    cloud::journal_meter_settlement(tel.journal, billing, util::Seconds{bill_until},
                                     telemetry::CostPhase::kTrain,
-                                    telemetry::CostCause::kPlan, provision_seconds);
+                                    telemetry::CostCause::kPlan,
+                                    util::Seconds{provision_seconds});
   }
   util::Table t("Simulation: " + w.name + " on " + std::to_string(n) + "x " + type.name +
                 " + " + std::to_string(ps) + " PS");

@@ -67,12 +67,14 @@ int main() {
   const auto diag = model.predict_iteration(
       ddnn::ClusterSpec::with_stragglers(m4, m1, 8, 1), workload.sync);
   std::puts("\n(c) Cynthia's model diagnosis at 8 workers:");
-  std::printf("    PS bandwidth: demand %.0f vs supply %.0f MB/s -> %s\n", diag.bw_demand,
-              diag.bw_supply, diag.bw_bottleneck ? "BOTTLENECK" : "ok");
-  std::printf("    PS CPU:       demand %.2f vs supply %.2f GFLOPS -> %s\n", diag.cpu_demand,
-              diag.cpu_supply, diag.cpu_bottleneck ? "BOTTLENECK" : "ok");
-  std::printf("    per-iteration: t_comp %.4f s vs t_comm %.4f s -> %s\n", diag.t_comp,
-              diag.t_comm,
+  std::printf("    PS bandwidth: demand %.0f vs supply %.0f MB/s -> %s\n",
+              diag.bw_demand.value(), diag.bw_supply.value(),
+              diag.bw_bottleneck ? "BOTTLENECK" : "ok");
+  std::printf("    PS CPU:       demand %.2f vs supply %.2f GFLOPS -> %s\n",
+              diag.cpu_demand.value(), diag.cpu_supply.value(),
+              diag.cpu_bottleneck ? "BOTTLENECK" : "ok");
+  std::printf("    per-iteration: t_comp %.4f s vs t_comm %.4f s -> %s\n",
+              diag.t_comp.value(), diag.t_comm.value(),
               diag.t_comm > diag.t_comp ? "COMMUNICATION-BOUND (PS NIC sets the pace)"
                                         : "computation-bound");
   std::printf("    estimated worker utilization: %.0f%%\n", 100 * diag.worker_utilization);

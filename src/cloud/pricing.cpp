@@ -11,27 +11,28 @@ util::Dollars docker_cost(const InstanceType& type, int count, util::Seconds dur
   if (count < 0 || duration.value() < 0.0) {
     throw std::invalid_argument("docker_cost: negative count or duration");
   }
-  return util::Dollars{type.docker_price().value() * count * duration.value() / 3600.0};
+  return (type.docker_price() * static_cast<double>(count)) * duration;
 }
 
 util::Dollars instance_cost(const InstanceType& type, int count, util::Seconds duration) {
   if (count < 0 || duration.value() < 0.0) {
     throw std::invalid_argument("instance_cost: negative count or duration");
   }
-  return util::Dollars{type.price.value() * count * duration.value() / 3600.0};
+  return (type.price * static_cast<double>(count)) * duration;
 }
 
-std::size_t BillingMeter::start(std::string instance_id, const InstanceType& type, double now) {
+std::size_t BillingMeter::start(std::string instance_id, const InstanceType& type,
+                                util::Seconds now) {
   for (const auto& r : records_) {
     if (r.running() && r.instance_id == instance_id) {
       throw std::invalid_argument("BillingMeter: instance '" + instance_id + "' already running");
     }
   }
-  records_.push_back({std::move(instance_id), type.name, type.price, now, -1.0});
+  records_.push_back({std::move(instance_id), type.name, type.price, now, util::Seconds{-1.0}});
   return records_.size() - 1;
 }
 
-void BillingMeter::stop(const std::string& instance_id, double now) {
+void BillingMeter::stop(const std::string& instance_id, util::Seconds now) {
   for (auto& r : records_) {
     if (r.running() && r.instance_id == instance_id) {
       if (now < r.start_time) throw std::invalid_argument("BillingMeter: stop before start");
@@ -42,27 +43,27 @@ void BillingMeter::stop(const std::string& instance_id, double now) {
   throw std::out_of_range("BillingMeter: no running instance '" + instance_id + "'");
 }
 
-void BillingMeter::stop_all(double now) {
+void BillingMeter::stop_all(util::Seconds now) {
   for (auto& r : records_) {
     if (r.running()) r.stop_time = std::max(now, r.start_time);
   }
 }
 
-util::Dollars BillingMeter::charge(const BillingRecord& r, double until) {
-  const double stop = r.running() ? until : r.stop_time;
-  const double billed = std::max(stop - r.start_time, kMinimumBillableSeconds);
-  return util::Dollars{r.hourly.value() * billed / 3600.0};
+util::Dollars BillingMeter::charge(const BillingRecord& r, util::Seconds until) {
+  const util::Seconds stop = r.running() ? until : r.stop_time;
+  const util::Seconds billed = std::max(stop - r.start_time, kMinimumBillable);
+  return r.hourly * billed;
 }
 
-util::Dollars BillingMeter::total(double now) const {
+util::Dollars BillingMeter::total(util::Seconds now) const {
   util::Dollars sum{};
   for (const auto& r : records_) sum += charge(r, now);
   if (util::invariants_enabled() && now >= last_total_time_) {
     // Cost monotonicity: with the clock advanced (and records only ever
     // added or stopped in between), the accrued bill can only grow.
     CYNTHIA_CHECK(sum.value() >= last_total_value_ - 1e-9,
-                  "billing total shrank: $", sum.value(), " at t=", now, " after $",
-                  last_total_value_, " at t=", last_total_time_);
+                  "billing total shrank: $", sum.value(), " at t=", now.value(), " after $",
+                  last_total_value_, " at t=", last_total_time_.value());
     last_total_time_ = now;
     last_total_value_ = sum.value();
   }
@@ -75,13 +76,13 @@ std::size_t BillingMeter::running_count() const {
 }
 
 void journal_meter_settlement(telemetry::Journal& journal, const BillingMeter& meter,
-                              double now, telemetry::CostPhase phase,
-                              telemetry::CostCause cause, double provision_end_seconds,
+                              util::Seconds now, telemetry::CostPhase phase,
+                              telemetry::CostCause cause, util::Seconds provision_end,
                               const std::string& detail) {
   const int settlement = journal.next_settlement();
   for (const BillingRecord& r : meter.records()) {
-    const bool died_provisioning = !r.running() && r.stop_time <= provision_end_seconds;
-    journal.billing_delta(now, settlement,
+    const bool died_provisioning = !r.running() && r.stop_time <= provision_end;
+    journal.billing_delta(now.value(), settlement,
                           died_provisioning ? telemetry::CostPhase::kProvision : phase, cause,
                           r.instance_id, BillingMeter::record_charge(r, now).value(),
                           detail.empty() ? r.type_name : detail + " " + r.type_name);

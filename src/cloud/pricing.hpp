@@ -22,41 +22,41 @@ util::Dollars docker_cost(const InstanceType& type, int count, util::Seconds dur
 /// Cost of `count` whole instances of `type` for `duration`.
 util::Dollars instance_cost(const InstanceType& type, int count, util::Seconds duration);
 
-/// One open or closed billing record.
+/// One open or closed billing record. Times are simulation-clock instants.
 struct BillingRecord {
   std::string instance_id;
   std::string type_name;
   util::DollarsPerHour hourly;
-  double start_time = 0.0;
-  double stop_time = -1.0;  ///< -1 while the instance is still running
+  util::Seconds start_time;
+  util::Seconds stop_time{-1.0};  ///< negative while the instance is running
 
-  [[nodiscard]] bool running() const { return stop_time < 0.0; }
+  [[nodiscard]] bool running() const { return stop_time.value() < 0.0; }
 };
 
 /// Accrues per-instance charges against a simulation clock.
 class BillingMeter {
  public:
-  /// Seconds below which a started instance is still charged (EC2 minimum).
-  static constexpr double kMinimumBillableSeconds = 60.0;
+  /// Duration below which a started instance is still charged (EC2 minimum).
+  static constexpr util::Seconds kMinimumBillable{60.0};
 
   /// Registers a launch at `now`; returns the billing record index.
-  std::size_t start(std::string instance_id, const InstanceType& type, double now);
+  std::size_t start(std::string instance_id, const InstanceType& type, util::Seconds now);
 
   /// Stops the given instance; throws if unknown or already stopped.
-  void stop(const std::string& instance_id, double now);
+  void stop(const std::string& instance_id, util::Seconds now);
 
   /// Stops every running instance at `now`.
-  void stop_all(double now);
+  void stop_all(util::Seconds now);
 
   /// Total accrued cost, valuing still-running instances as-if stopped `now`.
-  [[nodiscard]] util::Dollars total(double now) const;
+  [[nodiscard]] util::Dollars total(util::Seconds now) const;
 
   [[nodiscard]] const std::vector<BillingRecord>& records() const { return records_; }
   [[nodiscard]] std::size_t running_count() const;
 
   /// The charge total(until) accrues for one record — public so the journal
   /// settlement below can mirror total()'s per-record fold exactly.
-  [[nodiscard]] static util::Dollars record_charge(const BillingRecord& r, double until) {
+  [[nodiscard]] static util::Dollars record_charge(const BillingRecord& r, util::Seconds until) {
     return charge(r, until);
   }
 
@@ -66,10 +66,10 @@ class BillingMeter {
   // Cost-monotonicity invariant state (util/check.hpp): accrued cost may
   // never shrink as the clock advances. Mutable because total() is a const
   // query; only touched when invariant checking is enabled.
-  mutable double last_total_time_ = 0.0;
+  mutable util::Seconds last_total_time_;
   mutable double last_total_value_ = 0.0;
 
-  [[nodiscard]] static util::Dollars charge(const BillingRecord& r, double until);
+  [[nodiscard]] static util::Dollars charge(const BillingRecord& r, util::Seconds until);
 };
 
 /// Journals one settlement of `meter` as-of `now`: one kBillingDelta per
@@ -77,12 +77,12 @@ class BillingMeter {
 /// the deltas fold back (telemetry::CostLedger::total) to exactly the
 /// value meter.total(now) returned to the caller, bit for bit.
 ///
-/// Attribution: records that stopped at or before `provision_end_seconds`
-/// never survived provisioning (join-failure replacements) and are tagged
+/// Attribution: records that stopped at or before `provision_end` never
+/// survived provisioning (join-failure replacements) and are tagged
 /// {kProvision, cause}; everything else gets {phase, cause}.
 void journal_meter_settlement(telemetry::Journal& journal, const BillingMeter& meter,
-                              double now, telemetry::CostPhase phase,
-                              telemetry::CostCause cause, double provision_end_seconds,
+                              util::Seconds now, telemetry::CostPhase phase,
+                              telemetry::CostCause cause, util::Seconds provision_end,
                               const std::string& detail = "");
 
 }  // namespace cynthia::cloud

@@ -11,7 +11,7 @@ namespace cynthia::cloud {
 
 SpotMarket::SpotMarket(const Catalog& catalog, std::uint64_t seed, SpotTraceOptions options)
     : catalog_(&catalog), seed_(seed), options_(options) {
-  if (options_.step_seconds <= 0.0) {
+  if (options_.step_seconds.value() <= 0.0) {
     throw std::invalid_argument("SpotMarket: step_seconds must be > 0");
   }
   if (options_.mean_discount <= 0.0 || options_.mean_discount > 1.0) {
@@ -57,7 +57,7 @@ void SpotMarket::extend(Trace& trace, std::size_t steps_needed) const {
 double SpotMarket::price_at(const std::string& type, double t) const {
   if (t < 0.0) throw std::invalid_argument("SpotMarket: negative time");
   Trace& trace = trace_for(type);
-  const auto idx = static_cast<std::size_t>(t / options_.step_seconds);
+  const auto idx = static_cast<std::size_t>(t / options_.step_seconds.value());
   extend(trace, idx + 1);
   return trace.steps[idx];
 }
@@ -66,14 +66,14 @@ util::Dollars SpotMarket::cost(const std::string& type, double t0, double t1) co
   if (t1 < t0 || t0 < 0.0) throw std::invalid_argument("SpotMarket: bad interval");
   if (t1 == t0) return util::Dollars{0.0};
   Trace& trace = trace_for(type);
-  const double step = options_.step_seconds;
+  const double step = options_.step_seconds.value();
   const auto last = static_cast<std::size_t>((t1 - 1e-9) / step);
   extend(trace, last + 1);
   double dollars = 0.0;
   for (auto i = static_cast<std::size_t>(t0 / step); i <= last; ++i) {
     const double lo = std::max(t0, static_cast<double>(i) * step);
     const double hi = std::min(t1, static_cast<double>(i + 1) * step);
-    if (hi > lo) dollars += trace.steps[i] * (hi - lo) / 3600.0;
+    if (hi > lo) dollars += (util::DollarsPerHour{trace.steps[i]} * util::Seconds{hi - lo}).value();
   }
   return util::Dollars{dollars};
 }
@@ -81,7 +81,7 @@ util::Dollars SpotMarket::cost(const std::string& type, double t0, double t1) co
 double SpotMarket::next_revocation_after(const std::string& type, double t, double bid,
                                          double horizon) const {
   Trace& trace = trace_for(type);
-  const double step = options_.step_seconds;
+  const double step = options_.step_seconds.value();
   const auto last = static_cast<std::size_t>((t + horizon) / step);
   extend(trace, last + 1);
   for (auto i = static_cast<std::size_t>(t / step); i <= last; ++i) {
@@ -95,7 +95,7 @@ double SpotMarket::next_revocation_after(const std::string& type, double t, doub
 double SpotMarket::next_availability_after(const std::string& type, double t, double bid,
                                            double horizon) const {
   Trace& trace = trace_for(type);
-  const double step = options_.step_seconds;
+  const double step = options_.step_seconds.value();
   const auto last = static_cast<std::size_t>((t + horizon) / step);
   extend(trace, last + 1);
   for (auto i = static_cast<std::size_t>(t / step); i <= last; ++i) {

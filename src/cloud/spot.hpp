@@ -25,7 +25,7 @@ struct SpotTraceOptions {
   double spike_probability = 0.01;  ///< per-step chance of a demand spike
   double spike_multiplier = 3.5;    ///< spike height relative to the mean
   double spike_decay = 0.45;        ///< per-step decay of spike pressure
-  double step_seconds = 300.0;      ///< price granularity (EC2 repriced in minutes)
+  util::Seconds step_seconds{300.0};  ///< price granularity (EC2 repriced in minutes)
 };
 
 /// Deterministic (seeded) spot price process per instance type.
@@ -45,12 +45,12 @@ class SpotMarket {
   /// when an instance bought at `bid` is revoked. Searches up to
   /// `horizon` seconds ahead; returns infinity if the bid always holds.
   [[nodiscard]] double next_revocation_after(const std::string& type, double t, double bid,
-                                             double horizon = 14.0 * 24 * 3600) const;
+                                             double horizon = util::days(14.0).value()) const;
 
   /// First time >= t where the price is <= `bid` (when a revoked cluster
   /// can be re-acquired). Infinity if never within the horizon.
   [[nodiscard]] double next_availability_after(const std::string& type, double t, double bid,
-                                               double horizon = 14.0 * 24 * 3600) const;
+                                               double horizon = util::days(14.0).value()) const;
 
   /// Long-run mean spot price for the type.
   [[nodiscard]] double mean_price(const std::string& type) const;

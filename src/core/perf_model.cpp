@@ -40,12 +40,12 @@ IterationPrediction CynthiaModel::estimate_utilization(const ddnn::ClusterSpec& 
   }
 
   // Eq. 6: PS-side demand; supply is the aggregate over provisioned PS.
-  p.cpu_demand = profile_.cprof.value() * p.r_scale;
-  p.bw_demand = profile_.bprof.value() * p.r_scale;
-  p.cpu_supply = headroom_ * cluster.total_ps_cpu().value();
+  p.cpu_demand = util::GFlopsRate{profile_.cprof.value() * p.r_scale};
+  p.bw_demand = util::MBps{profile_.bprof.value() * p.r_scale};
+  p.cpu_supply = util::GFlopsRate{headroom_ * cluster.total_ps_cpu().value()};
   double bw_supply = 0.0;
   for (const auto& ps : cluster.ps) bw_supply += effective_ps_bandwidth(ps).value();
-  p.bw_supply = headroom_ * bw_supply;
+  p.bw_supply = util::MBps{headroom_ * bw_supply};
 
   p.cpu_bottleneck = p.cpu_demand > p.cpu_supply;
   p.bw_bottleneck = p.bw_demand > p.bw_supply;
@@ -69,23 +69,23 @@ IterationPrediction CynthiaModel::predict_iteration(const ddnn::ClusterSpec& clu
   const double gparam = profile_.gparam.value();
   const double u = p.worker_utilization;
 
-  double bw_supply = p.bw_supply;
+  const double bw_supply = p.bw_supply.value();
 
   if (mode == ddnn::SyncMode::BSP) {
     // Eq. 4: the barrier pins the iteration to the slowest worker; the
     // global batch is split n ways. r_wk = c_wk * u_wk.
     const double r_min = cluster.min_worker_cpu().value() * u;
-    p.t_comp = witer / (cluster.n_workers() * r_min);
+    p.t_comp = util::Seconds{witer / (cluster.n_workers() * r_min)};
     // Eq. 5: every worker's push+pull crosses the PS NIC budget.
-    p.t_comm = 2.0 * gparam * cluster.n_workers() / bw_supply;
+    p.t_comm = util::Seconds{2.0 * gparam * cluster.n_workers() / bw_supply};
     // Eq. 3: computation and communication overlap under BSP.
     p.t_iter = std::max(p.t_comp, p.t_comm);
   } else {
     // ASP: an iteration runs on one worker; report the baseline-capability
     // worker's view (predict_total aggregates heterogeneous rates).
     const double r = cluster.workers.front().cpu.value() * u;
-    p.t_comp = witer / r;
-    p.t_comm = 2.0 * gparam / bw_supply;
+    p.t_comp = util::Seconds{witer / r};
+    p.t_comm = util::Seconds{2.0 * gparam / bw_supply};
     p.t_iter = p.t_comp + p.t_comm;
   }
   return p;
@@ -96,7 +96,7 @@ util::Seconds CynthiaModel::predict_total(const ddnn::ClusterSpec& cluster, ddnn
   if (iterations <= 0) throw std::invalid_argument("CynthiaModel: iterations must be > 0");
   const IterationPrediction p = predict_iteration(cluster, mode);
   if (mode == ddnn::SyncMode::BSP) {
-    return util::Seconds{p.t_iter * static_cast<double>(iterations)};
+    return p.t_iter * static_cast<double>(iterations);
   }
   if (mode == ddnn::SyncMode::SSP) {
     // SSP extension: the bounded gap makes the collective long-run pace
@@ -105,7 +105,7 @@ util::Seconds CynthiaModel::predict_total(const ddnn::ClusterSpec& cluster, ddnn
     double max_cycle = 0.0;
     for (const auto& w : cluster.workers) {
       const double t_comp = profile_.witer.value() / (w.cpu.value() * p.worker_utilization);
-      max_cycle = std::max(max_cycle, t_comp + p.t_comm);
+      max_cycle = std::max(max_cycle, t_comp + p.t_comm.value());
     }
     return util::Seconds{static_cast<double>(iterations) * max_cycle / cluster.n_workers()};
   }
@@ -115,7 +115,7 @@ util::Seconds CynthiaModel::predict_total(const ddnn::ClusterSpec& cluster, ddnn
   double throughput = 0.0;
   for (const auto& w : cluster.workers) {
     const double t_comp = profile_.witer.value() / (w.cpu.value() * p.worker_utilization);
-    throughput += 1.0 / (t_comp + p.t_comm);
+    throughput += 1.0 / (t_comp + p.t_comm.value());
   }
   return util::Seconds{static_cast<double>(iterations) / throughput};
 }

@@ -22,15 +22,17 @@ namespace cynthia::core {
 util::MBps effective_ps_bandwidth(const ddnn::DockerSpec& ps);
 util::MBps effective_ps_bandwidth(const cloud::InstanceType& type);
 
-/// Per-iteration prediction with full diagnostics.
+/// Per-iteration prediction with full diagnostics. Times, rates and
+/// bandwidths are strong unit types; the dimensionless diagnostics
+/// (utilization, scaling ratio) stay plain doubles.
 struct IterationPrediction {
-  double t_comp = 0.0;    ///< Eq. 4, after utilization scaling
-  double t_comm = 0.0;    ///< Eq. 5
-  double t_iter = 0.0;    ///< Eq. 3: max() for BSP, sum for ASP
+  util::Seconds t_comp;   ///< Eq. 4, after utilization scaling
+  util::Seconds t_comm;   ///< Eq. 5
+  util::Seconds t_iter;   ///< Eq. 3: max() for BSP, sum for ASP
   double worker_utilization = 1.0;  ///< u_wk from the demand/supply estimator
   double r_scale = 1.0;   ///< Eq. 7
-  double cpu_demand = 0.0, cpu_supply = 0.0;    ///< GFLOPS on the PS
-  double bw_demand = 0.0, bw_supply = 0.0;      ///< MB/s on the PS
+  util::GFlopsRate cpu_demand, cpu_supply;  ///< PS-side compute, Eq. 6
+  util::MBps bw_demand, bw_supply;          ///< PS-side bandwidth, Eq. 6
   bool cpu_bottleneck = false;
   bool bw_bottleneck = false;
 };

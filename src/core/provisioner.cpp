@@ -100,16 +100,16 @@ struct RowBounds {
 /// Lower bound on a candidate's dollar cost given a lower bound on its
 /// total time — the same expression shape as plan_cost().
 double cost_lb(const cloud::InstanceType& type, int n, int n_ps, double total_time_lb) {
-  const double hourly = type.docker_price().value() * (n + n_ps);
-  return hourly * total_time_lb / 3600.0;
+  const util::DollarsPerHour hourly = type.docker_price() * static_cast<double>(n + n_ps);
+  return (hourly * util::Seconds{total_time_lb}).value();
 }
 
 }  // namespace
 
 util::Dollars plan_cost(const cloud::InstanceType& type, int n_workers, int n_ps,
                         util::Seconds duration) {
-  const double hourly = type.docker_price().value() * (n_workers + n_ps);
-  return util::Dollars{hourly * duration.value() / 3600.0};
+  const util::DollarsPerHour hourly = type.docker_price() * static_cast<double>(n_workers + n_ps);
+  return hourly * duration;
 }
 
 std::string ProvisionPlan::describe() const {
@@ -189,8 +189,8 @@ std::optional<CandidateEvaluation> Provisioner::evaluate(const cloud::InstanceTy
   // per-iteration time times the iterations the critical path executes).
   c.iterations = loss_.iterations_for(goal.target_loss, n_wk);
   c.prediction = predict_cached(type, type_index, n_wk, n_ps, mode, use_cache);
-  c.t_iter = c.prediction.t_iter;
-  c.total_time = c.prediction.t_iter * static_cast<double>(c.iterations);
+  c.t_iter = c.prediction.t_iter.value();
+  c.total_time = (c.prediction.t_iter * static_cast<double>(c.iterations)).value();
   c.cost = plan_cost(type, n_wk, n_ps, util::Seconds{c.total_time}).value();
   c.feasible = c.total_time <= goal.time_goal.value();
   return c;
@@ -256,7 +256,7 @@ void Provisioner::publish_trace_and_stats(std::vector<TypeSearch>& results,
   }
 }
 
-void Provisioner::record_latency(double planner_seconds) const {
+void Provisioner::record_latency(util::Seconds planner_seconds) const {
   if (metrics_ == nullptr) return;
   // Latencies span sub-microsecond cache hits to milliseconds of cold
   // exhaustive scans; half-decade buckets keep the p50 readable.
@@ -264,7 +264,7 @@ void Provisioner::record_latency(double planner_seconds) const {
   hist.lowest_bound = 1e-7;
   hist.growth = 3.1622776601683795;  // sqrt(10): two buckets per decade
   hist.bucket_count = 24;
-  metrics_->histogram(telemetry::metric::kPlannerPlanSeconds, hist).observe(planner_seconds);
+  metrics_->histogram(telemetry::metric::kPlannerPlanSeconds, hist).observe(planner_seconds.value());
   metrics_->counter(telemetry::metric::kPlannerPlans).inc(1.0);
   const PlannerStats s = stats();
   metrics_->gauge(telemetry::metric::kPlannerCandidates)
@@ -444,7 +444,7 @@ ProvisionPlan Provisioner::plan(ddnn::SyncMode mode, const ProvisionGoal& goal,
   }
 
   publish_trace_and_stats(results, options);
-  record_latency(timer.seconds());
+  record_latency(util::Seconds{timer.seconds()});
   record_journal(best, "plan");
   return best;
 }
@@ -524,7 +524,7 @@ ProvisionPlan Provisioner::replan(ddnn::SyncMode mode, long remaining_iterations
         IterationPrediction p = predict_cached(type, ti, n, n_ps, mode, options.use_cache);
         ++out.evaluated;
         p.t_iter /= derate;
-        const double total_time = p.t_iter * static_cast<double>(per_worker);
+        const double total_time = (p.t_iter * static_cast<double>(per_worker)).value();
         const double cost = plan_cost(type, n, n_ps, util::Seconds{total_time}).value();
         const bool feasible = total_time <= budget;
         if (options.keep_trace) {
@@ -533,7 +533,7 @@ ProvisionPlan Provisioner::replan(ddnn::SyncMode mode, long remaining_iterations
           trace_entry.n_workers = n;
           trace_entry.n_ps = n_ps;
           trace_entry.iterations = per_worker;
-          trace_entry.t_iter = p.t_iter;
+          trace_entry.t_iter = p.t_iter.value();
           trace_entry.total_time = total_time;
           trace_entry.cost = cost;
           trace_entry.feasible = feasible;
@@ -547,7 +547,7 @@ ProvisionPlan Provisioner::replan(ddnn::SyncMode mode, long remaining_iterations
         out.best.n_workers = n;
         out.best.n_ps = n_ps;
         out.best.iterations = per_worker;
-        out.best.t_iter = p.t_iter;
+        out.best.t_iter = p.t_iter.value();
         out.best.total_time = total_time;
         out.best.cost = cost;
         out.best.feasible = true;
@@ -581,7 +581,7 @@ ProvisionPlan Provisioner::replan(ddnn::SyncMode mode, long remaining_iterations
   }
 
   publish_trace_and_stats(results, options);
-  record_latency(timer.seconds());
+  record_latency(util::Seconds{timer.seconds()});
   record_journal(best, "replan");
   return best;
 }

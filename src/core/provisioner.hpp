@@ -258,7 +258,7 @@ class Provisioner {
 
   void publish_trace_and_stats(std::vector<TypeSearch>& results,
                                const ProvisionOptions& options) const;
-  void record_latency(double planner_seconds) const;
+  void record_latency(util::Seconds planner_seconds) const;
   void record_journal(const ProvisionPlan& plan, const char* call) const;
 };
 

@@ -225,12 +225,12 @@ FaultRunReport RecoveryController::repair_in_place(const ddnn::WorkloadSpec& wor
 
   control_plane.run_until(deployment.ready_at + report.training.total_time);
   manager.teardown(deployment);
-  report.actual_cost = billing.total(control_plane.now());
+  report.actual_cost = billing.total(util::Seconds{control_plane.now()});
   telemetry::Telemetry* tel = options_.training.telemetry;
   if (tel != nullptr) {
-    cloud::journal_meter_settlement(tel->journal, billing, control_plane.now(),
+    cloud::journal_meter_settlement(tel->journal, billing, util::Seconds{control_plane.now()},
                                     telemetry::CostPhase::kTrain, telemetry::CostCause::kPlan,
-                                    deployment.ready_at);
+                                    util::Seconds{deployment.ready_at});
   }
   add_replacement_costs(report, plan, report.training, 0, options_.detection_seconds,
                         tel != nullptr ? &tel->journal : nullptr);
@@ -298,13 +298,14 @@ FaultRunReport RecoveryController::elastic_replan(const ddnn::WorkloadSpec& work
     report.achieved_loss = seg1.final_loss;
     control_plane1.run_until(deployment1.ready_at + seg1.total_time);
     manager1.teardown(deployment1);
-    report.actual_cost = billing1.total(control_plane1.now());
+    report.actual_cost = billing1.total(util::Seconds{control_plane1.now()});
     report.time_goal_met = seg1.total_time <= goal.time_goal.value();
     report.loss_goal_met = report.achieved_loss <= goal.target_loss * 1.05;
     if (tel != nullptr) {
-      cloud::journal_meter_settlement(tel->journal, billing1, control_plane1.now(),
+      cloud::journal_meter_settlement(tel->journal, billing1, util::Seconds{control_plane1.now()},
                                       telemetry::CostPhase::kTrain,
-                                      telemetry::CostCause::kPlan, deployment1.ready_at);
+                                      telemetry::CostCause::kPlan,
+                                      util::Seconds{deployment1.ready_at});
       tel->metrics.gauge(telemetry::metric::kBillingDollars).set(report.actual_cost.value());
       tel->journal.verdict(seg1.total_time, "time-goal", report.time_goal_met,
                            goal.time_goal.value(), seg1.total_time);
@@ -411,15 +412,15 @@ FaultRunReport RecoveryController::elastic_replan(const ddnn::WorkloadSpec& work
   manager1.teardown(deployment1);
   control_plane2.run_until(deployment2.ready_at + report.restore_seconds + seg2.total_time);
   manager2.teardown(deployment2);
-  report.actual_cost = billing1.total(control_plane1.now());
-  report.actual_cost += billing2.total(control_plane2.now());
+  report.actual_cost = billing1.total(util::Seconds{control_plane1.now()});
+  report.actual_cost += billing2.total(util::Seconds{control_plane2.now()});
   if (tel != nullptr) {
-    cloud::journal_meter_settlement(tel->journal, billing1, control_plane1.now(),
+    cloud::journal_meter_settlement(tel->journal, billing1, util::Seconds{control_plane1.now()},
                                     telemetry::CostPhase::kTrain, telemetry::CostCause::kPlan,
-                                    deployment1.ready_at, "original");
-    cloud::journal_meter_settlement(tel->journal, billing2, control_plane2.now(),
+                                    util::Seconds{deployment1.ready_at}, "original");
+    cloud::journal_meter_settlement(tel->journal, billing2, util::Seconds{control_plane2.now()},
                                     telemetry::CostPhase::kTrain, telemetry::CostCause::kFault,
-                                    deployment2.ready_at, "replacement");
+                                    util::Seconds{deployment2.ready_at}, "replacement");
   }
   add_replacement_costs(report, next, seg2, 1, options_.detection_seconds,
                         tel != nullptr ? &tel->journal : nullptr);
@@ -456,7 +457,7 @@ void RecoveryController::measure_baseline(const ddnn::WorkloadSpec& workload,
   control_plane.run_until(deployment.ready_at + baseline.total_time);
   manager.teardown(deployment);
   report.baseline_seconds = baseline.total_time;
-  report.baseline_cost = billing.total(control_plane.now());
+  report.baseline_cost = billing.total(util::Seconds{control_plane.now()});
   report.extra_seconds = report.training.total_time - baseline.total_time;
   report.extra_cost =
       util::Dollars{report.actual_cost.value() - report.baseline_cost.value()};

@@ -534,13 +534,13 @@ SentinelReport SloSentinel::run(const ddnn::WorkloadSpec& workload,
   const double held = original_held_until >= 0.0 ? original_held_until : job_end;
   control_plane.run_until(deployment.ready_at + held);
   manager.teardown(deployment);
-  report.actual_cost = billing.total(control_plane.now());
+  report.actual_cost = billing.total(util::Seconds{control_plane.now()});
   // Each `+=` below is mirrored as one journal billing settlement, so the
   // cost ledger's grouped fold reproduces this chain bit-for-bit.
   if (tel != nullptr) {
-    cloud::journal_meter_settlement(tel->journal, billing, control_plane.now(),
+    cloud::journal_meter_settlement(tel->journal, billing, util::Seconds{control_plane.now()},
                                     telemetry::CostPhase::kTrain, telemetry::CostCause::kPlan,
-                                    deployment.ready_at, "original");
+                                    util::Seconds{deployment.ready_at}, "original");
   }
   auto journal_cost = [&](telemetry::CostPhase phase, telemetry::CostCause cause,
                           const std::string& node, double dollars, const std::string& what) {

@@ -60,14 +60,14 @@ std::optional<JobReport> TrainingService::submit(const ddnn::WorkloadSpec& workl
   // bill (the cluster exists for provisioning + training).
   control_plane.run_until(deployment.ready_at + report.training.total_time);
   manager.teardown(deployment);
-  report.actual_cost = billing.total(control_plane.now());
+  report.actual_cost = billing.total(util::Seconds{control_plane.now()});
 
   report.time_goal_met = report.training.total_time <= goal.time_goal.value();
   report.loss_goal_met = report.achieved_loss <= goal.target_loss * 1.05;  // noise tolerance
   if (tel != nullptr) {
-    cloud::journal_meter_settlement(tel->journal, billing, control_plane.now(),
+    cloud::journal_meter_settlement(tel->journal, billing, util::Seconds{control_plane.now()},
                                     telemetry::CostPhase::kTrain, telemetry::CostCause::kPlan,
-                                    deployment.ready_at);
+                                    util::Seconds{deployment.ready_at});
     tel->metrics.gauge(telemetry::metric::kBillingDollars).set(report.actual_cost.value());
     tel->journal.verdict(report.training.total_time, "time-goal", report.time_goal_met,
                          goal.time_goal.value(), report.training.total_time);

@@ -41,6 +41,14 @@ struct UnitBase {
     v -= b.v;
     return static_cast<Derived&>(*this);
   }
+  constexpr Derived& operator*=(double scale) {
+    v *= scale;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator/=(double scale) {
+    v /= scale;
+    return static_cast<Derived&>(*this);
+  }
 };
 
 /// Work measured in giga floating point operations (the paper's w_iter).
@@ -87,8 +95,22 @@ constexpr MegaBytes operator*(MBps b, Seconds t) { return MegaBytes{b.v * t.v}; 
 constexpr MegaBytes operator*(Seconds t, MBps b) { return MegaBytes{b.v * t.v}; }
 constexpr Dollars operator*(DollarsPerHour p, Seconds t) { return Dollars{p.v * t.v / 3600.0}; }
 constexpr Dollars operator*(Seconds t, DollarsPerHour p) { return Dollars{p.v * t.v / 3600.0}; }
+constexpr GFlopsRate operator/(GFlops w, Seconds t) { return GFlopsRate{w.v / t.v}; }
+constexpr MBps operator/(MegaBytes d, Seconds t) { return MBps{d.v / t.v}; }
+constexpr DollarsPerHour operator/(Dollars d, Seconds t) {
+  return DollarsPerHour{d.v / t.v * 3600.0};
+}
+constexpr Seconds operator/(Dollars d, DollarsPerHour p) {
+  return Seconds{d.v / p.v * 3600.0};
+}
+
+// The only sanctioned homes for the second<->hour/day scale factors; code
+// elsewhere converts through these (UNITS-004 flags inline 3600s).
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 86400.0;
 
 constexpr Seconds minutes(double minute_count) { return Seconds{minute_count * 60.0}; }
-constexpr Seconds hours(double hour_count) { return Seconds{hour_count * 3600.0}; }
+constexpr Seconds hours(double hour_count) { return Seconds{hour_count * kSecondsPerHour}; }
+constexpr Seconds days(double day_count) { return Seconds{day_count * kSecondsPerDay}; }
 
 }  // namespace cynthia::util

@@ -108,47 +108,47 @@ TEST(Pricing, NegativeInputsThrow) {
 TEST(Billing, AccruesPerSecond) {
   const auto& m4 = cc::Catalog::aws().at("m4.xlarge");
   cc::BillingMeter meter;
-  meter.start("i-1", m4, 0.0);
-  meter.stop("i-1", 3600.0);
-  EXPECT_NEAR(meter.total(3600.0).value(), 0.20, 1e-9);
+  meter.start("i-1", m4, cu::Seconds{0.0});
+  meter.stop("i-1", cu::hours(1));
+  EXPECT_NEAR(meter.total(cu::hours(1)).value(), 0.20, 1e-9);
 }
 
 TEST(Billing, MinimumChargeApplies) {
   const auto& m4 = cc::Catalog::aws().at("m4.xlarge");
   cc::BillingMeter meter;
-  meter.start("i-1", m4, 0.0);
-  meter.stop("i-1", 5.0);  // only 5 s, billed as 60 s
-  EXPECT_NEAR(meter.total(10.0).value(), 0.20 * 60.0 / 3600.0, 1e-9);
+  meter.start("i-1", m4, cu::Seconds{0.0});
+  meter.stop("i-1", cu::Seconds{5.0});  // only 5 s, billed as 60 s
+  EXPECT_NEAR(meter.total(cu::Seconds{10.0}).value(), 0.20 * 60.0 / 3600.0, 1e-9);
 }
 
 TEST(Billing, RunningInstancesValuedAtNow) {
   const auto& m4 = cc::Catalog::aws().at("m4.xlarge");
   cc::BillingMeter meter;
-  meter.start("i-1", m4, 100.0);
+  meter.start("i-1", m4, cu::Seconds{100.0});
   EXPECT_EQ(meter.running_count(), 1u);
-  EXPECT_NEAR(meter.total(100.0 + 7200.0).value(), 0.40, 1e-9);
+  EXPECT_NEAR(meter.total(cu::Seconds{100.0 + 7200.0}).value(), 0.40, 1e-9);
 }
 
 TEST(Billing, StopAllAndErrors) {
   const auto& m4 = cc::Catalog::aws().at("m4.xlarge");
   cc::BillingMeter meter;
-  meter.start("a", m4, 0.0);
-  meter.start("b", m4, 0.0);
-  EXPECT_THROW(meter.start("a", m4, 1.0), std::invalid_argument);  // duplicate
-  EXPECT_THROW(meter.stop("zzz", 1.0), std::out_of_range);
-  meter.stop_all(1800.0);
+  meter.start("a", m4, cu::Seconds{0.0});
+  meter.start("b", m4, cu::Seconds{0.0});
+  EXPECT_THROW(meter.start("a", m4, cu::Seconds{1.0}), std::invalid_argument);  // duplicate
+  EXPECT_THROW(meter.stop("zzz", cu::Seconds{1.0}), std::out_of_range);
+  meter.stop_all(cu::Seconds{1800.0});
   EXPECT_EQ(meter.running_count(), 0u);
-  EXPECT_NEAR(meter.total(9999.0).value(), 2 * 0.20 * 0.5, 1e-9);
+  EXPECT_NEAR(meter.total(cu::Seconds{9999.0}).value(), 2 * 0.20 * 0.5, 1e-9);
 }
 
 TEST(Billing, RestartAfterStopAllowed) {
   const auto& m4 = cc::Catalog::aws().at("m4.xlarge");
   cc::BillingMeter meter;
-  meter.start("i-1", m4, 0.0);
-  meter.stop("i-1", 3600.0);
-  EXPECT_NO_THROW(meter.start("i-1", m4, 7200.0));
-  meter.stop("i-1", 10800.0);
-  EXPECT_NEAR(meter.total(10800.0).value(), 0.40, 1e-9);
+  meter.start("i-1", m4, cu::Seconds{0.0});
+  meter.stop("i-1", cu::hours(1));
+  EXPECT_NO_THROW(meter.start("i-1", m4, cu::hours(2)));
+  meter.stop("i-1", cu::hours(3));
+  EXPECT_NEAR(meter.total(cu::hours(3)).value(), 0.40, 1e-9);
 }
 
 // ----------------------------------------------------------------- netperf

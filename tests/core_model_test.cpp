@@ -48,34 +48,34 @@ TEST(PerfModel, Eq4BspComputeSplitsBatch) {
   co::CynthiaModel m(profile_of("cifar10"));
   const auto p2 = m.predict_iteration(cd::ClusterSpec::homogeneous(m4(), 2, 1), cd::SyncMode::BSP);
   const auto p4 = m.predict_iteration(cd::ClusterSpec::homogeneous(m4(), 4, 1), cd::SyncMode::BSP);
-  EXPECT_NEAR(p2.t_comp, 2.0 * p4.t_comp, 1e-9);
+  EXPECT_NEAR(p2.t_comp.value(), 2.0 * p4.t_comp.value(), 1e-9);
 }
 
 TEST(PerfModel, Eq5BspCommGrowsLinearly) {
   co::CynthiaModel m(profile_of("cifar10"));
   const auto p2 = m.predict_iteration(cd::ClusterSpec::homogeneous(m4(), 2, 1), cd::SyncMode::BSP);
   const auto p8 = m.predict_iteration(cd::ClusterSpec::homogeneous(m4(), 8, 1), cd::SyncMode::BSP);
-  EXPECT_NEAR(p8.t_comm, 4.0 * p2.t_comm, 1e-9);
+  EXPECT_NEAR(p8.t_comm.value(), 4.0 * p2.t_comm.value(), 1e-9);
 }
 
 TEST(PerfModel, Eq3BspOverlapTakesMax) {
   co::CynthiaModel m(profile_of("cifar10"));
   const auto p = m.predict_iteration(cd::ClusterSpec::homogeneous(m4(), 4, 1), cd::SyncMode::BSP);
-  EXPECT_DOUBLE_EQ(p.t_iter, std::max(p.t_comp, p.t_comm));
+  EXPECT_DOUBLE_EQ(p.t_iter.value(), std::max(p.t_comp, p.t_comm).value());
 }
 
 TEST(PerfModel, Eq3AspSumsPhases) {
   co::CynthiaModel m(profile_of("vgg19"));
   const auto p = m.predict_iteration(cd::ClusterSpec::homogeneous(m4(), 4, 1), cd::SyncMode::ASP);
-  EXPECT_DOUBLE_EQ(p.t_iter, p.t_comp + p.t_comm);
+  EXPECT_DOUBLE_EQ(p.t_iter.value(), (p.t_comp + p.t_comm).value());
 }
 
 TEST(PerfModel, MultiPsWidensBandwidthBudget) {
   co::CynthiaModel m(profile_of("vgg19"));
   const auto one = m.predict_iteration(cd::ClusterSpec::homogeneous(m4(), 4, 1), cd::SyncMode::ASP);
   const auto two = m.predict_iteration(cd::ClusterSpec::homogeneous(m4(), 4, 2), cd::SyncMode::ASP);
-  EXPECT_NEAR(one.t_comm, 2.0 * two.t_comm, 1e-9);
-  EXPECT_DOUBLE_EQ(two.bw_supply, 2.0 * one.bw_supply);
+  EXPECT_NEAR(one.t_comm.value(), 2.0 * two.t_comm.value(), 1e-9);
+  EXPECT_DOUBLE_EQ(two.bw_supply.value(), 2.0 * one.bw_supply.value());
 }
 
 TEST(PerfModel, UtilizationEstimatorDetectsMnistPsBottleneck) {
@@ -120,8 +120,9 @@ TEST(PerfModel, HeadroomOneRecoversLiteralFormulas) {
   co::CynthiaModel literal(prof, 1.0);
   const auto p = literal.predict_iteration(cd::ClusterSpec::homogeneous(m4(), 4, 1),
                                            cd::SyncMode::BSP);
-  EXPECT_NEAR(p.t_comm, 2.0 * prof.gparam.value() * 4 / (2.0 * m4().nic_mbps.value()), 1e-9);
-  EXPECT_NEAR(p.t_comp, prof.witer.value() / (4 * m4().core_gflops.value()), 1e-9);
+  EXPECT_NEAR(p.t_comm.value(), 2.0 * prof.gparam.value() * 4 / (2.0 * m4().nic_mbps.value()),
+              1e-9);
+  EXPECT_NEAR(p.t_comp.value(), prof.witer.value() / (4 * m4().core_gflops.value()), 1e-9);
 }
 
 // ------------------------------------------------ prediction accuracy

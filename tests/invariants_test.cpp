@@ -148,10 +148,10 @@ TEST(Invariants, FluidSolverConservesFlowUnderChecks) {
 TEST(Invariants, BillingMeterMonotonicityHolds) {
   ScopedInvariants on(true);
   cc::BillingMeter meter;
-  meter.start("i-0", m4(), 0.0);
+  meter.start("i-0", m4(), cu::Seconds{0.0});
   double prev = 0.0;
   for (double t : {10.0, 600.0, 3600.0, 7200.0}) {
-    const double total = meter.total(t).value();
+    const double total = meter.total(cu::Seconds{t}).value();
     EXPECT_GE(total, prev);
     prev = total;
   }

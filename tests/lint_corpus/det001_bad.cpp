@@ -1,0 +1,6 @@
+// DET-001 corpus: wall-clock reads inside the simulated world.
+#include <chrono>
+
+double stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // line 5
+}

@@ -1,0 +1,2 @@
+// DET-001 clean twin: simulation time comes from the event queue.
+double stamp(double sim_now) { return sim_now; }

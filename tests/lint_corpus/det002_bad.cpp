@@ -1,0 +1,6 @@
+// DET-002 corpus: unseeded randomness breaks replayability.
+#include <cstdlib>
+
+int noise() {
+  return rand();  // line 5
+}

@@ -1,0 +1,4 @@
+// DET-002 clean twin: all randomness flows through the seeded Rng.
+#include "util/rng.hpp"
+
+double noise(cynthia::util::Rng& rng) { return rng.uniform(); }

@@ -1,0 +1,5 @@
+// DET-003 corpus: unordered containers in a determinism-critical dir.
+#pragma once
+#include <unordered_map>
+
+std::unordered_map<int, double> state;  // line 5

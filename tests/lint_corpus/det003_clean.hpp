@@ -1,0 +1,5 @@
+// DET-003 clean twin: ordered map keeps iteration deterministic.
+#pragma once
+#include <map>
+
+std::map<int, double> state;

@@ -1,0 +1,4 @@
+// FLT-001 corpus: exact equality against a floating literal.
+bool settled(double x) {
+  return x == 1.0;  // line 3
+}

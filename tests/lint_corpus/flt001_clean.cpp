@@ -1,0 +1,2 @@
+// FLT-001 clean twin: tolerance-based comparison.
+bool settled(double x, double eps) { return x > 1.0 - eps && x < 1.0 + eps; }

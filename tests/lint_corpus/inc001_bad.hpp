@@ -1,0 +1,5 @@
+// INC-001 corpus: include-guard macros instead of #pragma once.
+#ifndef CORPUS_INC001_BAD_HPP
+#define CORPUS_INC001_BAD_HPP
+int x;
+#endif

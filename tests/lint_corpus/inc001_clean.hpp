@@ -1,0 +1,3 @@
+// INC-001 clean twin.
+#pragma once
+int x;

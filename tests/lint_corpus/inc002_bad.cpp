@@ -1,0 +1,2 @@
+// INC-002 corpus: parent-directory escape in a quoted include.
+#include "../secret/impl.hpp"  // line 2

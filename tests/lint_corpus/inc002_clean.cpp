@@ -1,0 +1,2 @@
+// INC-002 clean twin: project-rooted include.
+#include "core/provisioner.hpp"

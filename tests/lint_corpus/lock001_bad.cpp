@@ -1,0 +1,13 @@
+// LOCK-001 corpus: a manual lock that an early return leaks.
+#include <mutex>
+
+std::mutex gate;
+
+bool submit(bool ready) {
+  gate.lock();
+  if (!ready) {
+    return false;  // line 9: gate still held
+  }
+  gate.unlock();
+  return true;
+}

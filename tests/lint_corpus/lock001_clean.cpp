@@ -1,0 +1,12 @@
+// LOCK-001 clean twin: RAII guard releases on every path.
+#include <mutex>
+
+std::mutex gate;
+
+bool submit(bool ready) {
+  std::lock_guard<std::mutex> hold(gate);
+  if (!ready) {
+    return false;
+  }
+  return true;
+}

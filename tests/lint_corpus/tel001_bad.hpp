@@ -1,0 +1,4 @@
+// TEL-001 corpus: duplicate metric-name constant in a telemetry header.
+#pragma once
+inline constexpr char kCompSeconds[] = "trainer.comp_seconds";
+inline constexpr char kCompSecondsDup[] = "trainer.comp_seconds";  // line 4

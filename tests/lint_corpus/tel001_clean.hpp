@@ -1,0 +1,4 @@
+// TEL-001 clean twin: every metric key registered once.
+#pragma once
+inline constexpr char kCompSeconds[] = "trainer.comp_seconds";
+inline constexpr char kBarrierSeconds[] = "trainer.barrier_seconds";

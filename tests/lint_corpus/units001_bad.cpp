@@ -1,0 +1,4 @@
+// UNITS-001 corpus: a bare double parameter with a unit-free name.
+void configure(double knob) {  // line 2
+  (void)knob;
+}

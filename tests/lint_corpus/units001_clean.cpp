@@ -1,0 +1,2 @@
+// UNITS-001 clean twin: the name carries the quantity.
+void configure(double retry_delay) { (void)retry_delay; }

@@ -1,0 +1,9 @@
+// UNITS-002 corpus: registry-named raw doubles where unit types fit.
+#pragma once
+
+struct RetryPolicy {
+  double backoff_seconds = 1.0;  // line 5
+  double budget_dollars = 0.0;   // line 6
+};
+
+void wait_for(double timeout_seconds);  // line 9

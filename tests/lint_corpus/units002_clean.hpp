@@ -1,0 +1,10 @@
+// UNITS-002 clean twin: the same API on util/units.hpp strong types.
+#pragma once
+#include "util/units.hpp"
+
+struct RetryPolicy {
+  cynthia::util::Seconds backoff{1.0};
+  cynthia::util::Dollars budget{0.0};
+};
+
+void wait_for(cynthia::util::Seconds timeout);

@@ -1,0 +1,4 @@
+// UNITS-003 corpus: adding seconds to megabytes inside one function.
+double total(double elapsed_seconds, double payload_megabytes) {
+  return elapsed_seconds + payload_megabytes;  // line 3
+}

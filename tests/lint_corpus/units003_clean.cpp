@@ -1,0 +1,6 @@
+// UNITS-003 clean twin: strong types make the addition same-dimension.
+#include "util/units.hpp"
+
+cynthia::util::Seconds total(cynthia::util::Seconds elapsed, cynthia::util::Seconds barrier) {
+  return elapsed + barrier;
+}

@@ -1,0 +1,4 @@
+// UNITS-003 cross-TU corpus: the callee declares a seconds parameter...
+#pragma once
+
+void hold_for(double pause_seconds);

@@ -1,0 +1,6 @@
+// ...and the caller feeds it dollars through the include graph.
+#include "units003_xtu_api.hpp"
+
+void run(double budget_dollars) {
+  hold_for(budget_dollars);  // line 5
+}

@@ -1,0 +1,4 @@
+// UNITS-004 corpus: inline second<->hour conversion factor.
+double hourly(double total_dollars, double elapsed_seconds) {
+  return total_dollars / elapsed_seconds * 3600.0;  // line 3
+}

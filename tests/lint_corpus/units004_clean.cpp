@@ -1,0 +1,6 @@
+// UNITS-004 clean twin: the conversion lives in util/units.hpp operators.
+#include "util/units.hpp"
+
+cynthia::util::DollarsPerHour hourly(cynthia::util::Dollars total, cynthia::util::Seconds t) {
+  return total / t;
+}

@@ -1,16 +1,24 @@
 // Self-test corpus for cynthia-lint: at least one true positive and one
 // clean counterpart per rule family, plus suppression and renderer coverage.
-// These tests drive the rule engine in-process via scan_source(); the
+// These tests drive the rule engine in-process via scan_source() and
+// scan_semantic_sources(); the on-disk seeded-violation TUs live in
+// tests/lint_corpus/ (LINT_CORPUS_DIR) and are scanned under synthetic
+// src/... paths so the path-scoped rules see the layout they gate on. The
 // installed binary is exercised separately by the cynthia_lint_src ctest.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tools/lint/lint.hpp"
+#include "tools/lint/semantic.hpp"
 
 namespace cl = cynthia::lint;
+namespace sem = cynthia::lint::semantic;
 
 namespace {
 
@@ -22,6 +30,33 @@ int count_rule(const std::vector<cl::Finding>& findings, const std::string& rule
   return static_cast<int>(
       std::count_if(findings.begin(), findings.end(),
                     [&](const cl::Finding& f) { return f.rule == rule; }));
+}
+
+/// 1-based lines of every finding of `rule`, in report order.
+std::vector<int> lines_of(const std::vector<cl::Finding>& findings, const std::string& rule) {
+  std::vector<int> lines;
+  for (const auto& f : findings) {
+    if (f.rule == rule) lines.push_back(f.line);
+  }
+  return lines;
+}
+
+std::string corpus(const std::string& name) {
+  const std::string path = std::string(LINT_CORPUS_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing corpus file " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Runs the semantic pass over corpus files mounted at synthetic src paths.
+std::vector<cl::Finding> scan_sem_corpus(
+    const std::vector<std::pair<std::string, std::string>>& mounts) {
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.reserve(mounts.size());
+  for (const auto& [path, file] : mounts) sources.emplace_back(path, corpus(file));
+  return cl::scan_semantic_sources(sources);
 }
 
 }  // namespace
@@ -105,9 +140,11 @@ TEST(LintUnits, UnitBearingNamesAndWrappersAreClean) {
   EXPECT_EQ(count_rule(f, "UNITS-001"), 0);
 }
 
-TEST(LintUnits, SourceFilesAreOutOfScope) {
+TEST(LintUnits, SourceFileDeclarationsAreInScope) {
+  // .cpp-internal signatures are checked too: helper functions in anonymous
+  // namespaces cross call boundaries just like header APIs.
   const auto f = scan("src/core/api.cpp", "void set(double knob) {}\n");
-  EXPECT_EQ(count_rule(f, "UNITS-001"), 0);
+  EXPECT_EQ(count_rule(f, "UNITS-001"), 1);
 }
 
 // ------------------------------------------------------------- INC rules
@@ -215,9 +252,10 @@ TEST(LintOutput, CleanScanRendersEmpty) {
 
 TEST(LintCatalog, EveryFamilyRepresented) {
   const auto& rules = cl::rule_catalog();
-  EXPECT_GE(rules.size(), 8u);
-  for (const char* id : {"DET-001", "DET-002", "DET-003", "FLT-001", "UNITS-001", "INC-001",
-                         "INC-002", "TEL-001"}) {
+  EXPECT_GE(rules.size(), 12u);
+  for (const char* id :
+       {"DET-001", "DET-002", "DET-003", "FLT-001", "UNITS-001", "UNITS-002", "UNITS-003",
+        "UNITS-004", "LOCK-001", "INC-001", "INC-002", "TEL-001"}) {
     EXPECT_TRUE(std::any_of(rules.begin(), rules.end(),
                             [&](const cl::RuleInfo& r) { return r.id == id; }))
         << id;
@@ -232,4 +270,240 @@ TEST(LintFindings, SortedByFileThenLine) {
   for (std::size_t i = 1; i < f.size(); ++i) {
     EXPECT_LE(f[i - 1].line, f[i].line);
   }
+}
+
+// ------------------------------------------------- on-disk corpus, lexical
+
+TEST(LintCorpus, LexicalRulesHitSeededLines) {
+  EXPECT_EQ(lines_of(scan("src/sim/det001_bad.cpp", corpus("det001_bad.cpp")), "DET-001"),
+            (std::vector<int>{5}));
+  EXPECT_EQ(lines_of(scan("src/cloud/det002_bad.cpp", corpus("det002_bad.cpp")), "DET-002"),
+            (std::vector<int>{5}));
+  // Both the <unordered_map> include and the declaration are flagged.
+  EXPECT_EQ(lines_of(scan("src/sim/det003_bad.hpp", corpus("det003_bad.hpp")), "DET-003"),
+            (std::vector<int>{3, 5}));
+  EXPECT_EQ(lines_of(scan("src/core/flt001_bad.cpp", corpus("flt001_bad.cpp")), "FLT-001"),
+            (std::vector<int>{3}));
+  EXPECT_EQ(lines_of(scan("src/core/units001_bad.cpp", corpus("units001_bad.cpp")), "UNITS-001"),
+            (std::vector<int>{2}));
+  EXPECT_EQ(lines_of(scan("src/core/inc001_bad.hpp", corpus("inc001_bad.hpp")), "INC-001"),
+            (std::vector<int>{1}));
+  EXPECT_EQ(lines_of(scan("src/core/inc002_bad.cpp", corpus("inc002_bad.cpp")), "INC-002"),
+            (std::vector<int>{2}));
+  EXPECT_EQ(
+      lines_of(scan("src/telemetry/tel001_bad.hpp", corpus("tel001_bad.hpp")), "TEL-001"),
+      (std::vector<int>{4}));
+}
+
+TEST(LintCorpus, LexicalCleanTwinsAreClean) {
+  EXPECT_TRUE(scan("src/sim/det001_clean.cpp", corpus("det001_clean.cpp")).empty());
+  EXPECT_TRUE(scan("src/cloud/det002_clean.cpp", corpus("det002_clean.cpp")).empty());
+  EXPECT_TRUE(scan("src/sim/det003_clean.hpp", corpus("det003_clean.hpp")).empty());
+  EXPECT_TRUE(scan("src/core/flt001_clean.cpp", corpus("flt001_clean.cpp")).empty());
+  EXPECT_TRUE(scan("src/core/units001_clean.cpp", corpus("units001_clean.cpp")).empty());
+  EXPECT_TRUE(scan("src/core/inc001_clean.hpp", corpus("inc001_clean.hpp")).empty());
+  EXPECT_TRUE(scan("src/core/inc002_clean.cpp", corpus("inc002_clean.cpp")).empty());
+  EXPECT_TRUE(scan("src/telemetry/tel001_clean.hpp", corpus("tel001_clean.hpp")).empty());
+}
+
+// ------------------------------------------------ on-disk corpus, semantic
+
+TEST(LintCorpus, Units002FlagsRegistryNamedRawDoubles) {
+  const auto f = scan_sem_corpus({{"src/core/units002_bad.hpp", "units002_bad.hpp"}});
+  EXPECT_EQ(lines_of(f, "UNITS-002"), (std::vector<int>{5, 6, 9}));
+  const auto clean = scan_sem_corpus({{"src/core/units002_clean.hpp", "units002_clean.hpp"}});
+  EXPECT_TRUE(clean.empty());
+}
+
+TEST(LintCorpus, Units003FlagsMixedDimensionArithmetic) {
+  const auto f = scan_sem_corpus({{"src/core/units003_bad.cpp", "units003_bad.cpp"}});
+  EXPECT_EQ(lines_of(f, "UNITS-003"), (std::vector<int>{3}));
+  const auto clean = scan_sem_corpus({{"src/core/units003_clean.cpp", "units003_clean.cpp"}});
+  EXPECT_TRUE(clean.empty());
+}
+
+TEST(LintCorpus, Units003FlagsCallSiteMismatchAcrossTranslationUnits) {
+  // The callee's seconds-typed parameter lives in a header the caller only
+  // sees over the quoted-include graph; the dollars argument still trips it.
+  const auto f = scan_sem_corpus({
+      {"src/core/units003_xtu_api.hpp", "units003_xtu_api.hpp"},
+      {"src/core/units003_xtu_use.cpp", "units003_xtu_use.cpp"},
+  });
+  const auto lines = lines_of(f, "UNITS-003");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], 5);
+  const auto& hit = *std::find_if(f.begin(), f.end(),
+                                  [](const cl::Finding& x) { return x.rule == "UNITS-003"; });
+  EXPECT_EQ(hit.file, "src/core/units003_xtu_use.cpp");
+  EXPECT_NE(hit.message.find("hold_for"), std::string::npos) << hit.message;
+}
+
+TEST(LintCorpus, Units004FlagsMagicConversionConstant) {
+  const auto f = scan_sem_corpus({{"src/core/units004_bad.cpp", "units004_bad.cpp"}});
+  EXPECT_EQ(lines_of(f, "UNITS-004"), (std::vector<int>{3}));
+  const auto clean = scan_sem_corpus({{"src/core/units004_clean.cpp", "units004_clean.cpp"}});
+  EXPECT_TRUE(clean.empty());
+}
+
+TEST(LintCorpus, Lock001FlagsEarlyReturnWithManualLockHeld) {
+  const auto f = scan_sem_corpus({{"src/orchestrator/lock001_bad.cpp", "lock001_bad.cpp"}});
+  EXPECT_EQ(lines_of(f, "LOCK-001"), (std::vector<int>{9}));
+  const auto clean = scan_sem_corpus({{"src/orchestrator/lock001_clean.cpp", "lock001_clean.cpp"}});
+  EXPECT_TRUE(clean.empty());
+}
+
+// --------------------------------------------------- semantic unit algebra
+
+TEST(LintSemantic, RegistryMapsNameEndingsToDimensions) {
+  ASSERT_TRUE(sem::registry_dim("retry_backoff_seconds").has_value());
+  EXPECT_EQ(*sem::registry_dim("retry_backoff_seconds"), sem::second_dim());
+  EXPECT_EQ(*sem::registry_dim("budget_dollars"), sem::dollar_dim());
+  EXPECT_EQ(*sem::registry_dim("link_mbps"),
+            sem::div(sem::byte_dim(), sem::second_dim()));
+  // Case-insensitive, ending-anchored: camelCase constants match too.
+  ASSERT_TRUE(sem::registry_dim("kMinimumBillableSeconds").has_value());
+  EXPECT_EQ(*sem::registry_dim("kMinimumBillableSeconds"), sem::second_dim());
+}
+
+TEST(LintSemantic, RegistryExcludesGenericAggregates) {
+  // ProvisionPlan::total_time / CandidateEvaluation::cost stay raw double by
+  // design; generic endings must not drag them into UNITS-002 scope.
+  EXPECT_FALSE(sem::registry_dim("total_time").has_value());
+  EXPECT_FALSE(sem::registry_dim("cost").has_value());
+  EXPECT_FALSE(sem::registry_dim("secondsmash").has_value());
+}
+
+TEST(LintSemantic, DimAlgebraComposes) {
+  const sem::Dim rate = sem::div(sem::dollar_dim(), sem::second_dim());
+  EXPECT_EQ(sem::mul(rate, sem::second_dim()), sem::dollar_dim());
+  EXPECT_TRUE(sem::is_dimensionless(sem::div(sem::second_dim(), sem::second_dim())));
+  EXPECT_FALSE(sem::is_dimensionless(rate));
+  EXPECT_FALSE(sem::unknown_dim().known);
+  EXPECT_EQ(sem::suggested_type(sem::second_dim()), "util::Seconds");
+}
+
+TEST(LintSemantic, ConservativeOnUnknownsAndDimensionless) {
+  // Unknown operands and dimensionless scalars must never produce UNITS-003.
+  const auto f = cl::scan_semantic_sources({{"src/core/x.cpp",
+                                             "double f(double elapsed_seconds, double mystery) {\n"
+                                             "  double a = elapsed_seconds + mystery;\n"
+                                             "  double b = elapsed_seconds * 2.0 + elapsed_seconds;\n"
+                                             "  return a + b;\n"
+                                             "}\n"}});
+  EXPECT_EQ(count_rule(f, "UNITS-003"), 0);
+}
+
+TEST(LintSemantic, SuppressionsApplyToSemanticRules) {
+  const auto f = cl::scan_semantic_sources(
+      {{"src/core/x.hpp",
+        "#pragma once\n"
+        "// cynthia-lint: allow(UNITS-002) staged migration\n"
+        "void wait_for(double timeout_seconds);\n"}});
+  EXPECT_EQ(count_rule(f, "UNITS-002"), 0);
+}
+
+// -------------------------------------------------------------- baseline
+
+TEST(LintBaseline, RoundTripsThroughRenderAndParse) {
+  const std::vector<cl::Finding> f = {
+      {"src/a.cpp", 3, "UNITS-002", "m"},
+      {"src/a.cpp", 9, "UNITS-002", "m"},
+      {"src/b.hpp", 1, "LOCK-001", "m"},
+  };
+  const cl::Baseline counts = cl::count_findings(f);
+  EXPECT_EQ(counts.at({"src/a.cpp", "UNITS-002"}), 2);
+  EXPECT_EQ(counts.at({"src/b.hpp", "LOCK-001"}), 1);
+  EXPECT_EQ(cl::parse_baseline(cl::render_baseline(counts)), counts);
+}
+
+TEST(LintBaseline, CoveredFindingsAreDroppedAndRegressionsKept) {
+  const std::vector<cl::Finding> f = {
+      {"src/a.cpp", 3, "UNITS-002", "old"},
+      {"src/a.cpp", 9, "UNITS-002", "new"},
+      {"src/b.hpp", 1, "LOCK-001", "old"},
+  };
+  cl::Baseline frozen;
+  frozen[{"src/a.cpp", "UNITS-002"}] = 1;  // budget exceeded: keep the group
+  frozen[{"src/b.hpp", "LOCK-001"}] = 1;   // fully covered: drop
+  const auto kept = cl::apply_baseline(f, frozen);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].rule, "UNITS-002");
+  EXPECT_EQ(kept[1].rule, "UNITS-002");
+}
+
+TEST(LintBaseline, UnlistedFilesAlwaysFail) {
+  const std::vector<cl::Finding> f = {{"src/new.cpp", 1, "UNITS-003", "m"}};
+  EXPECT_EQ(cl::apply_baseline(f, {}).size(), 1u);
+}
+
+TEST(LintBaseline, ParserSkipsCommentsAndThrowsOnGarbage) {
+  const cl::Baseline b = cl::parse_baseline("# header\n\n2 UNITS-002 src/a.cpp\n");
+  EXPECT_EQ(b.at({"src/a.cpp", "UNITS-002"}), 2);
+  EXPECT_THROW(cl::parse_baseline("not-a-count UNITS-002 src/a.cpp\n"), std::runtime_error);
+}
+
+// -------------------------------------------------------- emitter escaping
+
+TEST(LintOutput, CsvEscapesQuotesCommasAndNewlines) {
+  const std::vector<cl::Finding> f = {
+      {"src/we,ird.cpp", 4, "FLT-001", "message with \"quotes\", commas\nand a newline"}};
+  const std::string csv = cl::to_csv(f);
+  EXPECT_NE(csv.find("\"src/we,ird.cpp\""), std::string::npos) << csv;
+  EXPECT_NE(csv.find("\"message with \"\"quotes\"\", commas\nand a newline\""),
+            std::string::npos)
+      << csv;
+}
+
+TEST(LintOutput, JsonEscapesQuotesBackslashesAndControlChars) {
+  const std::vector<cl::Finding> f = {
+      {"src\\win.cpp", 2, "INC-002", "bad \"path\" with \ttab and \x01 control"}};
+  const std::string json = cl::to_json(f);
+  EXPECT_NE(json.find("src\\\\win.cpp"), std::string::npos) << json;
+  EXPECT_NE(json.find("bad \\\"path\\\" with \\ttab and \\u0001 control"), std::string::npos)
+      << json;
+}
+
+TEST(LintOutput, EmittersEscapeEveryCorpusFinding) {
+  // Every corpus file rendered through every emitter must stay parseable:
+  // no raw quotes inside JSON strings, balanced CSV quoting.
+  std::vector<cl::Finding> all;
+  for (const char* name : {"det001_bad.cpp", "flt001_bad.cpp", "inc002_bad.cpp"}) {
+    const auto f = scan(std::string("src/core/") + name, corpus(name));
+    all.insert(all.end(), f.begin(), f.end());
+  }
+  ASSERT_FALSE(all.empty());
+  const std::string json = cl::to_json(all);
+  // Walk the JSON: outside of escapes, every '"' must toggle string state,
+  // and the document must end outside a string.
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    if (json[i] == '\\') {
+      ++i;
+      continue;
+    }
+    if (json[i] == '"') in_string = !in_string;
+    EXPECT_FALSE(in_string && (json[i] == '\n')) << "raw newline inside JSON string";
+  }
+  EXPECT_FALSE(in_string);
+}
+
+// ------------------------------------------------------------------ SARIF
+
+TEST(LintOutput, SarifCarriesRulesResultsAndLocations) {
+  const std::vector<cl::Finding> f = {{"./src/core/x.cpp", 7, "UNITS-003", "adding s and MB"}};
+  const std::string sarif = cl::to_sarif(f);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"cynthia-lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"UNITS-003\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/core/x.cpp\""), std::string::npos) << "./ stripped";
+  EXPECT_NE(sarif.find("\"startLine\": 7"), std::string::npos);
+  // The driver advertises the full catalog so GitHub can render rule help.
+  for (const auto& rule : cl::rule_catalog()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + rule.id + "\""), std::string::npos) << rule.id;
+  }
+}
+
+TEST(LintOutput, SarifEmptyRunIsValid) {
+  const std::string sarif = cl::to_sarif({});
+  EXPECT_NE(sarif.find("\"results\": []"), std::string::npos);
 }

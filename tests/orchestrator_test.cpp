@@ -193,7 +193,7 @@ TEST(ClusterManager, BillingCoversProvisioningWindow) {
   mgr.teardown(d);
   // 2 instances for (provisioning + 1h) each.
   const double expect = 2 * m4().price.value() * (ready + 3600.0) / 3600.0;
-  EXPECT_NEAR(billing.total(sim.now()).value(), expect, expect * 0.01);
+  EXPECT_NEAR(billing.total(cu::Seconds{sim.now()}).value(), expect, expect * 0.01);
 }
 
 // ----------------------------------------------------------------- service

@@ -101,8 +101,8 @@ TEST_P(ModelMonotonicity, BspComputationNonIncreasingInWorkers) {
   for (int n = 1; n <= 16; ++n) {
     const auto p =
         model.predict_iteration(cd::ClusterSpec::homogeneous(m4(), n, 1), cd::SyncMode::BSP);
-    EXPECT_LE(p.t_comp, prev * (1.0 + 1e-9)) << "n=" << n;
-    prev = p.t_comp;
+    EXPECT_LE(p.t_comp.value(), prev * (1.0 + 1e-9)) << "n=" << n;
+    prev = p.t_comp.value();
   }
 }
 
@@ -112,8 +112,8 @@ TEST_P(ModelMonotonicity, BspCommunicationNonDecreasingInWorkers) {
   for (int n = 1; n <= 16; ++n) {
     const auto p =
         model.predict_iteration(cd::ClusterSpec::homogeneous(m4(), n, 1), cd::SyncMode::BSP);
-    EXPECT_GE(p.t_comm, prev - 1e-12) << "n=" << n;
-    prev = p.t_comm;
+    EXPECT_GE(p.t_comm.value(), prev - 1e-12) << "n=" << n;
+    prev = p.t_comm.value();
   }
 }
 
@@ -138,7 +138,7 @@ TEST_P(ModelMonotonicity, UtilizationEstimateWithinUnitInterval) {
     const auto p = model.predict_iteration(cd::ClusterSpec::homogeneous(m4(), n, 1), w.sync);
     EXPECT_GT(p.worker_utilization, 0.0);
     EXPECT_LE(p.worker_utilization, 1.0);
-    EXPECT_GT(p.t_iter, 0.0);
+    EXPECT_GT(p.t_iter.value(), 0.0);
   }
 }
 

@@ -97,7 +97,7 @@ TEST(SpotMarket, HighBidNeverRevoked) {
 
 TEST(SpotMarket, InvalidOptionsThrow) {
   cc::SpotTraceOptions bad;
-  bad.step_seconds = 0.0;
+  bad.step_seconds = cynthia::util::Seconds{0.0};
   EXPECT_THROW(cc::SpotMarket(cc::Catalog::aws(), 1, bad), std::invalid_argument);
   cc::SpotTraceOptions bad2;
   bad2.mean_discount = 0.0;

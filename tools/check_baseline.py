@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Gate the cynthia-lint ratchet: the baseline may shrink, never grow.
+
+Compares the checked-in tools/lint/baseline.txt against the version at a
+base revision (the PR merge base in CI). Any (file, rule) budget that is
+larger than before — or any new (file, rule) entry — is a ratchet
+regression: new violations must be fixed, not baselined. Shrinking or
+deleting entries is the intended direction and always passes.
+
+Usage:
+  tools/check_baseline.py tools/lint/baseline.txt --git-base <rev>
+  tools/check_baseline.py NEW_BASELINE --old OLD_BASELINE
+
+Exit codes: 0 ok, 1 ratchet grew, 2 usage/IO error.
+"""
+
+import argparse
+import subprocess
+import sys
+
+
+def parse_baseline(text):
+    """Returns {(file, rule): count}. Mirrors lint::parse_baseline."""
+    budgets = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise ValueError(f"line {lineno}: expected '<count> <rule> <file>', got {raw!r}")
+        count, rule, path = parts
+        if not count.isdigit():
+            raise ValueError(f"line {lineno}: count {count!r} is not a number")
+        budgets[(path, rule)] = budgets.get((path, rule), 0) + int(count)
+    return budgets
+
+
+def baseline_at_rev(rev, path):
+    """Baseline contents at a git revision; empty if it did not exist yet."""
+    proc = subprocess.run(
+        ["git", "show", f"{rev}:{path}"], capture_output=True, text=True, check=False
+    )
+    if proc.returncode != 0:
+        return ""
+    return proc.stdout
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="current baseline file")
+    ap.add_argument("--git-base", help="git revision holding the old baseline")
+    ap.add_argument("--old", help="explicit old baseline file (instead of --git-base)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline, encoding="utf-8") as f:
+            new = parse_baseline(f.read())
+    except (OSError, ValueError) as e:
+        print(f"check_baseline: cannot read {args.baseline}: {e}", file=sys.stderr)
+        return 2
+
+    if args.old:
+        try:
+            with open(args.old, encoding="utf-8") as f:
+                old_text = f.read()
+        except OSError as e:
+            print(f"check_baseline: cannot read {args.old}: {e}", file=sys.stderr)
+            return 2
+    elif args.git_base:
+        old_text = baseline_at_rev(args.git_base, args.baseline)
+    else:
+        print("check_baseline: need --git-base or --old", file=sys.stderr)
+        return 2
+
+    try:
+        old = parse_baseline(old_text)
+    except ValueError as e:
+        print(f"check_baseline: old baseline is malformed ({e}); treating as empty",
+              file=sys.stderr)
+        old = {}
+
+    if not old:
+        # Bootstrap: the base revision has no baseline (or only comments) —
+        # this is the PR introducing the ratchet, not a regression.
+        print(f"cynthia-lint ratchet bootstrapped with {len(new)} budgets")
+        return 0
+
+    grew = []
+    for key, count in sorted(new.items()):
+        before = old.get(key, 0)
+        if count > before:
+            grew.append((key, before, count))
+
+    if grew:
+        print("cynthia-lint ratchet grew — fix the new violations instead of baselining them:")
+        for (path, rule), before, count in grew:
+            print(f"  {rule} {path}: {before} -> {count}")
+        return 1
+
+    removed = sum(1 for key in old if key not in new)
+    shrunk = sum(1 for key in new if new[key] < old.get(key, new[key]))
+    print(f"cynthia-lint ratchet ok: {len(new)} budgets, {shrunk} shrunk, {removed} cleared")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

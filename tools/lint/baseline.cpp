@@ -1,0 +1,84 @@
+// Baseline ratchet for cynthia-lint.
+//
+// The baseline freezes the per-(file, rule) finding counts at the moment a
+// rule family lands, so a new rule can gate CI immediately without a
+// flag-day cleanup: existing debt is recorded in tools/lint/baseline.txt,
+// any finding beyond the recorded budget fails the build, and the file is
+// only ever allowed to shrink (tools/check_baseline.py compares against the
+// merge base). Counts, not line numbers, so unrelated edits that shift code
+// around do not churn the file.
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "tools/lint/lexer.hpp"
+#include "tools/lint/lint.hpp"
+
+namespace cynthia::lint {
+
+Baseline count_findings(const std::vector<Finding>& findings) {
+  Baseline counts;
+  for (const Finding& f : findings) {
+    ++counts[{normalized(f.file), f.rule}];
+  }
+  return counts;
+}
+
+Baseline parse_baseline(std::string_view content) {
+  Baseline baseline;
+  int line_no = 0;
+  std::istringstream in{std::string(content)};
+  for (std::string line; std::getline(in, line);) {
+    ++line_no;
+    const std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    std::istringstream fields(line);
+    long count = 0;
+    std::string rule, file;
+    if (!(fields >> count >> rule >> file) || count < 0) {
+      throw std::runtime_error("cynthia-lint: malformed baseline line " +
+                               std::to_string(line_no) + ": " + line);
+    }
+    baseline[{normalized(file), rule}] += static_cast<int>(count);
+  }
+  return baseline;
+}
+
+Baseline load_baseline(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cynthia-lint: cannot read baseline " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_baseline(buf.str());
+}
+
+std::string render_baseline(const Baseline& baseline) {
+  std::string out =
+      "# cynthia-lint ratchet baseline: frozen per-(file, rule) finding counts.\n"
+      "# Regenerate with: cynthia_lint --semantic --write-baseline "
+      "tools/lint/baseline.txt src\n"
+      "# This file may shrink but must never grow (tools/check_baseline.py).\n"
+      "# format: <count> <rule> <file>\n";
+  for (const auto& [key, count] : baseline) {
+    if (count <= 0) continue;
+    out += std::to_string(count) + " " + key.second + " " + key.first + "\n";
+  }
+  return out;
+}
+
+std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
+                                    const Baseline& baseline) {
+  const Baseline counts = count_findings(findings);
+  std::vector<Finding> kept;
+  for (const Finding& f : findings) {
+    const std::pair<std::string, std::string> key{normalized(f.file), f.rule};
+    const auto budget = baseline.find(key);
+    const int allowed = budget != baseline.end() ? budget->second : 0;
+    if (counts.at(key) > allowed) kept.push_back(f);
+  }
+  return kept;
+}
+
+}  // namespace cynthia::lint

@@ -1,0 +1,243 @@
+#include "tools/lint/lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace cynthia::lint {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string lower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool contains_word(std::string_view hay, std::string_view needle) {
+  std::size_t pos = 0;
+  while ((pos = hay.find(needle, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(hay[pos - 1]);
+    const std::size_t end = pos + needle.size();
+    const bool right_ok = end >= hay.size() || !is_ident_char(hay[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+std::string normalized(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool path_has_component(const std::string& path, std::string_view component) {
+  const std::string p = "/" + normalized(path);
+  return p.find("/" + std::string(component) + "/") != std::string::npos;
+}
+
+bool is_header(const std::string& path) {
+  const std::string p = normalized(path);
+  return p.ends_with(".hpp") || p.ends_with(".h");
+}
+
+bool is_source(const std::string& path) {
+  const std::string p = normalized(path);
+  return p.ends_with(".cpp") || p.ends_with(".cc");
+}
+
+std::vector<std::string> split_lines(std::string_view src) {
+  std::vector<std::string> lines(1);
+  for (char c : src) {
+    if (c == '\n') {
+      lines.emplace_back();
+    } else {
+      lines.back() += c;
+    }
+  }
+  return lines;
+}
+
+std::vector<Line> strip(std::string_view src) {
+  enum class State { Code, LineComment, BlockComment, String, Char, RawString };
+  std::vector<Line> lines(1);
+  State state = State::Code;
+  std::string raw_delim;  // for raw strings: the )delim" terminator
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::LineComment) state = State::Code;
+      // Unterminated ordinary literals cannot span lines; reset defensively.
+      if (state == State::String || state == State::Char) state = State::Code;
+      lines.emplace_back();
+      continue;
+    }
+    Line& line = lines.back();
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          line.code += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          line.code += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (line.code.empty() || !is_ident_char(line.code.back()))) {
+          // Raw string literal: R"delim( ... )delim"
+          std::size_t p = i + 2;
+          std::string delim;
+          while (p < src.size() && src[p] != '(') delim += src[p++];
+          raw_delim = ")" + delim + "\"";
+          state = State::RawString;
+          line.code += "R\"";
+          i = p;  // consume through the opening '('
+        } else if (c == '"') {
+          state = State::String;
+          line.code += '"';
+        } else if (c == '\'') {
+          state = State::Char;
+          line.code += '\'';
+        } else {
+          line.code += c;
+        }
+        break;
+      case State::LineComment:
+        line.comments += c;
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          state = State::Code;
+          ++i;
+        } else {
+          line.comments += c;
+        }
+        break;
+      case State::String:
+        if (c == '\\') {
+          ++i;  // skip the escaped character
+        } else if (c == '"') {
+          state = State::Code;
+          line.code += '"';
+        }
+        break;
+      case State::Char:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::Code;
+          line.code += '\'';
+        }
+        break;
+      case State::RawString:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          state = State::Code;
+          line.code += '"';
+          i += raw_delim.size() - 1;
+        }
+        break;
+    }
+  }
+  return lines;
+}
+
+bool Suppressions::allows(const std::string& rule, int line) const {
+  if (file_wide.contains(rule)) return true;
+  for (int l : {line, line - 1}) {
+    auto it = by_line.find(l);
+    if (it != by_line.end() && it->second.contains(rule)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void parse_rule_list(std::string_view text, std::set<std::string>& into) {
+  std::string current;
+  for (char c : text) {
+    if (is_ident_char(c) || c == '-') {
+      current += c;
+    } else {
+      if (!current.empty()) into.insert(current);
+      current.clear();
+      if (c == ')') return;
+    }
+  }
+  if (!current.empty()) into.insert(current);
+}
+
+}  // namespace
+
+Suppressions parse_suppressions(const std::vector<Line>& lines) {
+  Suppressions sup;
+  constexpr std::string_view kTag = "cynthia-lint:";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& text = lines[i].comments;
+    std::size_t pos = 0;
+    while ((pos = text.find(kTag, pos)) != std::string::npos) {
+      std::size_t p = pos + kTag.size();
+      while (p < text.size() && text[p] == ' ') ++p;
+      if (text.compare(p, 11, "allow-file(") == 0) {
+        parse_rule_list(text.substr(p + 11), sup.file_wide);
+      } else if (text.compare(p, 6, "allow(") == 0) {
+        parse_rule_list(text.substr(p + 6), sup.by_line[static_cast<int>(i) + 1]);
+      }
+      pos = p;
+    }
+  }
+  return sup;
+}
+
+std::vector<Token> tokenize(const std::vector<Line>& lines) {
+  std::vector<Token> tokens;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& code = lines[li].code;
+    const int line_no = static_cast<int>(li) + 1;
+    std::size_t i = 0;
+    while (i < code.size()) {
+      const char c = code[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && i + 1 < code.size() &&
+                  std::isdigit(static_cast<unsigned char>(code[i + 1])))) {
+        std::size_t j = i;
+        while (j < code.size() &&
+               (is_ident_char(code[j]) || code[j] == '.' ||
+                ((code[j] == '+' || code[j] == '-') && j > i &&
+                 (code[j - 1] == 'e' || code[j - 1] == 'E')))) {
+          ++j;
+        }
+        tokens.push_back({Token::Kind::Number, code.substr(i, j - i), line_no});
+        i = j;
+      } else if (is_ident_char(c)) {
+        std::size_t j = i;
+        while (j < code.size() && is_ident_char(code[j])) ++j;
+        tokens.push_back({Token::Kind::Ident, code.substr(i, j - i), line_no});
+        i = j;
+      } else {
+        tokens.push_back({Token::Kind::Punct, std::string(1, c), line_no});
+        ++i;
+      }
+    }
+  }
+  return tokens;
+}
+
+bool is_float_literal(std::string_view tok) {
+  if (tok.empty() || !std::isdigit(static_cast<unsigned char>(tok[0]))) {
+    if (!(tok.size() >= 2 && tok[0] == '.' && std::isdigit(static_cast<unsigned char>(tok[1]))))
+      return false;
+  }
+  const std::string t = lower(tok);
+  if (t.starts_with("0x")) return false;  // hex ints ('p' exponents are exotic enough to skip)
+  return t.find('.') != std::string::npos || t.find('e') != std::string::npos ||
+         t.ends_with('f');
+}
+
+}  // namespace cynthia::lint

@@ -1,0 +1,81 @@
+// Shared lexing layer for cynthia-lint.
+//
+// Both the per-file lexical rules (lint.cpp) and the cross-TU semantic pass
+// (semantic.cpp) consume the same token stream: physical lines with comment
+// and string-literal contents blanked (positions preserved so findings point
+// at real columns/lines), suppression directives parsed from the comment
+// text, and a flat token sequence with 1-based line numbers. Keeping the
+// lexer in one place guarantees the two passes agree on what "code" is.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cynthia::lint {
+
+// --------------------------------------------------------------- utilities
+
+bool is_ident_char(char c);
+
+std::string lower(std::string_view s);
+
+/// True if `needle` occurs in `hay` delimited by non-identifier characters
+/// (so "rand" does not match inside "operand" or "srand").
+bool contains_word(std::string_view hay, std::string_view needle);
+
+/// Path with backslashes normalized to forward slashes.
+std::string normalized(const std::string& path);
+
+/// True when `component` appears as a whole path component ("sim" matches
+/// "src/sim/fluid.cpp" but not "src/simulate/x.cpp").
+bool path_has_component(const std::string& path, std::string_view component);
+
+bool is_header(const std::string& path);
+bool is_source(const std::string& path);
+
+// --------------------------------------------- comment/string stripping
+
+/// One physical source line, split into the code view (comments, string and
+/// character literal *contents* blanked with spaces — positions preserved)
+/// and the concatenated comment text (for suppression directives).
+struct Line {
+  std::string code;
+  std::string comments;
+};
+
+/// Splits on '\n' with the same line accounting as strip() (an empty input
+/// is one empty line), so raw and stripped views index identically.
+std::vector<std::string> split_lines(std::string_view src);
+
+/// Strips comments and literal contents; see Line.
+std::vector<Line> strip(std::string_view src);
+
+// ----------------------------------------------------------- suppressions
+
+struct Suppressions {
+  std::set<std::string> file_wide;
+  std::map<int, std::set<std::string>> by_line;  ///< line -> rules (1-based)
+
+  [[nodiscard]] bool allows(const std::string& rule, int line) const;
+};
+
+Suppressions parse_suppressions(const std::vector<Line>& lines);
+
+// ---------------------------------------------------------------- tokens
+
+struct Token {
+  enum class Kind { Ident, Number, Punct };
+  Kind kind;
+  std::string text;
+  int line;  ///< 1-based
+};
+
+std::vector<Token> tokenize(const std::vector<Line>& lines);
+
+/// True for tokens that lex as floating-point literals (1.0, .5f, 1e-9).
+bool is_float_literal(std::string_view tok);
+
+}  // namespace cynthia::lint

@@ -1,7 +1,7 @@
 #include "tools/lint/lint.hpp"
 
 #include <algorithm>
-#include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -9,267 +9,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "tools/lint/lexer.hpp"
+
 namespace cynthia::lint {
 
 namespace {
-
-// --------------------------------------------------------------- utilities
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-std::string lower(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  return out;
-}
-
-/// True if `needle` occurs in `hay` delimited by non-identifier characters
-/// (so "rand" does not match inside "operand" or "srand").
-bool contains_word(std::string_view hay, std::string_view needle) {
-  std::size_t pos = 0;
-  while ((pos = hay.find(needle, pos)) != std::string_view::npos) {
-    const bool left_ok = pos == 0 || !is_ident_char(hay[pos - 1]);
-    const std::size_t end = pos + needle.size();
-    const bool right_ok = end >= hay.size() || !is_ident_char(hay[end]);
-    if (left_ok && right_ok) return true;
-    pos = end;
-  }
-  return false;
-}
-
-std::string normalized(const std::string& path) {
-  std::string p = path;
-  std::replace(p.begin(), p.end(), '\\', '/');
-  return p;
-}
-
-bool path_has_component(const std::string& path, std::string_view component) {
-  const std::string p = "/" + normalized(path);
-  return p.find("/" + std::string(component) + "/") != std::string::npos;
-}
-
-bool is_header(const std::string& path) {
-  const std::string p = normalized(path);
-  return p.ends_with(".hpp") || p.ends_with(".h");
-}
-
-// --------------------------------------------- comment/string stripping
-
-/// One physical source line, split into the code view (comments, string and
-/// character literal *contents* blanked with spaces — positions preserved)
-/// and the concatenated comment text (for suppression directives).
-struct Line {
-  std::string code;
-  std::string comments;
-};
-
-/// Splits on '\n' with the same line accounting as strip() (an empty input
-/// is one empty line), so raw and stripped views index identically.
-std::vector<std::string> split_lines(std::string_view src) {
-  std::vector<std::string> lines(1);
-  for (char c : src) {
-    if (c == '\n') {
-      lines.emplace_back();
-    } else {
-      lines.back() += c;
-    }
-  }
-  return lines;
-}
-
-std::vector<Line> strip(std::string_view src) {
-  enum class State { Code, LineComment, BlockComment, String, Char, RawString };
-  std::vector<Line> lines(1);
-  State state = State::Code;
-  std::string raw_delim;  // for raw strings: the )delim" terminator
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::LineComment) state = State::Code;
-      // Unterminated ordinary literals cannot span lines; reset defensively.
-      if (state == State::String || state == State::Char) state = State::Code;
-      lines.emplace_back();
-      continue;
-    }
-    Line& line = lines.back();
-    switch (state) {
-      case State::Code:
-        if (c == '/' && next == '/') {
-          state = State::LineComment;
-          line.code += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::BlockComment;
-          line.code += "  ";
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (line.code.empty() || !is_ident_char(line.code.back()))) {
-          // Raw string literal: R"delim( ... )delim"
-          std::size_t p = i + 2;
-          std::string delim;
-          while (p < src.size() && src[p] != '(') delim += src[p++];
-          raw_delim = ")" + delim + "\"";
-          state = State::RawString;
-          line.code += "R\"";
-          i = p;  // consume through the opening '('
-        } else if (c == '"') {
-          state = State::String;
-          line.code += '"';
-        } else if (c == '\'') {
-          state = State::Char;
-          line.code += '\'';
-        } else {
-          line.code += c;
-        }
-        break;
-      case State::LineComment:
-        line.comments += c;
-        break;
-      case State::BlockComment:
-        if (c == '*' && next == '/') {
-          state = State::Code;
-          ++i;
-        } else {
-          line.comments += c;
-        }
-        break;
-      case State::String:
-        if (c == '\\') {
-          ++i;  // skip the escaped character
-        } else if (c == '"') {
-          state = State::Code;
-          line.code += '"';
-        }
-        break;
-      case State::Char:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          state = State::Code;
-          line.code += '\'';
-        }
-        break;
-      case State::RawString:
-        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
-          state = State::Code;
-          line.code += '"';
-          i += raw_delim.size() - 1;
-        }
-        break;
-    }
-  }
-  return lines;
-}
-
-// ----------------------------------------------------------- suppressions
-
-struct Suppressions {
-  std::set<std::string> file_wide;
-  std::map<int, std::set<std::string>> by_line;  ///< line -> rules (1-based)
-
-  [[nodiscard]] bool allows(const std::string& rule, int line) const {
-    if (file_wide.contains(rule)) return true;
-    for (int l : {line, line - 1}) {
-      auto it = by_line.find(l);
-      if (it != by_line.end() && it->second.contains(rule)) return true;
-    }
-    return false;
-  }
-};
-
-void parse_rule_list(std::string_view text, std::set<std::string>& into) {
-  std::string current;
-  for (char c : text) {
-    if (is_ident_char(c) || c == '-') {
-      current += c;
-    } else {
-      if (!current.empty()) into.insert(current);
-      current.clear();
-      if (c == ')') return;
-    }
-  }
-  if (!current.empty()) into.insert(current);
-}
-
-Suppressions parse_suppressions(const std::vector<Line>& lines) {
-  Suppressions sup;
-  constexpr std::string_view kTag = "cynthia-lint:";
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& text = lines[i].comments;
-    std::size_t pos = 0;
-    while ((pos = text.find(kTag, pos)) != std::string::npos) {
-      std::size_t p = pos + kTag.size();
-      while (p < text.size() && text[p] == ' ') ++p;
-      if (text.compare(p, 11, "allow-file(") == 0) {
-        parse_rule_list(text.substr(p + 11), sup.file_wide);
-      } else if (text.compare(p, 6, "allow(") == 0) {
-        parse_rule_list(text.substr(p + 6), sup.by_line[static_cast<int>(i) + 1]);
-      }
-      pos = p;
-    }
-  }
-  return sup;
-}
-
-// ---------------------------------------------------------------- tokens
-
-struct Token {
-  enum class Kind { Ident, Number, Punct };
-  Kind kind;
-  std::string text;
-  int line;  ///< 1-based
-};
-
-std::vector<Token> tokenize(const std::vector<Line>& lines) {
-  std::vector<Token> tokens;
-  for (std::size_t li = 0; li < lines.size(); ++li) {
-    const std::string& code = lines[li].code;
-    const int line_no = static_cast<int>(li) + 1;
-    std::size_t i = 0;
-    while (i < code.size()) {
-      const char c = code[i];
-      if (std::isspace(static_cast<unsigned char>(c))) {
-        ++i;
-      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
-                 (c == '.' && i + 1 < code.size() &&
-                  std::isdigit(static_cast<unsigned char>(code[i + 1])))) {
-        std::size_t j = i;
-        while (j < code.size() &&
-               (is_ident_char(code[j]) || code[j] == '.' ||
-                ((code[j] == '+' || code[j] == '-') && j > i &&
-                 (code[j - 1] == 'e' || code[j - 1] == 'E')))) {
-          ++j;
-        }
-        tokens.push_back({Token::Kind::Number, code.substr(i, j - i), line_no});
-        i = j;
-      } else if (is_ident_char(c)) {
-        std::size_t j = i;
-        while (j < code.size() && is_ident_char(code[j])) ++j;
-        tokens.push_back({Token::Kind::Ident, code.substr(i, j - i), line_no});
-        i = j;
-      } else {
-        tokens.push_back({Token::Kind::Punct, std::string(1, c), line_no});
-        ++i;
-      }
-    }
-  }
-  return tokens;
-}
-
-bool is_float_literal(std::string_view tok) {
-  if (tok.empty() || !std::isdigit(static_cast<unsigned char>(tok[0]))) {
-    if (!(tok.size() >= 2 && tok[0] == '.' && std::isdigit(static_cast<unsigned char>(tok[1]))))
-      return false;
-  }
-  const std::string t = lower(tok);
-  if (t.starts_with("0x")) return false;  // hex ints ('p' exponents are exotic enough to skip)
-  return t.find('.') != std::string::npos || t.find('e') != std::string::npos ||
-         t.ends_with('f');
-}
 
 // ------------------------------------------------------------- the rules
 
@@ -385,11 +129,13 @@ void rule_flt_equality(const Context& ctx) {
   }
 }
 
-/// UNITS-001: double-typed function parameters in headers must carry a
-/// unit- or quantity-bearing name; a bare `double x2` crossing an API
-/// boundary is how seconds get added to megabytes.
+/// UNITS-001: double-typed parameters in function signatures must carry a
+/// unit- or quantity-bearing name; a bare `double x2` crossing a call
+/// boundary is how seconds get added to megabytes. Headers and sources are
+/// both scanned; only parameter lists of function declarations/definitions
+/// (including lambdas) are considered — `for (double acc = ...)` loop
+/// headers and other control-flow parentheses are out of scope.
 void rule_units_param_names(const Context& ctx) {
-  if (!is_header(ctx.path)) return;
   static constexpr std::string_view kHints[] = {
       "second", "sec",      "time",    "now",    "until",   "delay",  "duration", "horizon",
       "byte",   "mb",       "gb",      "bps",    "flop",    "dollar", "price",    "cost",
@@ -402,15 +148,31 @@ void rule_units_param_names(const Context& ctx) {
   };
   static const std::set<std::string> kExactAllowed = {"t",  "t0", "t1", "dt", "x",
                                                       "y",  "p",  "lo", "hi", "v"};
+  static const std::set<std::string> kControlKeywords = {"if",     "for",   "while",
+                                                         "switch", "catch", "return"};
   const auto& t = ctx.tokens;
-  int depth = 0;
+  // Paren-depth stack: for each open paren, whether its span is a plausible
+  // function-signature parameter list (not control flow).
+  std::vector<bool> signature_stack;
   for (std::size_t i = 0; i + 1 < t.size(); ++i) {
     if (t[i].kind == Token::Kind::Punct) {
-      if (t[i].text == "(") ++depth;
-      if (t[i].text == ")") depth = std::max(0, depth - 1);
+      if (t[i].text == "(") {
+        bool is_signature = false;
+        if (i > 0) {
+          const Token& prev = t[i - 1];
+          if (prev.kind == Token::Kind::Ident && !kControlKeywords.contains(prev.text)) {
+            is_signature = true;  // `name(` — declaration, definition, or call
+          } else if (prev.kind == Token::Kind::Punct && prev.text == "]") {
+            is_signature = true;  // lambda parameter list `[...](`
+          }
+        }
+        signature_stack.push_back(is_signature);
+      }
+      if (t[i].text == ")" && !signature_stack.empty()) signature_stack.pop_back();
       continue;
     }
-    if (depth == 0 || t[i].text != "double") continue;
+    if (signature_stack.empty() || !signature_stack.back()) continue;
+    if (t[i].text != "double") continue;
     const Token& name = t[i + 1];
     if (name.kind != Token::Kind::Ident) continue;
     // `double foo(` is a return type (function pointer/declaration), not a
@@ -507,7 +269,11 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"DET-002", "determinism", "no nondeterministically seeded randomness"},
       {"DET-003", "determinism", "no unordered containers in sim/ddnn/cloud"},
       {"FLT-001", "floating-point", "no ==/!= against floating-point literals"},
-      {"UNITS-001", "units", "double parameters in headers need unit-bearing names"},
+      {"UNITS-001", "units", "double parameters need unit-bearing names"},
+      {"UNITS-002", "units", "raw double where a util/units.hpp type fits (semantic)"},
+      {"UNITS-003", "units", "mixed-dimension arithmetic or call-site mismatch (semantic)"},
+      {"UNITS-004", "units", "magic unit-conversion constants outside units.hpp (semantic)"},
+      {"LOCK-001", "locking", "unbalanced lock paths / lock-order inversions (semantic)"},
       {"INC-001", "includes", "headers must use #pragma once"},
       {"INC-002", "includes", "no <bits/stdc++.h> or '..' includes"},
       {"TEL-001", "telemetry", "metric-name constants in telemetry headers must be unique"},
@@ -549,7 +315,7 @@ std::vector<Finding> scan_file(const std::string& path) {
   return scan_source(path, buffer.str());
 }
 
-std::vector<Finding> scan_paths(const std::vector<std::string>& paths) {
+std::vector<std::string> collect_files(const std::vector<std::string>& paths) {
   namespace fs = std::filesystem;
   std::vector<std::string> files;
   const auto wanted = [](const fs::path& p) {
@@ -569,9 +335,12 @@ std::vector<Finding> scan_paths(const std::vector<std::string>& paths) {
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
 
+std::vector<Finding> scan_paths(const std::vector<std::string>& paths) {
   std::vector<Finding> findings;
-  for (const std::string& file : files) {
+  for (const std::string& file : collect_files(paths)) {
     auto f = scan_file(file);
     findings.insert(findings.end(), std::make_move_iterator(f.begin()),
                     std::make_move_iterator(f.end()));
@@ -592,8 +361,19 @@ std::string to_text(const std::vector<Finding>& findings) {
 
 namespace {
 
+/// RFC-4180 quoting. Fields holding separators, quotes, or any control
+/// character (newlines, carriage returns, tabs, NULs from a hostile path)
+/// are quoted with embedded quotes doubled — control bytes survive inside
+/// the quotes, which is the only escape CSV has.
 std::string csv_escape(const std::string& s) {
-  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  bool needs_quoting = false;
+  for (char c : s) {
+    if (c == ',' || c == '"' || static_cast<unsigned char>(c) < 0x20) {
+      needs_quoting = true;
+      break;
+    }
+  }
+  if (!needs_quoting) return s;
   std::string out = "\"";
   for (char c : s) {
     if (c == '"') out += '"';
@@ -611,10 +391,13 @@ std::string json_escape(const std::string& s) {
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c) & 0xFF);
           out += buf;
         } else {
           out += c;
@@ -630,7 +413,7 @@ std::string to_csv(const std::vector<Finding>& findings) {
   std::ostringstream os;
   os << "file,line,rule,message\n";
   for (const auto& f : findings) {
-    os << csv_escape(f.file) << ',' << f.line << ',' << f.rule << ','
+    os << csv_escape(f.file) << ',' << f.line << ',' << csv_escape(f.rule) << ','
        << csv_escape(f.message) << '\n';
   }
   return os.str();
@@ -642,11 +425,45 @@ std::string to_json(const std::vector<Finding>& findings) {
   for (std::size_t i = 0; i < findings.size(); ++i) {
     const auto& f = findings[i];
     os << (i ? ",\n " : "\n ") << "{\"file\": \"" << json_escape(f.file)
-       << "\", \"line\": " << f.line << ", \"rule\": \"" << f.rule << "\", \"message\": \""
-       << json_escape(f.message) << "\"}";
+       << "\", \"line\": " << f.line << ", \"rule\": \"" << json_escape(f.rule)
+       << "\", \"message\": \"" << json_escape(f.message) << "\"}";
   }
   os << (findings.empty() ? "]" : "\n]");
   os << '\n';
+  return os.str();
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  // Minimal SARIF 2.1.0: enough for GitHub code scanning to annotate PR
+  // diffs. One run, the full rule catalog as driver rules, one result per
+  // finding with a single physical location.
+  std::ostringstream os;
+  os << "{\n"
+     << " \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+        "Schemata/sarif-schema-2.1.0.json\",\n"
+     << " \"version\": \"2.1.0\",\n"
+     << " \"runs\": [{\n"
+     << "  \"tool\": {\"driver\": {\"name\": \"cynthia-lint\", \"rules\": [";
+  const auto& rules = rule_catalog();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << (i ? ", " : "") << "{\"id\": \"" << json_escape(rules[i].id)
+       << "\", \"shortDescription\": {\"text\": \"" << json_escape(rules[i].summary)
+       << "\"}}";
+  }
+  os << "]}},\n  \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& f = findings[i];
+    // SARIF wants a relative, forward-slash URI.
+    std::string uri = normalized(f.file);
+    if (uri.starts_with("./")) uri = uri.substr(2);
+    os << (i ? ",\n   " : "\n   ") << "{\"ruleId\": \"" << json_escape(f.rule)
+       << "\", \"level\": \"error\", \"message\": {\"text\": \"" << json_escape(f.message)
+       << "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+       << json_escape(uri) << "\"}, \"region\": {\"startLine\": " << std::max(1, f.line)
+       << "}}}]}";
+  }
+  os << (findings.empty() ? "]" : "\n  ]");
+  os << "\n }]\n}\n";
   return os.str();
 }
 

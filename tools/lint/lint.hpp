@@ -2,21 +2,38 @@
 //
 // The simulator's headline property is bit-determinism: identical configs
 // must produce identical timelines, or the paper's bounds and figure
-// reproductions are meaningless. Generic linters cannot know which parts of
-// this codebase are deterministic paths, so this tool encodes the project's
-// own contracts as rule families (see docs/LINT_RULES.md for rationale):
+// reproductions are meaningless — and its arithmetic mixes GFLOPs, MB/s,
+// seconds and dollars, where a silent unit mixup corrupts both the T_g
+// prediction and the bill. Generic linters cannot know which parts of this
+// codebase are deterministic paths or which doubles are dollars, so this
+// tool encodes the project's own contracts as rule families (see
+// docs/LINT_RULES.md for rationale):
 //
 //   DET-001  wall-clock access (std::chrono, gettimeofday, sleep_*)
 //   DET-002  nondeterministic randomness (rand, random_device, ...)
 //   DET-003  unordered containers in deterministic dirs (sim/ddnn/cloud)
 //   FLT-001  ==/!= against a floating-point literal
-//   UNITS-001  raw double function parameters without a unit-bearing name
+//   UNITS-001  raw double parameters without a unit-bearing name
+//   UNITS-002  raw double parameter/field where a util/units.hpp type fits
+//   UNITS-003  mixed-dimension arithmetic or call-site dimension mismatch
+//   UNITS-004  magic unit-conversion constants outside units.hpp
+//   LOCK-001   unbalanced lock paths / lock-order inversions
 //   INC-001  header without #pragma once
 //   INC-002  include hygiene (<bits/stdc++.h>, ".." escapes)
+//   TEL-001  duplicate metric-name constants in telemetry headers
 //
-// Scanning is a lightweight lexer (comments/strings stripped, identifiers
-// tokenized) — deliberately not libclang, so the tool builds everywhere the
-// project builds and runs in milliseconds as a ctest.
+// Two layers share one lexer (lexer.hpp): the lexical rules scan single
+// files (scan_source/scan_paths); the semantic rules (UNITS-002/003/004,
+// LOCK-001 — semantic.cpp) parse per-file symbol tables, link them across
+// translation units over the include graph, and run a dimensional-inference
+// pass over expressions and call sites. Deliberately not libclang, so the
+// tool builds everywhere the project builds and runs in milliseconds as a
+// ctest.
+//
+// Enforcement is a ratchet: tools/lint/baseline.txt freezes the per-(file,
+// rule) finding counts; apply_baseline() drops findings covered by the
+// baseline, so only *new* violations fail CI, and the baseline may shrink
+// but never grow (tools/check_baseline.py gates that).
 //
 // Suppressions: a comment `cynthia-lint: allow(RULE-ID, ...)` disarms the
 // listed rules on its own line and the line below it;
@@ -24,8 +41,10 @@
 // Suppressions should carry a justification in the same comment.
 #pragma once
 
+#include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace cynthia::lint {
@@ -46,21 +65,65 @@ struct RuleInfo {
 /// Every rule the scanner knows, in stable order (documentation + --list-rules).
 const std::vector<RuleInfo>& rule_catalog();
 
-/// Scans one in-memory translation unit. `path` drives rule scoping: the
-/// deterministic-dir DET-003 scope keys off path components and the
-/// header-only rules key off the extension. Findings are suppression-filtered.
+/// Scans one in-memory translation unit with the lexical rules. `path`
+/// drives rule scoping: the deterministic-dir DET-003 scope keys off path
+/// components and the header-only rules key off the extension. Findings are
+/// suppression-filtered.
 std::vector<Finding> scan_source(const std::string& path, std::string_view content);
 
 /// Reads and scans one file; throws std::runtime_error if unreadable.
 std::vector<Finding> scan_file(const std::string& path);
 
-/// Scans files and (recursively) directories; only .hpp/.h/.cpp/.cc files
-/// are considered. Paths are visited in sorted order so output is stable.
+/// Expands files and (recursively) directories to the sorted, deduplicated
+/// list of .hpp/.h/.cpp/.cc files the scanners visit.
+std::vector<std::string> collect_files(const std::vector<std::string>& paths);
+
+/// Scans files and (recursively) directories with the lexical rules; paths
+/// are visited in sorted order so output is stable.
 std::vector<Finding> scan_paths(const std::vector<std::string>& paths);
 
-/// Renderers. Text is for humans; CSV/JSON are machine-readable and stable.
+/// Cross-TU semantic pass (UNITS-002/003/004, LOCK-001): parses every file
+/// into symbol tables (function signatures, struct fields, locals), links
+/// them over the quoted-include graph, and runs dimensional inference over
+/// expressions and call edges plus the lock-discipline analysis. Findings
+/// are suppression-filtered per file. See semantic.cpp.
+std::vector<Finding> scan_semantic(const std::vector<std::string>& paths);
+
+/// In-memory variant of scan_semantic for tests: (path, content) pairs form
+/// the whole universe of translation units.
+std::vector<Finding> scan_semantic_sources(
+    const std::vector<std::pair<std::string, std::string>>& sources);
+
+// ------------------------------------------------------------- baseline
+
+/// Frozen violation budget: (file, rule) -> allowed finding count.
+using Baseline = std::map<std::pair<std::string, std::string>, int>;
+
+/// Aggregates findings into per-(file, rule) counts.
+Baseline count_findings(const std::vector<Finding>& findings);
+
+/// Parses a baseline file ("<count> <rule> <file>" lines, '#' comments);
+/// throws std::runtime_error on unreadable file or malformed line.
+Baseline parse_baseline(std::string_view content);
+Baseline load_baseline(const std::string& path);
+
+/// Renders a baseline in the stable on-disk format.
+std::string render_baseline(const Baseline& baseline);
+
+/// Ratchet filter: findings in (file, rule) groups whose count fits the
+/// baseline budget are dropped; groups that exceed their budget keep ALL
+/// their findings (the newest finding is indistinguishable without line
+/// pinning, and showing the whole group gives the developer context).
+std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
+                                    const Baseline& baseline);
+
+// ------------------------------------------------------------- renderers
+
+/// Text is for humans; CSV/JSON are machine-readable and stable; SARIF 2.1.0
+/// feeds GitHub code scanning so findings annotate PR diffs.
 std::string to_text(const std::vector<Finding>& findings);
 std::string to_csv(const std::vector<Finding>& findings);
 std::string to_json(const std::vector<Finding>& findings);
+std::string to_sarif(const std::vector<Finding>& findings);
 
 }  // namespace cynthia::lint

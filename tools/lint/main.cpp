@@ -1,8 +1,14 @@
 // cynthia_lint CLI.
 //
-//   cynthia_lint [--format text|csv|json] [--out FILE] [--list-rules] PATH...
+//   cynthia_lint [--semantic] [--format text|csv|json|sarif] [--out FILE]
+//                [--baseline FILE] [--write-baseline FILE] [--list-rules]
+//                PATH...
 //
 // PATHs may be files or directories (recursed; .hpp/.h/.cpp/.cc only).
+// --semantic adds the cross-TU pass (UNITS-002/003/004, LOCK-001) on top of
+// the lexical rules. --baseline applies the ratchet: findings covered by the
+// frozen budget are dropped and only regressions remain. --write-baseline
+// records the current counts (run it after intentionally shrinking debt).
 // Exit codes: 0 clean, 1 findings, 2 usage or I/O error — so CI and ctest
 // can gate on it directly.
 #include <cstdio>
@@ -17,6 +23,9 @@ int main(int argc, char** argv) {
   using namespace cynthia::lint;
   std::string format = "text";
   std::string out_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  bool semantic = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -27,20 +36,35 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
-    if (arg == "--format") {
+    auto value_of = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "cynthia-lint: --format needs a value\n");
-        return 2;
+        std::fprintf(stderr, "cynthia-lint: %s needs a value\n", flag);
+        return nullptr;
       }
-      format = argv[++i];
+      return argv[++i];
+    };
+    if (arg == "--semantic") {
+      semantic = true;
+    } else if (arg == "--format") {
+      const char* v = value_of("--format");
+      if (v == nullptr) return 2;
+      format = v;
     } else if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(9);
     } else if (arg == "--out") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "cynthia-lint: --out needs a value\n");
-        return 2;
-      }
-      out_path = argv[++i];
+      const char* v = value_of("--out");
+      if (v == nullptr) return 2;
+      out_path = v;
+    } else if (arg == "--baseline") {
+      const char* v = value_of("--baseline");
+      if (v == nullptr) return 2;
+      baseline_path = v;
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg == "--write-baseline") {
+      const char* v = value_of("--write-baseline");
+      if (v == nullptr) return 2;
+      write_baseline_path = v;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "cynthia-lint: unknown option %s\n", arg.c_str());
       return 2;
@@ -50,11 +74,12 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) {
     std::fprintf(stderr,
-                 "usage: cynthia_lint [--format text|csv|json] [--out FILE] [--list-rules] "
-                 "PATH...\n");
+                 "usage: cynthia_lint [--semantic] [--format text|csv|json|sarif] "
+                 "[--out FILE] [--baseline FILE] [--write-baseline FILE] "
+                 "[--list-rules] PATH...\n");
     return 2;
   }
-  if (format != "text" && format != "csv" && format != "json") {
+  if (format != "text" && format != "csv" && format != "json" && format != "sarif") {
     std::fprintf(stderr, "cynthia-lint: unknown format '%s'\n", format.c_str());
     return 2;
   }
@@ -62,14 +87,32 @@ int main(int argc, char** argv) {
   std::vector<Finding> findings;
   try {
     findings = scan_paths(paths);
+    if (semantic) {
+      std::vector<Finding> sem = scan_semantic(paths);
+      findings.insert(findings.end(), sem.begin(), sem.end());
+    }
+    if (!write_baseline_path.empty()) {
+      std::ofstream out(write_baseline_path);
+      if (!out) {
+        std::fprintf(stderr, "cynthia-lint: cannot write %s\n",
+                     write_baseline_path.c_str());
+        return 2;
+      }
+      out << render_baseline(count_findings(findings));
+      return 0;
+    }
+    if (!baseline_path.empty()) {
+      findings = apply_baseline(findings, load_baseline(baseline_path));
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
 
-  const std::string rendered = format == "csv"    ? to_csv(findings)
-                               : format == "json" ? to_json(findings)
-                                                  : to_text(findings);
+  const std::string rendered = format == "csv"     ? to_csv(findings)
+                               : format == "json"  ? to_json(findings)
+                               : format == "sarif" ? to_sarif(findings)
+                                                   : to_text(findings);
   if (out_path.empty()) {
     std::cout << rendered;
   } else {

@@ -1,0 +1,51 @@
+// Internal API of the cynthia-lint semantic pass (semantic.cpp).
+//
+// Public entry points (scan_semantic / scan_semantic_sources) live in
+// lint.hpp; this header exposes the dimension algebra and the annotation
+// registry so tests can pin down the inference rules directly.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+namespace cynthia::lint::semantic {
+
+/// A physical dimension as an exponent vector over the four base axes the
+/// Cynthia model mixes: compute (GFLOPs), data (MB), time (seconds) and
+/// money (dollars). Scale factors (MB vs bytes, hours vs seconds) are
+/// deliberately NOT modeled — mixing scales of one dimension is a unit
+/// *conversion* concern (UNITS-004), mixing dimensions is a *type* error
+/// (UNITS-002/003).
+struct Dim {
+  bool known = false;
+  std::array<int, 4> e{};  ///< exponents: [flop, byte, second, dollar]
+
+  friend bool operator==(const Dim&, const Dim&) = default;
+};
+
+Dim unknown_dim();
+Dim dimensionless();
+Dim flop_dim();
+Dim byte_dim();
+Dim second_dim();
+Dim dollar_dim();
+
+bool is_dimensionless(const Dim& d);
+Dim mul(const Dim& a, const Dim& b);
+Dim div(const Dim& a, const Dim& b);
+
+/// Human-readable name ("seconds", "dollars/second", "GFLOP·s^-1", ...).
+std::string dim_name(const Dim& d);
+
+/// The annotation registry: maps a legacy raw-double identifier to the
+/// dimension its name implies ("t_stage_seconds" -> time). Matches on
+/// case-insensitive name endings so both snake_case and camelCase hit.
+/// Returns nothing for unit-agnostic names — those are UNITS-001 territory.
+std::optional<Dim> registry_dim(const std::string& name);
+
+/// Strong type from util/units.hpp to suggest for a registered dimension
+/// (empty if the dimension has no canonical carrier type).
+std::string suggested_type(const Dim& d);
+
+}  // namespace cynthia::lint::semantic
