@@ -1,0 +1,115 @@
+// Fleet-scale provisioning-service bench: the PR 9 multi-tenant stack
+// (TrafficGenerator -> ProvisioningService -> region::Region) at 1k and 10k
+// jobs x 3 seeds. Emits BENCH_service.json (docs/PERF.md schema): wall-time
+// series for the fleet event loop plus fleet-quality scalars (SLO-attain
+// rate, region utilization, p50/p99 queue wait, $/goodput), averaged over
+// seeds.
+//
+// Every scale's seed-0 trace is run twice and the outcome digests are
+// cross-checked — the acceptance criterion that a seeded 10k-job diurnal
+// trace on a finite region is deterministic lives here as a hard failure,
+// so a future nondeterminism regression cannot silently publish numbers.
+#include <cstdio>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cloud/instance.hpp"
+#include "perf_common.hpp"
+#include "region/region.hpp"
+#include "service/service.hpp"
+#include "service/traffic.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cynthia;
+
+struct ScaleConfig {
+  const char* label;
+  long jobs;
+  const char* region;   ///< sized for ~70-85% utilization at this load
+  const char* horizon;
+};
+
+struct FleetPoint {
+  double wall_seconds = 0.0;
+  service::FleetStats stats;
+  std::uint64_t digest = 0;
+};
+
+FleetPoint run_fleet(const ScaleConfig& cfg, std::uint64_t seed) {
+  service::TrafficOptions traffic;
+  traffic.jobs = cfg.jobs;
+  traffic.horizon = service::TrafficOptions::parse(std::string("horizon=") + cfg.horizon).horizon;
+  traffic.seed = seed;
+  const auto requests = service::TrafficGenerator(traffic).generate();
+
+  service::ServeOptions so;
+  so.seed = seed;
+  service::ProvisioningService svc(region::Region::parse(cfg.region),
+                                   cloud::Catalog::aws(), so);
+  FleetPoint point;
+  const double t0 = bench::perf::now_seconds();
+  const service::FleetResult result = svc.run(requests);
+  point.wall_seconds = bench::perf::now_seconds() - t0;
+  point.stats = result.stats;
+  point.digest = result.digest;
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ext_service: multi-tenant fleet simulation at 1k / 10k jobs\n\n");
+
+  const std::vector<ScaleConfig> scales = {
+      {"1k", 1000, "*=160", "24h"},
+      {"10k", 10000, "*=1536", "24h"},
+  };
+  const std::vector<std::uint64_t> seeds = {1, 2, 3};
+
+  bench::perf::BenchReport report("service");
+  util::Table table("Fleet quality (mean over 3 seeds)");
+  table.header({"scale", "SLO attain", "utilization", "wait p50 (s)", "wait p99 (s)",
+                "$/goodput", "run wall (s)"});
+
+  for (const auto& cfg : scales) {
+    bench::perf::Samples wall;
+    double slo = 0.0, util_sum = 0.0, p50 = 0.0, p99 = 0.0, dpg = 0.0;
+    for (const std::uint64_t seed : seeds) {
+      const FleetPoint point = run_fleet(cfg, seed);
+      wall.add(point.wall_seconds);
+      slo += point.stats.slo_attain_rate;
+      util_sum += point.stats.utilization;
+      p50 += point.stats.queue_wait_p50.value();
+      p99 += point.stats.queue_wait_p99.value();
+      dpg += point.stats.dollars_per_goodput;
+      if (seed == seeds.front()) {
+        // Determinism gate: the same trace must reproduce bit-identically.
+        const FleetPoint rerun = run_fleet(cfg, seed);
+        if (rerun.digest != point.digest) {
+          throw std::logic_error(std::string("ext_service: ") + cfg.label +
+                                 " fleet digest diverged across identical runs");
+        }
+        wall.add(rerun.wall_seconds);
+      }
+    }
+    const double n = static_cast<double>(seeds.size());
+    const std::string prefix = std::string("fleet_") + cfg.label;
+    report.add_series(prefix + "_run_seconds", "seconds", wall);
+    report.add_scalar(prefix + "_slo_attain_rate", slo / n);
+    report.add_scalar(prefix + "_utilization", util_sum / n);
+    report.add_scalar(prefix + "_queue_wait_p50_seconds", p50 / n);
+    report.add_scalar(prefix + "_queue_wait_p99_seconds", p99 / n);
+    report.add_scalar(prefix + "_dollars_per_goodput", dpg / n);
+    table.row({cfg.label, util::Table::pct(100.0 * slo / n), util::Table::pct(100.0 * util_sum / n),
+               util::Table::num(p50 / n, 1), util::Table::num(p99 / n, 1),
+               util::Table::num(dpg / n, 3), util::Table::num(wall.mean(), 2)});
+  }
+
+  table.print(std::cout);
+  report.write();
+  return 0;
+}

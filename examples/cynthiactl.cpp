@@ -17,6 +17,22 @@
 //              [--journal-out F.jsonl] [--report-out F.html] [--json-out F.json]
 //                                              sentinel run + run journal +
 //                                              cost/SLO attribution report
+//   cynthiactl serve [--jobs N] [--arrival SPEC] [--region SPEC] [--seed N]
+//              [--revocations MINUTES] [--patience MINUTES] [--slo RATE]
+//              [--journal-out F.jsonl] [--report-out F.html] [--json-out F.json]
+//                                              multi-tenant fleet simulation
+//
+// `serve` drives the PR 9 provisioning service: a seeded synthetic traffic
+// stream (--arrival takes the docs/SERVICE.md grammar, e.g.
+// "poisson:jobs=1000,horizon=24h,diurnal=0.6"; --jobs/--seed/--patience
+// override the spec) is admitted against a finite region (--region takes
+// "m4.xlarge=256,c3.xlarge=128", "*=512" or "inf"), queued jobs are
+// re-planned as capacity frees, and the fleet rollup (SLO-attainment,
+// utilization, queue-wait distribution, $/goodput) is printed and journaled.
+// --revocations M enables spot-style capacity loss with an Exp(M minutes)
+// per-attempt revocation process. The attribution ledger derived from the
+// journal must reproduce the fleet's total cost bit-for-bit or serve exits
+// 1; --slo R exits 3 when the SLO-attainment rate lands below R.
 //
 // `report` runs the SLO sentinel with the run journal always on, derives the
 // cost-attribution ledger (every billing settlement classified by phase x
@@ -76,6 +92,9 @@
 #include "orchestrator/cluster_manager.hpp"
 #include "orchestrator/sentinel.hpp"
 #include "profiler/profiler.hpp"
+#include "region/region.hpp"
+#include "service/service.hpp"
+#include "service/traffic.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
@@ -611,13 +630,106 @@ int cmd_report(const Args& args) {
   return missed ? 3 : 0;
 }
 
+int cmd_serve(const Args& args) {
+  // Traffic: the --arrival grammar, with --jobs/--seed/--patience overrides.
+  service::TrafficOptions traffic;
+  const std::string arrival = args.text("arrival", "");
+  if (!arrival.empty()) traffic = service::TrafficOptions::parse(arrival);
+  if (args.number("jobs")) traffic.jobs = static_cast<long>(*args.number("jobs"));
+  if (args.number("seed")) traffic.seed = static_cast<std::uint64_t>(*args.number("seed"));
+  if (args.number("patience")) traffic.patience = util::minutes(*args.number("patience"));
+
+  // Default sized so the stock 1k-job day runs at ~75% utilization with
+  // real queueing (docs/SERVICE.md); scale up for larger --jobs.
+  const std::string region_spec = args.text("region", "*=160");
+  const region::Region fleet_region = region::Region::parse(region_spec);
+
+  service::ServeOptions so;
+  so.seed = traffic.seed;
+  if (args.number("revocations")) {
+    so.mean_revocation_interval = util::minutes(*args.number("revocations"));
+  }
+
+  const auto requests = service::TrafficGenerator(traffic).generate();
+  telemetry::Telemetry tel;
+  service::ProvisioningService svc(fleet_region, cloud::Catalog::aws(), so);
+  const service::FleetResult result = svc.run(requests, &tel);
+  const service::FleetStats& s = result.stats;
+
+  util::Table t("Fleet: " + std::to_string(s.submitted) + " job(s) on region " + region_spec +
+                " (seed " + std::to_string(traffic.seed) + ")");
+  t.header({"metric", "value"});
+  t.row({"submitted", std::to_string(s.submitted)});
+  t.row({"admitted", std::to_string(s.admitted)});
+  t.row({"completed", std::to_string(s.completed)});
+  t.row({"rejected", std::to_string(s.rejected)});
+  t.row({"timed out", std::to_string(s.timed_out)});
+  t.row({"starved", std::to_string(s.starved)});
+  t.row({"attempts", std::to_string(s.attempts)});
+  t.row({"replans", std::to_string(s.replans)});
+  t.row({"revocations", std::to_string(s.revocations)});
+  t.row({"SLO attained", std::to_string(s.slo_attained)});
+  t.row({"SLO attain rate", util::Table::pct(100.0 * s.slo_attain_rate)});
+  t.row({"region utilization", util::Table::pct(100.0 * s.utilization)});
+  t.row({"queue wait p50 (s)", util::Table::num(s.queue_wait_p50.value(), 1)});
+  t.row({"queue wait p99 (s)", util::Table::num(s.queue_wait_p99.value(), 1)});
+  t.row({"queue wait mean (s)", util::Table::num(s.queue_wait_mean.value(), 1)});
+  t.row({"queue wait max (s)", util::Table::num(s.queue_wait_max.value(), 1)});
+  t.row({"total cost ($)", util::Table::num(s.total_cost.value(), 2)});
+  t.row({"$/goodput", util::Table::num(s.dollars_per_goodput, 3)});
+  t.row({"makespan (h)", util::Table::num(s.makespan.value() / 3600.0, 2)});
+  char digest[32];
+  std::snprintf(digest, sizeof digest, "0x%016llx",
+                static_cast<unsigned long long>(result.digest));
+  t.row({"fleet digest", digest});
+  t.row({"journal records", std::to_string(tel.journal.size())});
+  t.print(std::cout);
+
+  // The same exactness invariant `report` enforces, at fleet scale: the
+  // attribution ledger must reproduce the fleet's cost fold bit-for-bit.
+  const telemetry::CostLedger ledger = telemetry::CostLedger::from(tel.journal);
+  if (ledger.total().value() != s.total_cost.value()) {
+    std::fprintf(stderr, "error: attribution $%.17g != fleet $%.17g\n",
+                 ledger.total().value(), s.total_cost.value());
+    return 1;
+  }
+
+  const std::string journal_out = args.text("journal-out", "");
+  const std::string report_out = args.text("report-out", "");
+  const std::string json_out = args.text("json-out", "");
+  if (!journal_out.empty() || !report_out.empty() || !json_out.empty()) {
+    const std::string title = "fleet: " + std::to_string(s.submitted) + " jobs on " +
+                              region_spec + " (seed " + std::to_string(traffic.seed) + ")";
+    const telemetry::RunReport run = telemetry::RunReport::build(tel.journal, title);
+    if (!journal_out.empty()) {
+      tel.journal.write_jsonl_file(journal_out);
+      std::printf("[journal] %s (%zu records)\n", journal_out.c_str(), tel.journal.size());
+    }
+    if (!report_out.empty()) {
+      run.write_html_file(report_out);
+      std::printf("[report] %s\n", report_out.c_str());
+    }
+    if (!json_out.empty()) {
+      run.write_json_file(json_out);
+      std::printf("[json] %s\n", json_out.c_str());
+    }
+  }
+
+  if (args.number("slo") && s.slo_attain_rate < *args.number("slo")) {
+    std::fprintf(stderr, "SLO attainment %.3f below required %.3f\n", s.slo_attain_rate,
+                 *args.number("slo"));
+    return 3;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = Args::parse(argc, argv);
   if (args.positional.empty()) {
     std::puts("cynthiactl — cost-efficient DDNN provisioning toolkit");
-    std::puts("commands: catalog | models | profile | plan | simulate | report");
+    std::puts("commands: catalog | models | profile | plan | simulate | report | serve");
     std::puts("global flags: --check (enable runtime invariant checking),");
     std::puts("              --seed N (simulation seed; also drives --faults rate:<r>)");
     return 2;
@@ -631,6 +743,7 @@ int main(int argc, char** argv) {
     if (cmd == "plan") return cmd_plan(args);
     if (cmd == "simulate") return cmd_simulate(args);
     if (cmd == "report") return cmd_report(args);
+    if (cmd == "serve") return cmd_serve(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -338,6 +338,7 @@ ProvisionPlan Provisioner::plan(ddnn::SyncMode mode, const ProvisionGoal& goal,
       for (int n_ps = 1; n_ps <= options.exhaustive_max_ps; ++n_ps) {
         const RowBounds row(model_, type, n_ps);
         for (int n = 1; n <= options.exhaustive_max_workers; ++n) {
+          if (options.max_total_dockers > 0 && n + n_ps > options.max_total_dockers) break;
           if (options.prune) {
             const long iters = loss_.iterations_for(goal.target_loss, n);
             const double di = static_cast<double>(iters);
@@ -382,6 +383,8 @@ ProvisionPlan Provisioner::plan(ddnn::SyncMode mode, const ProvisionGoal& goal,
       const RowBounds row(model_, type, n_ps);
       bool any_feasible = false;
       for (int n = bounds.n_lower; n <= upper; ++n) {
+        // Footprint grows with n: the whole remaining row is over the cap.
+        if (options.max_total_dockers > 0 && n + n_ps > options.max_total_dockers) break;
         if (options.prune) {
           const long iters = loss_.iterations_for(goal.target_loss, n);
           const double di = static_cast<double>(iters);
@@ -487,6 +490,8 @@ ProvisionPlan Provisioner::replan(ddnn::SyncMode mode, long remaining_iterations
     for (int n_ps = 1; n_ps <= max_ps; ++n_ps) {
       const RowBounds row(model_, type, n_ps);
       for (int n = 1; n <= max_workers; ++n) {
+        // Footprint grows with n: the whole remaining row is over the cap.
+        if (options.max_total_dockers > 0 && n + n_ps > options.max_total_dockers) break;
         // BSP budgets are global; ASP/SSP execute remaining/n per worker.
         const long per_worker =
             mode == ddnn::SyncMode::BSP

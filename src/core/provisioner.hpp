@@ -106,6 +106,12 @@ struct ProvisionOptions {
   /// bounded search; the exhaustive grid has its own explicit limits.
   int max_workers_quota = 64;
 
+  /// Finite-region admission (src/service): skip candidates whose total
+  /// docker footprint (n_workers + n_ps) exceeds this cap; <= 0 = no cap.
+  /// Lets plan()/replan() answer "cheapest plan that fits the slots this
+  /// region still has free" directly, instead of filtering after the fact.
+  int max_total_dockers = 0;
+
   /// Memoize perf-model evaluations in the provisioner's PredictionCache
   /// (shared across plan/replan/sentinel calls on this Provisioner).
   bool use_cache = true;

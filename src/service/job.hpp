@@ -1,0 +1,78 @@
+// Job request/outcome types for the multi-tenant provisioning service.
+//
+// A JobRequest is what a tenant submits (the SkyPilot-style surface: a
+// workload, a (Tg, l_g) goal, a priority class, optionally a patience
+// bound); a JobOutcome is the service's full account of what happened to
+// it: every state transition time, the final plan, the attempt count and
+// the exact dollars billed. Outcomes are plain data — the fleet digest and
+// every fleet-level metric are derived from them deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/provisioner.hpp"
+#include "util/units.hpp"
+
+namespace cynthia::service {
+
+/// Scheduling class; higher values are served first. FIFO within a class.
+enum class Priority {
+  kBatch = 0,       ///< throughput tenants; wait behind everything else
+  kStandard = 1,    ///< the default class
+  kProduction = 2,  ///< latency-sensitive tenants; head of the queue
+};
+const char* to_string(Priority priority);
+
+/// What a tenant submits to ProvisioningService.
+struct JobRequest {
+  long id = 0;           ///< unique, assigned by the traffic generator/caller
+  std::string tenant;    ///< tenant tag for reporting ("t7")
+  std::string workload;  ///< zoo name: mnist | cifar10 | resnet32 | vgg19 | ...
+  core::ProvisionGoal goal;  ///< Tg (from submission) + target loss l_g
+  Priority priority = Priority::kStandard;
+  util::Seconds arrival{0.0};  ///< submission time on the fleet clock
+  /// Give up after waiting this long in the queue; <= 0 waits forever.
+  util::Seconds max_queue_wait{0.0};
+};
+
+/// Terminal (and in-flight) job states.
+enum class JobState {
+  kQueued,     ///< admitted to the queue, waiting for capacity
+  kRunning,    ///< holding capacity, training
+  kCompleted,  ///< ran to completion (SLO met or missed)
+  kRejected,   ///< no feasible plan for the goal, or job cannot ever fit
+  kTimedOut,   ///< patience exceeded before capacity freed up
+  kStarved,    ///< still queued when the fleet drained (capacity never freed)
+};
+const char* to_string(JobState state);
+
+/// Everything the service knows about one finished (or failed) job.
+struct JobOutcome {
+  JobRequest request;
+  JobState state = JobState::kQueued;
+  core::ProvisionPlan plan;  ///< the plan of the last attempt, when any
+
+  util::Seconds admitted_at{-1.0};   ///< first capacity grant; < 0 = never
+  util::Seconds completed_at{-1.0};  ///< terminal time (any state)
+  util::Seconds queue_wait{0.0};     ///< arrival -> first admission (or terminal)
+  util::Seconds provisioning{0.0};   ///< summed over attempts
+  util::Seconds run_seconds{0.0};    ///< summed training time over attempts
+
+  int attempts = 0;     ///< capacity grants (1 + re-admissions after revocation)
+  int replans = 0;      ///< Algorithm 1 re-runs after the initial plan
+  int revocations = 0;  ///< spot-style capacity losses suffered
+  util::Dollars cost{0.0};  ///< exact billed dollars (Eq. 8 per attempt)
+
+  /// completed_at - arrival <= Tg: the fleet-level SLO (queue wait and
+  /// provisioning count against the goal; see docs/SERVICE.md).
+  bool slo_met = false;
+  std::string reason;  ///< rejection/timeout detail
+
+  [[nodiscard]] bool terminal_failure() const {
+    return state == JobState::kRejected || state == JobState::kTimedOut ||
+           state == JobState::kStarved;
+  }
+};
+
+}  // namespace cynthia::service

@@ -22,6 +22,10 @@ const char* to_string(JournalKind kind) {
     case JournalKind::kSegment: return "segment";
     case JournalKind::kBillingDelta: return "billing-delta";
     case JournalKind::kVerdict: return "verdict";
+    case JournalKind::kJobSubmitted: return "job-submitted";
+    case JournalKind::kJobAdmitted: return "job-admitted";
+    case JournalKind::kJobCompleted: return "job-completed";
+    case JournalKind::kJobRejected: return "job-rejected";
   }
   return "?";
 }

@@ -43,6 +43,11 @@ enum class JournalKind {
   kSegment,        ///< one training segment (prediction-audit input)
   kBillingDelta,   ///< one attributed billing charge (cost-ledger input)
   kVerdict,        ///< SLO verdict chain entry (time/loss/cost goal)
+  // Fleet service records (src/service) — appended for schema stability.
+  kJobSubmitted,   ///< tenant job arrived at the provisioning service
+  kJobAdmitted,    ///< job granted capacity (value: queue-wait seconds)
+  kJobCompleted,   ///< job ran to completion (value: billed dollars)
+  kJobRejected,    ///< job left without running (infeasible/capacity/timeout)
 };
 const char* to_string(JournalKind kind);
 

@@ -79,6 +79,19 @@ inline constexpr char kPlannerCacheHitRate[] = "planner.cache_hit_rate";      //
 // max-min settles vs. flows the component-scoped settle proved untouched.
 inline constexpr char kFluidFlowsResolved[] = "sim.fluid_flows_resolved";
 inline constexpr char kFluidFlowsAvoided[] = "sim.fluid_flows_avoided";
+// Multi-tenant provisioning service (service/service.hpp): fleet-level
+// counters plus the end-of-run SLO/utilization/$-per-goodput gauges and the
+// queue-wait histogram behind the `cynthiactl serve` summary.
+inline constexpr char kServiceJobsSubmitted[] = "service.jobs_submitted";
+inline constexpr char kServiceJobsAdmitted[] = "service.jobs_admitted";
+inline constexpr char kServiceJobsCompleted[] = "service.jobs_completed";
+inline constexpr char kServiceJobsRejected[] = "service.jobs_rejected";
+inline constexpr char kServiceReplans[] = "service.replans";
+inline constexpr char kServiceRevocations[] = "service.revocations";
+inline constexpr char kServiceQueueWaitSeconds[] = "service.queue_wait_seconds";  // histogram
+inline constexpr char kServiceSloAttainRate[] = "service.slo_attain_rate";        // gauge
+inline constexpr char kServiceUtilization[] = "service.region_utilization";       // gauge
+inline constexpr char kServiceDollarsPerGoodput[] = "service.dollars_per_goodput";  // gauge
 }  // namespace metric
 
 /// Metrics + trace + run journal for one experiment run. The journal is

@@ -1,0 +1,543 @@
+// Multi-tenant provisioning service suite: region capacity accounting,
+// synthetic traffic determinism, admission/queueing policy, and the fleet
+// determinism contracts (run-twice digest equality; single-job path on an
+// unbounded region bit-identical to orch::TrainingService::submit).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cloud/instance.hpp"
+#include "core/provisioner.hpp"
+#include "ddnn/workload.hpp"
+#include "orchestrator/service.hpp"
+#include "profiler/profiler.hpp"
+#include "region/region.hpp"
+#include "service/job.hpp"
+#include "service/service.hpp"
+#include "service/traffic.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace cc = cynthia::cloud;
+namespace co = cynthia::core;
+namespace cd = cynthia::ddnn;
+namespace cp = cynthia::profiler;
+namespace cr = cynthia::region;
+namespace cs = cynthia::service;
+namespace ct = cynthia::telemetry;
+namespace cu = cynthia::util;
+
+namespace {
+
+class ScopedInvariants {
+ public:
+  explicit ScopedInvariants(bool enabled) : saved_(cu::invariants_enabled()) {
+    cu::set_invariants_enabled(enabled);
+  }
+  ~ScopedInvariants() { cu::set_invariants_enabled(saved_); }
+  ScopedInvariants(const ScopedInvariants&) = delete;
+  ScopedInvariants& operator=(const ScopedInvariants&) = delete;
+
+ private:
+  bool saved_;
+};
+
+const cc::InstanceType& m4() { return cc::Catalog::aws().at("m4.xlarge"); }
+
+co::Provisioner make_provisioner(const char* name,
+                                 std::vector<cc::InstanceType> types = {}) {
+  static std::map<std::string, cp::ProfileResult> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, cp::profile_workload(cd::workload_by_name(name), m4())).first;
+  }
+  const auto& w = cd::workload_by_name(name);
+  co::LossModel loss(w.sync, w.loss().beta0, w.loss().beta1);
+  if (types.empty()) types = cc::Catalog::aws().provisionable();
+  return co::Provisioner(co::CynthiaModel(it->second), std::move(loss), std::move(types));
+}
+
+const co::ProvisionGoal kMnistGoal{cu::hours(1.0), 0.5};
+
+/// Docker footprint of the cost-optimal mnist plan on m4.xlarge alone —
+/// several fixtures size their region to exactly one such job at a time.
+int mnist_m4_footprint() {
+  static const int footprint = [] {
+    auto prov = make_provisioner("mnist", {m4()});
+    const auto plan = prov.plan(cd::workload_by_name("mnist").sync, kMnistGoal);
+    EXPECT_TRUE(plan.feasible);
+    return plan.n_workers + plan.n_ps;
+  }();
+  return footprint;
+}
+
+cs::JobRequest mnist_request(long id, cs::Priority priority, double arrival,
+                             double patience = 0.0) {
+  cs::JobRequest rq;
+  rq.id = id;
+  rq.tenant = "t" + std::to_string(id);
+  rq.workload = "mnist";
+  rq.goal = kMnistGoal;
+  rq.priority = priority;
+  rq.arrival = cu::Seconds{arrival};
+  rq.max_queue_wait = cu::Seconds{patience};
+  return rq;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Region: finite per-type capacity accounting.
+// ---------------------------------------------------------------------------
+
+TEST(Region, ReserveReleaseAccounting) {
+  cr::Region region({{"m4.xlarge", 8}, {"c3.xlarge", 4}});
+  EXPECT_FALSE(region.is_unbounded());
+  EXPECT_EQ(region.capacity("m4.xlarge"), 8);
+  EXPECT_EQ(region.available("m4.xlarge"), 8);
+  EXPECT_EQ(region.capacity_total(), 12);
+
+  EXPECT_TRUE(region.fits("m4.xlarge", 8));
+  EXPECT_FALSE(region.fits("m4.xlarge", 9));
+  EXPECT_FALSE(region.fits("g2.2xlarge", 1));  // unstocked type never fits
+
+  region.reserve("m4.xlarge", 5, cu::Seconds{0.0});
+  EXPECT_EQ(region.reserved("m4.xlarge"), 5);
+  EXPECT_EQ(region.available("m4.xlarge"), 3);
+  EXPECT_EQ(region.reserved_total(), 5);
+
+  region.release("m4.xlarge", 5, cu::Seconds{10.0});
+  EXPECT_EQ(region.reserved_total(), 0);
+  EXPECT_EQ(region.available("m4.xlarge"), 8);
+}
+
+TEST(Region, ConstructorRejectsBadCapacities) {
+  EXPECT_THROW(cr::Region({{"m4.xlarge", 4}, {"m4.xlarge", 2}}), std::invalid_argument);
+  EXPECT_THROW(cr::Region({{"m4.xlarge", -7}}), std::invalid_argument);
+}
+
+TEST(Region, OverCommitAndOverReleaseThrow) {
+  cr::Region region({{"m4.xlarge", 4}});
+  EXPECT_THROW(region.reserve("m4.xlarge", 5, cu::Seconds{0.0}), std::logic_error);
+  region.reserve("m4.xlarge", 4, cu::Seconds{0.0});
+  EXPECT_THROW(region.release("m4.xlarge", 5, cu::Seconds{1.0}), std::logic_error);
+  EXPECT_THROW(region.release("c3.xlarge", 1, cu::Seconds{1.0}), std::logic_error);
+}
+
+TEST(Region, BackwardsClockTripsInvariantCheck) {
+  ScopedInvariants on(true);
+  cr::Region region({{"m4.xlarge", 4}});
+  region.reserve("m4.xlarge", 2, cu::Seconds{10.0});
+  EXPECT_THROW(region.release("m4.xlarge", 2, cu::Seconds{5.0}), cu::CheckFailure);
+}
+
+TEST(Region, UtilizationIsAnExactIntegral) {
+  cr::Region region({{"m4.xlarge", 4}});
+  region.reserve("m4.xlarge", 2, cu::Seconds{0.0});
+  region.release("m4.xlarge", 2, cu::Seconds{50.0});
+  region.advance_to(cu::Seconds{100.0});
+  EXPECT_DOUBLE_EQ(region.busy_docker_seconds(), 100.0);  // 2 dockers x 50 s
+  EXPECT_DOUBLE_EQ(region.utilization(cu::Seconds{100.0}), 0.25);
+}
+
+TEST(Region, UnboundedFactoryFitsEverything) {
+  const cr::Region region = cr::Region::unbounded();
+  EXPECT_TRUE(region.is_unbounded());
+  EXPECT_TRUE(region.fits("m4.xlarge", 1 << 20));
+  EXPECT_EQ(region.available("m4.xlarge"), cr::Region::kUnbounded);
+  EXPECT_EQ(region.capacity_total(), 0);  // no finite capacity
+  EXPECT_DOUBLE_EQ(region.utilization(cu::Seconds{100.0}), 0.0);
+}
+
+TEST(Region, ParseGrammar) {
+  const cr::Region two = cr::Region::parse("m4.xlarge=256,c3.xlarge=128");
+  EXPECT_EQ(two.capacity("m4.xlarge"), 256);
+  EXPECT_EQ(two.capacity("c3.xlarge"), 128);
+  EXPECT_EQ(two.capacities().size(), 2u);
+
+  const cr::Region star = cr::Region::parse("*=512");
+  for (const auto& cap : star.capacities()) EXPECT_EQ(cap.docker_slots, 512);
+  EXPECT_GT(star.capacities().size(), 2u);
+
+  EXPECT_TRUE(cr::Region::parse("inf").is_unbounded());
+
+  EXPECT_THROW(cr::Region::parse(""), std::invalid_argument);
+  EXPECT_THROW(cr::Region::parse("no-such-type=4"), std::invalid_argument);
+  EXPECT_THROW(cr::Region::parse("m4.xlarge=abc"), std::invalid_argument);
+  EXPECT_THROW(cr::Region::parse("m4.xlarge=4,m4.xlarge=8"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Core: the finite-region planning cap (ProvisionOptions::max_total_dockers).
+// ---------------------------------------------------------------------------
+
+TEST(MaxTotalDockers, CapsPlanFootprint) {
+  auto prov = make_provisioner("cifar10");
+  const auto sync = cd::workload_by_name("cifar10").sync;
+  const co::ProvisionGoal goal{cu::minutes(120), 0.8};
+  const auto unconstrained = prov.plan(sync, goal);
+  ASSERT_TRUE(unconstrained.feasible);
+  const int footprint = unconstrained.n_workers + unconstrained.n_ps;
+
+  // A cap at the unconstrained footprint changes nothing.
+  co::ProvisionOptions at_cap;
+  at_cap.max_total_dockers = footprint;
+  const auto same = prov.plan(sync, goal, at_cap);
+  ASSERT_TRUE(same.feasible);
+  EXPECT_EQ(same.type.name, unconstrained.type.name);
+  EXPECT_EQ(same.n_workers, unconstrained.n_workers);
+  EXPECT_EQ(same.n_ps, unconstrained.n_ps);
+
+  // Any feasible capped plan respects the cap.
+  co::ProvisionOptions tight;
+  tight.max_total_dockers = footprint > 2 ? footprint - 1 : footprint;
+  const auto capped = prov.plan(sync, goal, tight);
+  if (capped.feasible) {
+    EXPECT_LE(capped.n_workers + capped.n_ps, tight.max_total_dockers);
+  }
+
+  // One docker cannot hold a worker and a PS.
+  co::ProvisionOptions one;
+  one.max_total_dockers = 1;
+  EXPECT_FALSE(prov.plan(sync, goal, one).feasible);
+}
+
+TEST(MaxTotalDockers, CapsReplanFootprint) {
+  auto prov = make_provisioner("cifar10");
+  const auto sync = cd::workload_by_name("cifar10").sync;
+  co::ProvisionOptions opts;
+  opts.max_total_dockers = 4;
+  const auto plan = prov.replan(sync, 2000, cu::hours(4.0), opts);
+  if (plan.feasible) {
+    EXPECT_LE(plan.n_workers + plan.n_ps, 4);
+  }
+  co::ProvisionOptions one;
+  one.max_total_dockers = 1;
+  EXPECT_FALSE(prov.replan(sync, 2000, cu::hours(4.0), one).feasible);
+}
+
+// ---------------------------------------------------------------------------
+// Traffic generator.
+// ---------------------------------------------------------------------------
+
+TEST(Traffic, DeterministicAndArrivalOrdered) {
+  cs::TrafficOptions opts;
+  opts.jobs = 300;
+  opts.seed = 11;
+  const cs::TrafficGenerator gen(opts);
+  const auto a = gen.generate();
+  const auto b = gen.generate();
+  ASSERT_EQ(a.size(), 300u);
+  ASSERT_EQ(b.size(), 300u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, static_cast<long>(i));
+    EXPECT_EQ(a[i].tenant, b[i].tenant);
+    EXPECT_EQ(a[i].workload, b[i].workload);
+    EXPECT_EQ(a[i].goal.time_goal.value(), b[i].goal.time_goal.value());
+    EXPECT_EQ(a[i].goal.target_loss, b[i].goal.target_loss);
+    EXPECT_EQ(a[i].priority, b[i].priority);
+    EXPECT_EQ(a[i].arrival.value(), b[i].arrival.value());
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival.value(), a[i - 1].arrival.value());
+    }
+  }
+
+  cs::TrafficOptions other = opts;
+  other.seed = 12;
+  const auto c = cs::TrafficGenerator(other).generate();
+  bool any_difference = false;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (c[i].arrival.value() != a[i].arrival.value() || c[i].workload != a[i].workload) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Traffic, MixesWorkloadsAndClasses) {
+  cs::TrafficOptions opts;
+  opts.jobs = 500;
+  opts.seed = 3;
+  std::map<std::string, int> workloads;
+  std::map<cs::Priority, int> classes;
+  for (const auto& rq : cs::TrafficGenerator(opts).generate()) {
+    workloads[rq.workload] += 1;
+    classes[rq.priority] += 1;
+    EXPECT_GE(rq.arrival.value(), 0.0);
+    EXPECT_LE(rq.arrival.value(), opts.horizon.value());
+    EXPECT_GT(rq.goal.target_loss, 0.0);
+    EXPECT_GT(rq.goal.time_goal.value(), 0.0);
+  }
+  EXPECT_GE(workloads.size(), 3u);  // the default mix actually mixes
+  EXPECT_EQ(classes.size(), 3u);    // all three priority classes appear
+}
+
+TEST(Traffic, ParseGrammar) {
+  const auto opts =
+      cs::TrafficOptions::parse("poisson:jobs=250,horizon=6h,diurnal=0.6,peak=9,seed=5,"
+                                "tenants=16,patience=30m,production=0.1,batch=0.5,"
+                                "mix=mnist:6+cifar10:4");
+  EXPECT_EQ(opts.jobs, 250);
+  EXPECT_DOUBLE_EQ(opts.horizon.value(), 6.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(opts.diurnal_amplitude, 0.6);
+  EXPECT_DOUBLE_EQ(opts.peak_hour, 9.0);
+  EXPECT_EQ(opts.seed, 5u);
+  EXPECT_EQ(opts.tenants, 16);
+  EXPECT_DOUBLE_EQ(opts.patience.value(), 1800.0);
+  EXPECT_DOUBLE_EQ(opts.production_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(opts.batch_fraction, 0.5);
+  ASSERT_EQ(opts.mix.size(), 2u);
+  EXPECT_EQ(opts.mix[0].workload, "mnist");
+  EXPECT_DOUBLE_EQ(opts.mix[0].weight, 6.0);
+
+  EXPECT_THROW(cs::TrafficOptions::parse("jobs=0"), std::invalid_argument);
+  EXPECT_THROW(cs::TrafficOptions::parse("jobs=abc"), std::invalid_argument);
+  EXPECT_THROW(cs::TrafficOptions::parse("diurnal=1.5"), std::invalid_argument);
+  EXPECT_THROW(cs::TrafficOptions::parse("production=0.8,batch=0.4"), std::invalid_argument);
+  EXPECT_THROW(cs::TrafficOptions::parse("nonsense=1"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ProvisioningService: admission, queueing, and determinism.
+// ---------------------------------------------------------------------------
+
+TEST(Service, UnboundedRegionAdmitsEverythingImmediately) {
+  cs::ProvisioningService svc(cr::Region::unbounded());
+  std::vector<cs::JobRequest> requests;
+  for (long id = 0; id < 8; ++id) {
+    requests.push_back(mnist_request(id, cs::Priority::kStandard, 10.0 * static_cast<double>(id)));
+  }
+  const auto result = svc.run(requests);
+  EXPECT_EQ(result.stats.submitted, 8);
+  EXPECT_EQ(result.stats.admitted, 8);
+  EXPECT_EQ(result.stats.completed, 8);
+  EXPECT_EQ(result.stats.rejected, 0);
+  EXPECT_DOUBLE_EQ(result.stats.queue_wait_max.value(), 0.0);
+  EXPECT_DOUBLE_EQ(result.stats.utilization, 0.0);  // no finite denominator
+  for (const auto& o : result.outcomes) {
+    EXPECT_EQ(o.state, cs::JobState::kCompleted);
+    EXPECT_DOUBLE_EQ(o.queue_wait.value(), 0.0);
+    EXPECT_GT(o.cost.value(), 0.0);
+    EXPECT_GT(o.run_seconds.value(), 0.0);
+  }
+}
+
+TEST(Service, PriorityQueueOrderOnContendedRegion) {
+  // Capacity for exactly one mnist job at a time. Job 9 takes the region at
+  // t=0; jobs 0 (batch), 1 (production), 2 (standard) all arrive at t=1 and
+  // queue. Admission order must be production, standard, batch regardless
+  // of arrival-event order.
+  const int slots = mnist_m4_footprint();
+  cs::ProvisioningService svc(cr::Region({{"m4.xlarge", slots}}));
+  std::vector<cs::JobRequest> requests;
+  requests.push_back(mnist_request(9, cs::Priority::kStandard, 0.0));
+  requests.push_back(mnist_request(0, cs::Priority::kBatch, 1.0));
+  requests.push_back(mnist_request(1, cs::Priority::kProduction, 1.0));
+  requests.push_back(mnist_request(2, cs::Priority::kStandard, 1.0));
+  const auto result = svc.run(requests);
+
+  ASSERT_EQ(result.stats.completed, 4);
+  std::map<long, const cs::JobOutcome*> by_id;
+  for (const auto& o : result.outcomes) by_id[o.request.id] = &o;
+  EXPECT_DOUBLE_EQ(by_id.at(9)->queue_wait.value(), 0.0);
+  EXPECT_GT(by_id.at(1)->queue_wait.value(), 0.0);
+  EXPECT_LT(by_id.at(1)->admitted_at.value(), by_id.at(2)->admitted_at.value());
+  EXPECT_LT(by_id.at(2)->admitted_at.value(), by_id.at(0)->admitted_at.value());
+  EXPECT_GT(result.stats.utilization, 0.0);
+}
+
+TEST(Service, QueueOrderStableAcrossReruns) {
+  const int slots = mnist_m4_footprint();
+  std::vector<cs::JobRequest> requests;
+  requests.push_back(mnist_request(9, cs::Priority::kStandard, 0.0));
+  for (long id = 0; id < 6; ++id) {
+    const auto cls = static_cast<cs::Priority>(id % 3);
+    requests.push_back(mnist_request(id, cls, 1.0));
+  }
+  cs::ProvisioningService first(cr::Region({{"m4.xlarge", slots}}));
+  cs::ProvisioningService second(cr::Region({{"m4.xlarge", slots}}));
+  const auto a = first.run(requests);
+  const auto b = second.run(requests);
+  EXPECT_EQ(a.digest, b.digest);
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].admitted_at.value(), b.outcomes[i].admitted_at.value());
+    EXPECT_EQ(a.outcomes[i].completed_at.value(), b.outcomes[i].completed_at.value());
+  }
+}
+
+TEST(Service, PatienceTimesOutQueuedJobs) {
+  const int slots = mnist_m4_footprint();
+  cs::ProvisioningService svc(cr::Region({{"m4.xlarge", slots}}));
+  std::vector<cs::JobRequest> requests;
+  requests.push_back(mnist_request(0, cs::Priority::kStandard, 0.0));
+  requests.push_back(mnist_request(1, cs::Priority::kStandard, 0.0, /*patience=*/1.0));
+  const auto result = svc.run(requests);
+  EXPECT_EQ(result.outcomes[0].state, cs::JobState::kCompleted);
+  EXPECT_EQ(result.outcomes[1].state, cs::JobState::kTimedOut);
+  EXPECT_TRUE(result.outcomes[1].terminal_failure());
+  EXPECT_EQ(result.stats.timed_out, 1);
+  EXPECT_EQ(result.outcomes[1].reason, "patience exceeded");
+}
+
+TEST(Service, RejectsUnknownWorkloadAndImpossibleGoals) {
+  cs::ProvisioningService svc(cr::Region::unbounded());
+  std::vector<cs::JobRequest> requests;
+  auto unknown = mnist_request(0, cs::Priority::kStandard, 0.0);
+  unknown.workload = "no-such-model";
+  requests.push_back(unknown);
+  auto impossible = mnist_request(1, cs::Priority::kStandard, 0.0);
+  impossible.workload = "vgg19";
+  impossible.goal = co::ProvisionGoal{cu::Seconds{1.0}, 0.8};  // nothing is this fast
+  requests.push_back(impossible);
+  const auto result = svc.run(requests);
+  EXPECT_EQ(result.stats.rejected, 2);
+  EXPECT_EQ(result.outcomes[0].state, cs::JobState::kRejected);
+  EXPECT_NE(result.outcomes[0].reason.find("unknown workload"), std::string::npos);
+  EXPECT_EQ(result.outcomes[1].state, cs::JobState::kRejected);
+  EXPECT_NE(result.outcomes[1].reason.find("no feasible plan"), std::string::npos);
+}
+
+TEST(Service, RejectsJobsThatCanNeverFitTheRegion) {
+  // One docker cannot host a worker and a PS, so no mnist plan ever fits.
+  cs::ProvisioningService svc(cr::Region({{"m4.xlarge", 1}}));
+  const auto result = svc.run({mnist_request(0, cs::Priority::kStandard, 0.0)});
+  EXPECT_EQ(result.outcomes[0].state, cs::JobState::kRejected);
+  EXPECT_NE(result.outcomes[0].reason.find("exceeds region capacity"), std::string::npos);
+}
+
+TEST(Service, SingleJobPathBitIdenticalToTrainingService) {
+  // On an unbounded region, submit() must reproduce the pre-fleet
+  // orch::TrainingService::submit bit-for-bit (planning_seconds excepted:
+  // it is host wall-clock, not simulated time).
+  cs::ProvisioningService svc(cr::Region::unbounded());
+  const auto& workload = cd::workload_by_name("mnist");
+  const auto fleet_report = svc.submit(workload, kMnistGoal);
+  cynthia::orch::TrainingService baseline;
+  const auto direct_report = baseline.submit(workload, kMnistGoal);
+  ASSERT_TRUE(fleet_report.has_value());
+  ASSERT_TRUE(direct_report.has_value());
+
+  EXPECT_EQ(fleet_report->plan.type.name, direct_report->plan.type.name);
+  EXPECT_EQ(fleet_report->plan.n_workers, direct_report->plan.n_workers);
+  EXPECT_EQ(fleet_report->plan.n_ps, direct_report->plan.n_ps);
+  EXPECT_EQ(fleet_report->plan.total_iterations, direct_report->plan.total_iterations);
+  EXPECT_EQ(fleet_report->plan.predicted_time.value(), direct_report->plan.predicted_time.value());
+  EXPECT_EQ(fleet_report->plan.predicted_cost.value(), direct_report->plan.predicted_cost.value());
+  EXPECT_EQ(fleet_report->profiling_seconds, direct_report->profiling_seconds);
+  EXPECT_EQ(fleet_report->provisioning_seconds, direct_report->provisioning_seconds);
+  EXPECT_EQ(fleet_report->training.iterations, direct_report->training.iterations);
+  EXPECT_EQ(fleet_report->training.total_time, direct_report->training.total_time);
+  EXPECT_EQ(fleet_report->achieved_loss, direct_report->achieved_loss);
+  EXPECT_EQ(fleet_report->actual_cost.value(), direct_report->actual_cost.value());
+  EXPECT_EQ(fleet_report->time_goal_met, direct_report->time_goal_met);
+  EXPECT_EQ(fleet_report->loss_goal_met, direct_report->loss_goal_met);
+}
+
+TEST(Service, SingleJobSubmitChecksFiniteCapacity) {
+  cs::ProvisioningService svc(cr::Region({{"m4.xlarge", 1}}));
+  EXPECT_FALSE(svc.submit(cd::workload_by_name("mnist"), kMnistGoal).has_value());
+}
+
+TEST(Service, RunTwiceDigestIdenticalOn1kJobTrace) {
+  const auto requests =
+      cs::TrafficGenerator(cs::TrafficOptions::parse("jobs=1000,horizon=6h,seed=7")).generate();
+  ASSERT_EQ(requests.size(), 1000u);
+  const cr::Region region = cr::Region::parse("*=96");
+  const auto a = cs::ProvisioningService(region).run(requests);
+  const auto b = cs::ProvisioningService(region).run(requests);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.stats.completed, b.stats.completed);
+  EXPECT_EQ(a.stats.total_cost.value(), b.stats.total_cost.value());
+  EXPECT_EQ(a.stats.queue_wait_p99.value(), b.stats.queue_wait_p99.value());
+  EXPECT_GT(a.stats.completed, 0);
+  EXPECT_GT(a.stats.slo_attain_rate, 0.0);
+  EXPECT_GT(a.stats.utilization, 0.0);
+}
+
+TEST(Service, RevocationsAreDeterministicAndRecovered) {
+  const auto requests =
+      cs::TrafficGenerator(cs::TrafficOptions::parse("jobs=120,horizon=2h,seed=21")).generate();
+  cs::ServeOptions opts;
+  opts.mean_revocation_interval = cu::minutes(20.0);
+  const cr::Region region = cr::Region::parse("*=96");
+  const auto a = cs::ProvisioningService(region, cc::Catalog::aws(), opts).run(requests);
+  const auto b = cs::ProvisioningService(region, cc::Catalog::aws(), opts).run(requests);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_GT(a.stats.revocations, 0);
+  // Revoked jobs are re-admitted and carried to completion, never dropped.
+  for (const auto& o : a.outcomes) {
+    if (o.revocations > 0) {
+      EXPECT_EQ(o.state, cs::JobState::kCompleted);
+      EXPECT_GT(o.attempts, 1);
+    }
+  }
+  EXPECT_EQ(a.stats.starved, 0);
+}
+
+TEST(Service, TelemetryLedgerReproducesFleetCostExactly) {
+  const auto requests =
+      cs::TrafficGenerator(cs::TrafficOptions::parse("jobs=60,horizon=1h,seed=4")).generate();
+  const cr::Region region = cr::Region::parse("*=96");
+
+  ct::Telemetry tel;
+  const auto observed = cs::ProvisioningService(region).run(requests, &tel);
+  const auto silent = cs::ProvisioningService(region).run(requests);
+  // Attaching telemetry changes no outcome.
+  EXPECT_EQ(observed.digest, silent.digest);
+
+  // Bit-exact cost attribution: the ledger fold reproduces the fleet total.
+  const ct::CostLedger ledger = ct::CostLedger::from(tel.journal);
+  EXPECT_EQ(ledger.total().value(), observed.stats.total_cost.value());
+
+  std::map<ct::JournalKind, long> kinds;
+  for (const auto& rec : tel.journal.records()) kinds[rec.kind] += 1;
+  EXPECT_EQ(kinds[ct::JournalKind::kJobSubmitted], observed.stats.submitted);
+  EXPECT_EQ(kinds[ct::JournalKind::kJobAdmitted], observed.stats.attempts);
+  EXPECT_EQ(kinds[ct::JournalKind::kJobCompleted], observed.stats.completed);
+  EXPECT_EQ(kinds[ct::JournalKind::kJobRejected],
+            observed.stats.rejected + observed.stats.timed_out + observed.stats.starved);
+
+  // Fleet gauges mirror the stats rollup.
+  EXPECT_DOUBLE_EQ(tel.metrics.gauge(ct::metric::kServiceSloAttainRate).value(),
+                   observed.stats.slo_attain_rate);
+  EXPECT_DOUBLE_EQ(tel.metrics.gauge(ct::metric::kServiceUtilization).value(),
+                   observed.stats.utilization);
+}
+
+TEST(Service, OutcomesAccountEveryDollarAndSecond) {
+  const auto requests =
+      cs::TrafficGenerator(cs::TrafficOptions::parse("jobs=40,horizon=1h,seed=13")).generate();
+  const auto result = cs::ProvisioningService(cr::Region::parse("*=96")).run(requests);
+  long terminal = 0;
+  for (const auto& o : result.outcomes) {
+    EXPECT_NE(o.state, cs::JobState::kQueued);
+    EXPECT_NE(o.state, cs::JobState::kRunning);
+    terminal += 1;
+    if (o.state == cs::JobState::kCompleted) {
+      EXPECT_GT(o.cost.value(), 0.0);
+      EXPECT_GT(o.provisioning.value(), 0.0);
+      EXPECT_GE(o.completed_at.value(), o.admitted_at.value());
+      EXPECT_EQ(o.slo_met,
+                o.completed_at.value() - o.request.arrival.value() <= o.request.goal.time_goal.value());
+    } else {
+      EXPECT_TRUE(o.terminal_failure());
+    }
+  }
+  EXPECT_EQ(terminal, result.stats.submitted);
+}
+
+TEST(Service, DuplicateJobIdsTripInvariantCheck) {
+  ScopedInvariants on(true);
+  cs::ProvisioningService svc(cr::Region::unbounded());
+  std::vector<cs::JobRequest> requests;
+  requests.push_back(mnist_request(3, cs::Priority::kStandard, 0.0));
+  requests.push_back(mnist_request(3, cs::Priority::kStandard, 1.0));
+  EXPECT_THROW(svc.run(requests), cu::CheckFailure);
+}
