@@ -4,7 +4,10 @@
 //   cynthiactl models                          list model zoo entries
 //   cynthiactl profile <workload>              30-iteration baseline profile
 //   cynthiactl plan <workload> --minutes M --loss L [--gpu] [--type T]
-//                                              run Algorithm 1
+//              [--spot] [--bid MULT]           run Algorithm 1; --spot also
+//                                              prices mixed on-demand+spot
+//                                              fleets under the fitted
+//                                              revocation process
 //   cynthiactl simulate <workload> --workers N [--ps K] [--type T]
 //              [--iterations S] [--stragglers]
 //              [--faults SPEC] [--fault-seed N] [--fault-horizon S]
@@ -18,7 +21,8 @@
 //                                              sentinel run + run journal +
 //                                              cost/SLO attribution report
 //   cynthiactl serve [--jobs N] [--arrival SPEC] [--region SPEC] [--seed N]
-//              [--revocations MINUTES] [--patience MINUTES] [--slo RATE]
+//              [--revocations MINUTES] [--spot] [--bid MULT]
+//              [--patience MINUTES] [--slo RATE]
 //              [--journal-out F.jsonl] [--report-out F.html] [--json-out F.json]
 //                                              multi-tenant fleet simulation
 //
@@ -30,9 +34,12 @@
 // re-planned as capacity frees, and the fleet rollup (SLO-attainment,
 // utilization, queue-wait distribution, $/goodput) is printed and journaled.
 // --revocations M enables spot-style capacity loss with an Exp(M minutes)
-// per-attempt revocation process. The attribution ledger derived from the
-// journal must reproduce the fleet's total cost bit-for-bit or serve exits
-// 1; --slo R exits 3 when the SLO-attainment rate lands below R.
+// per-attempt revocation process; adding --spot re-admits revoked jobs on
+// mixed on-demand+spot fleets (workers at the fitted held-price ratio, PS
+// on-demand; --bid sets the multiplier over the mean spot price). The
+// attribution ledger derived from the journal must reproduce the fleet's
+// total cost bit-for-bit or serve exits 1; --slo R exits 3 when the
+// SLO-attainment rate lands below R.
 //
 // `report` runs the SLO sentinel with the run journal always on, derives the
 // cost-attribution ledger (every billing settlement classified by phase x
@@ -84,6 +91,7 @@
 
 #include "cloud/instance.hpp"
 #include "cloud/pricing.hpp"
+#include "cloud/spot.hpp"
 #include "core/predictor.hpp"
 #include "core/provisioner.hpp"
 #include "ddnn/trainer.hpp"
@@ -114,7 +122,7 @@ struct Args {
     // Boolean flags must be declared here, or a following positional (e.g.
     // the command in `--check simulate ...`) is swallowed as their value.
     static const std::set<std::string> kBoolFlags = {"check", "gpu", "stragglers",
-                                                     "mitigate"};
+                                                     "mitigate", "spot"};
     Args a;
     for (int i = 1; i < argc; ++i) {
       std::string tok = argv[i];
@@ -221,9 +229,29 @@ int cmd_profile(const Args& args) {
   return 0;
 }
 
+/// Validates the --bid multiplier against the market. A bid is expressed as
+/// a multiple of the long-run mean spot price; anything below the mean
+/// discount floor (mean spot / on-demand) would sit under the market
+/// forever, so reject it with a hint instead of spinning a doomed search.
+double validated_bid_multiplier(const Args& args, const cloud::SpotMarket& market) {
+  const double bid = args.number("bid").value_or(1.6);
+  const double floor = market.options().mean_discount;
+  if (bid <= 0.0 || bid < floor) {
+    char hint[160];
+    std::snprintf(hint, sizeof hint,
+                  "bad --bid %g: bid is a multiple of the mean spot price and must be "
+                  ">= the mean spot discount %.2f (try --bid 1.6)",
+                  bid, floor);
+    throw std::invalid_argument(hint);
+  }
+  return bid;
+}
+
 int cmd_plan(const Args& args) {
   if (args.positional.size() < 2 || !args.number("minutes") || !args.number("loss")) {
-    std::puts("usage: cynthiactl plan <workload> --minutes M --loss L [--gpu] [--type T]");
+    std::puts(
+        "usage: cynthiactl plan <workload> --minutes M --loss L [--gpu] [--type T]"
+        " [--spot] [--bid MULT]");
     return 2;
   }
   const auto w = resolve_workload(args.positional[1]);
@@ -235,6 +263,47 @@ int cmd_plan(const Args& args) {
   telemetry::Telemetry tel;
   prov.set_metrics(&tel.metrics);
   const core::ProvisionGoal goal{util::minutes(*args.number("minutes")), *args.number("loss")};
+
+  if (args.flag("spot")) {
+    const auto seed = static_cast<std::uint64_t>(args.number("seed").value_or(1.0));
+    const cloud::SpotMarket market(catalog, seed);
+    core::SpotPlanOptions so;
+    so.bid_multiplier = validated_bid_multiplier(args, market);
+    const core::SpotProvisionPlan sp = prov.plan_spot(w.sync, goal, market, so);
+    std::printf("plan: %s\n", sp.describe().c_str());
+    if (!sp.feasible) return 1;
+
+    // Planned (durable Algorithm 1 answer) vs the durability-aware winner.
+    util::Table t("Planned vs durable fleets for " + w.name + " (seed " +
+                  std::to_string(seed) + ")");
+    t.header({"fleet", "type", "wk", "ps", "ckpt (s)", "E[time] (s)", "E[cost] ($)",
+              "E[rev]"});
+    t.row({"durable", sp.durable.type.name, std::to_string(sp.durable.n_workers),
+           std::to_string(sp.durable.n_ps), "-",
+           util::Table::num(sp.durable.predicted_time.value(), 0),
+           util::Table::num(sp.durable.predicted_cost.value(), 2), "0"});
+    t.row({core::to_string(sp.durability), sp.plan.type.name,
+           std::to_string(sp.plan.n_workers), std::to_string(sp.plan.n_ps),
+           sp.checkpoint_interval.value() > 0.0
+               ? util::Table::num(sp.checkpoint_interval.value(), 0)
+               : "-",
+           util::Table::num(sp.expected_time.value(), 0),
+           util::Table::num(sp.expected_cost.value(), 2),
+           util::Table::num(sp.expected_revocations, 2)});
+    t.print(std::cout);
+    if (sp.durability != core::FleetDurability::kDurable) {
+      const double saved = sp.durable.predicted_cost.value() - sp.expected_cost.value();
+      std::printf("spot: bid $%.4f/h (%.2fx mean), hazard %.3g/h, expected savings $%.2f"
+                  " (%.1f%%) vs durable\n",
+                  sp.bid.value(), so.bid_multiplier,
+                  sp.interruption.hazard * util::kSecondsPerHour, saved,
+                  100.0 * saved / sp.durable.predicted_cost.value());
+    } else {
+      std::puts("spot: durable fleet remains cheapest under the fitted revocation process");
+    }
+    return 0;
+  }
+
   const auto plan = prov.plan(w.sync, goal);
   std::printf("plan: %s\n", plan.describe().c_str());
   const auto stats = prov.stats();
@@ -649,6 +718,12 @@ int cmd_serve(const Args& args) {
   if (args.number("revocations")) {
     so.mean_revocation_interval = util::minutes(*args.number("revocations"));
   }
+  if (args.flag("spot")) {
+    so.spot_fleets = true;
+    // Same market the service will fit from: seeded by the serve seed.
+    const cloud::SpotMarket market(cloud::Catalog::aws(), so.seed);
+    so.spot_bid_multiplier = validated_bid_multiplier(args, market);
+  }
 
   const auto requests = service::TrafficGenerator(traffic).generate();
   telemetry::Telemetry tel;
@@ -668,6 +743,7 @@ int cmd_serve(const Args& args) {
   t.row({"attempts", std::to_string(s.attempts)});
   t.row({"replans", std::to_string(s.replans)});
   t.row({"revocations", std::to_string(s.revocations)});
+  if (so.spot_fleets) t.row({"spot attempts", std::to_string(s.spot_attempts)});
   t.row({"SLO attained", std::to_string(s.slo_attained)});
   t.row({"SLO attain rate", util::Table::pct(100.0 * s.slo_attain_rate)});
   t.row({"region utilization", util::Table::pct(100.0 * s.utilization)});

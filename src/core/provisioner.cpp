@@ -5,6 +5,7 @@
 #include <cmath>
 #include <future>
 #include <limits>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -589,6 +590,148 @@ ProvisionPlan Provisioner::replan(ddnn::SyncMode mode, long remaining_iterations
   record_latency(util::Seconds{timer.seconds()});
   record_journal(best, "replan");
   return best;
+}
+
+const char* to_string(FleetDurability durability) {
+  switch (durability) {
+    case FleetDurability::kDurable: return "durable";
+    case FleetDurability::kMixed: return "mixed";
+    case FleetDurability::kAllSpot: return "all-spot";
+  }
+  return "?";
+}
+
+std::string SpotProvisionPlan::describe() const {
+  std::ostringstream os;
+  if (!feasible) {
+    os << "infeasible (no fleet meets the goal)";
+    return os.str();
+  }
+  os << to_string(durability) << " fleet: " << plan.n_workers << " worker(s) + " << plan.n_ps
+     << " PS on " << plan.type.name << ", expected " << expected_time.value() << " s, $"
+     << expected_cost.value() << " expected";
+  if (durability != FleetDurability::kDurable) {
+    os << " (bid $" << bid.value() << "/h";
+    if (checkpoint_interval.value() > 0.0) {
+      os << ", checkpoint every " << checkpoint_interval.value() << " s";
+    }
+    os << ", E[revocations] " << expected_revocations << ")";
+  }
+  return os.str();
+}
+
+SpotProvisionPlan Provisioner::plan_spot(ddnn::SyncMode mode, const ProvisionGoal& goal,
+                                         const cloud::SpotMarket& market,
+                                         const SpotPlanOptions& options) const {
+  if (options.bid_multiplier <= 0.0) {
+    throw std::invalid_argument("plan_spot: bid multiplier must be positive");
+  }
+  SpotProvisionPlan out;
+  out.durable = plan(mode, goal, options.search);
+  if (out.durable.feasible) {
+    out.feasible = true;
+    out.durability = FleetDurability::kDurable;
+    out.plan = out.durable;
+    out.expected_time = out.durable.predicted_time;
+    out.expected_cost = out.durable.predicted_cost;
+    out.estimate.finite = true;
+    out.estimate.expected_busy = out.durable.predicted_time;
+    out.estimate.expected_wall = out.durable.predicted_time;
+  }
+  if (!options.allow_mixed && !options.allow_all_spot) return out;
+
+  // Enumerate the full bounded grid once (whole intervals, traced): a
+  // durable-infeasible shape can never become feasible on spot — the
+  // interruption process only stretches time — so the nominally-feasible
+  // trace entries are exactly the spot-search candidates.
+  ProvisionOptions sweep = options.search;
+  sweep.keep_trace = true;
+  sweep.first_feasible_only = false;
+  (void)plan(mode, goal, sweep);
+  const std::vector<CandidateEvaluation> candidates = considered();
+
+  const util::Seconds ckpt_write{model_.profile().gparam.value() /
+                                 std::max(1.0, options.checkpoint_bandwidth.value())};
+  InterruptionFitOptions fit_options;
+  fit_options.horizon = options.fit_horizon;
+  std::map<std::string, InterruptionModel> fits;  // ordered: deterministic reuse
+
+  for (const CandidateEvaluation& c : candidates) {
+    if (!c.feasible) continue;
+    const auto type_it = std::find_if(types_.begin(), types_.end(),
+                                      [&c](const cloud::InstanceType& t) { return t.name == c.type; });
+    if (type_it == types_.end()) continue;
+    const cloud::InstanceType& type = *type_it;
+
+    auto fit = fits.find(c.type);
+    if (fit == fits.end()) {
+      const util::DollarsPerHour bid{market.mean_price(c.type) * options.bid_multiplier};
+      fit = fits.emplace(c.type, fit_interruption_model(market, type, bid, fit_options)).first;
+    }
+    const InterruptionModel& process = fit->second;
+    if (process.held.value() <= 0.0) continue;  // bid never acquires capacity
+
+    RevocationRunShape shape;
+    shape.work = util::Seconds{c.total_time};
+    shape.t_iter = util::Seconds{c.t_iter};
+    shape.restart_delay = options.restart_delay;
+
+    const FleetDurability variants[] = {FleetDurability::kMixed, FleetDurability::kAllSpot};
+    for (const FleetDurability variant : variants) {
+      if (variant == FleetDurability::kMixed && !options.allow_mixed) continue;
+      if (variant == FleetDurability::kAllSpot && !options.allow_all_spot) continue;
+      RevocationRunShape s = shape;
+      s.state_survives = variant == FleetDurability::kMixed;
+      if (!s.state_survives) {
+        s.checkpoint_write = ckpt_write;
+        s.restore_read = ckpt_write;
+      }
+      const ExpectedRun estimate = optimize_checkpoint_cadence(process, s);
+      if (!estimate.finite) continue;
+      if (estimate.expected_wall.value() > goal.time_goal.value()) continue;  // Tg on E[wall]
+
+      const util::DollarsPerHour docker = type.docker_price();
+      const util::DollarsPerHour spot_docker{docker.value() * process.held_price_ratio};
+      util::Dollars expected_cost{0.0};
+      if (variant == FleetDurability::kMixed) {
+        // Workers pay the fitted spot rate while busy; the durable PS tier
+        // is held (and billed on-demand) through outages as well.
+        expected_cost =
+            util::Dollars{(spot_docker * estimate.expected_busy).value() * c.n_workers +
+                          (docker * estimate.expected_wall).value() * c.n_ps};
+      } else {
+        expected_cost = util::Dollars{(spot_docker * estimate.expected_busy).value() *
+                                      (c.n_workers + c.n_ps)};
+      }
+      // Strict improvement only: ties keep the earlier (deterministic
+      // catalog/scan-order, mixed-before-all-spot) candidate.
+      if (out.feasible && !(expected_cost.value() < out.expected_cost.value())) continue;
+
+      out.feasible = true;
+      out.durability = variant;
+      out.plan = ProvisionPlan{};
+      out.plan.feasible = true;
+      out.plan.type = type;
+      out.plan.n_workers = c.n_workers;
+      out.plan.n_ps = c.n_ps;
+      out.plan.iterations = c.iterations;
+      out.plan.total_iterations = mode == ddnn::SyncMode::BSP
+                                      ? c.iterations
+                                      : c.iterations * static_cast<long>(c.n_workers);
+      out.plan.t_iter = c.t_iter;
+      out.plan.predicted_time = util::Seconds{c.total_time};
+      out.plan.predicted_cost = util::Dollars{c.cost};
+      out.plan.diagnostics = c.prediction;
+      out.bid = process.bid;
+      out.checkpoint_interval = estimate.checkpoint_interval;
+      out.expected_time = estimate.expected_wall;
+      out.expected_cost = expected_cost;
+      out.expected_revocations = estimate.expected_revocations;
+      out.estimate = estimate;
+      out.interruption = process;
+    }
+  }
+  return out;
 }
 
 }  // namespace cynthia::core

@@ -23,10 +23,12 @@
 #include <vector>
 
 #include "cloud/instance.hpp"
+#include "cloud/spot.hpp"
 #include "core/bounds.hpp"
 #include "core/loss_model.hpp"
 #include "core/perf_model.hpp"
 #include "core/prediction_cache.hpp"
+#include "core/revocation.hpp"
 #include "ddnn/workload.hpp"
 #include "util/units.hpp"
 
@@ -134,6 +136,51 @@ struct ProvisionOptions {
   int parallel_min_candidates = 4096;
 };
 
+/// Durability of a candidate fleet in the revocation-aware search.
+enum class FleetDurability {
+  kDurable,  ///< everything on-demand (Algorithm 1 as-is)
+  kMixed,    ///< workers on spot, PS tier on-demand: parameters survive
+  kAllSpot,  ///< whole fleet on spot, checkpoint/rollback protected
+};
+
+[[nodiscard]] const char* to_string(FleetDurability durability);
+
+struct SpotPlanOptions {
+  /// Bid as a multiple of each type's long-run mean spot price.
+  double bid_multiplier = 1.6;
+  /// Durable-storage bandwidth for checkpoint writes and restore reads.
+  util::MBps checkpoint_bandwidth{200.0};
+  /// Replacement boot delay charged (while holding) per revocation.
+  util::Seconds restart_delay{180.0};
+  /// Interruption-model fit window (core/revocation.hpp).
+  util::Seconds fit_horizon = util::days(14.0);
+  bool allow_mixed = true;
+  bool allow_all_spot = true;
+  /// Underlying Algorithm 1 grid options for candidate enumeration.
+  ProvisionOptions search;
+};
+
+/// plan_spot()'s answer: the cheapest (shape, durability) pairing by
+/// expected cost under the fitted interruption process, next to the
+/// durable-only reference for planned-vs-durable comparisons.
+struct SpotProvisionPlan {
+  bool feasible = false;
+  FleetDurability durability = FleetDurability::kDurable;
+  /// The chosen shape with its nominal (revocation-free) prediction.
+  ProvisionPlan plan;
+  /// Algorithm 1's durable-only answer over the same options.
+  ProvisionPlan durable;
+  util::DollarsPerHour bid{0.0};           ///< per worker instance; 0 = durable
+  util::Seconds checkpoint_interval{0.0};  ///< co-optimized cadence; 0 = none
+  util::Seconds expected_time{0.0};        ///< E[wall] under the fitted process
+  util::Dollars expected_cost{0.0};
+  double expected_revocations = 0.0;
+  ExpectedRun estimate;            ///< renewal estimate behind expected_*
+  InterruptionModel interruption;  ///< fitted process for the chosen type
+
+  [[nodiscard]] std::string describe() const;
+};
+
 /// Degradation-aware inputs to Provisioner::replan(), measured by the caller
 /// (the SLO sentinel) from the run so far. The defaults reproduce the healthy
 /// prediction exactly, so pre-existing call sites are unchanged.
@@ -178,6 +225,19 @@ class Provisioner {
   /// Runs Algorithm 1. `mode` is the workload's sync mechanism.
   [[nodiscard]] ProvisionPlan plan(ddnn::SyncMode mode, const ProvisionGoal& goal,
                                    const ProvisionOptions& options = {}) const;
+
+  /// Revocation-aware Algorithm 1 (the durability dimension): enumerates
+  /// the same bounded (type, n_wk, n_ps) grid, fits one interruption model
+  /// per type at bid = mean spot price x bid_multiplier, then prices every
+  /// nominally-feasible shape as a durable, mixed (workers spot, PS
+  /// on-demand) and all-spot fleet — each with its checkpoint cadence
+  /// co-optimized against the fitted hazard — and keeps the cheapest
+  /// variant whose *expected* wall time still meets Tg. The durable
+  /// reference plan is always a candidate, so the answer never costs more
+  /// than Algorithm 1's. Deterministic: same market seed, same answer.
+  [[nodiscard]] SpotProvisionPlan plan_spot(ddnn::SyncMode mode, const ProvisionGoal& goal,
+                                            const cloud::SpotMarket& market,
+                                            const SpotPlanOptions& options = {}) const;
 
   using ReplanDegradation = core::ReplanDegradation;
 

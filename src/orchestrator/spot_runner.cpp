@@ -3,10 +3,50 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "telemetry/telemetry.hpp"
 
 namespace cynthia::orch {
+
+namespace {
+
+/// One revocation cycle on the price trace, relative to first acquisition.
+struct RevocationWindow {
+  double revoked_at = 0.0;  ///< held time ends
+  double outage = 0.0;      ///< market wait until the bid holds again
+};
+
+/// Walks the trace from the first acquisition, alternating held and outage
+/// windows. A revocation whose re-acquisition lies beyond the horizon is
+/// dropped (the schedule never emits a permanent crash).
+std::vector<RevocationWindow> revocation_windows(const cloud::SpotMarket& market,
+                                                 const std::string& type, double bid,
+                                                 util::Seconds horizon) {
+  std::vector<RevocationWindow> out;
+  const double span = horizon.value();
+  const double start = market.next_availability_after(type, 0.0, bid, span);
+  if (!std::isfinite(start)) return out;
+  double t = start;
+  while (t - start < span) {
+    const double remaining = span - (t - start);
+    const double revoked = market.next_revocation_after(type, t, bid, remaining);
+    if (!std::isfinite(revoked)) break;
+    const double back =
+        market.next_availability_after(type, revoked, bid, span - (revoked - start));
+    if (!std::isfinite(back)) break;
+    out.push_back({revoked - start, back - revoked});
+    t = back;
+  }
+  return out;
+}
+
+int instances_for(int dockers, const cloud::InstanceType& type) {
+  const int slots = std::max(1, type.physical_cores);
+  return (dockers + slots - 1) / slots;
+}
+
+}  // namespace
 
 SpotRunReport run_on_spot(const cloud::SpotMarket& market, const ddnn::WorkloadSpec& workload,
                           const cloud::InstanceType& type, int n_workers, int n_ps,
@@ -34,19 +74,26 @@ SpotRunReport run_on_spot(const cloud::SpotMarket& market, const ddnn::WorkloadS
   const long iters_per_ckpt =
       std::max<long>(1, static_cast<long>(options.checkpoint_interval / t_iter));
 
-  const int dockers = n_workers + n_ps;
-  const int slots = std::max(1, type.physical_cores);
-  const int instances = (dockers + slots - 1) / slots;
+  const int instances = instances_for(n_workers + n_ps, type);
 
   double now = 0.0;
   long done = 0;            // durable progress (as of the last checkpoint)
   long since_ckpt = 0;      // iterations completed but not yet checkpointed
+  // Restart delay + checkpoint restore owed at the top of the next held
+  // segment: both happen on acquired capacity, inside the billed window.
+  double resume_overhead = 0.0;
   // Acquire initial capacity.
   now = market.next_availability_after(type.name, now, report.bid);
   if (!std::isfinite(now)) return report;  // bid below the market forever
 
   while (done + since_ckpt < total_iterations && now < options.max_wall_time) {
     const double segment_start = now;
+    if (resume_overhead > 0.0) {
+      now += resume_overhead;
+      report.restore_overhead += ckpt_seconds;
+      report.restart_overhead += options.restart_delay;
+      resume_overhead = 0.0;
+    }
     const double revoked_at =
         market.next_revocation_after(type.name, now, report.bid);
 
@@ -74,7 +121,8 @@ SpotRunReport run_on_spot(const cloud::SpotMarket& market, const ddnn::WorkloadS
         since_ckpt = 0;
       }
     }
-    // Account the segment we just held capacity for.
+    // Account the segment we just held capacity for (restart delay and
+    // restore read included: the instances are up the whole window).
     report.busy_time += now - segment_start;
     report.cost += util::Dollars{market.cost(type.name, segment_start, now).value() * instances};
 
@@ -84,23 +132,115 @@ SpotRunReport run_on_spot(const cloud::SpotMarket& market, const ddnn::WorkloadS
       report.completed = true;
       break;
     }
-    // We were revoked: wait for capacity, pay the restart delay, then read
-    // the checkpoint back before the first new iteration can start.
+    // We were revoked: wait (unbilled) for capacity; the restart delay and
+    // the checkpoint read-back are owed once the next segment starts.
     ++report.revocations;
-    double available = market.next_availability_after(type.name, now, report.bid);
+    const double available = market.next_availability_after(type.name, now, report.bid);
     if (!std::isfinite(available)) break;
-    now = available + options.restart_delay + ckpt_seconds;
-    report.restore_overhead += ckpt_seconds;
+    now = available;
+    resume_overhead = options.restart_delay + ckpt_seconds;
   }
 
   report.wall_time = now;
   report.iterations = done;
-  report.on_demand_cost =
-      util::Dollars{type.price.value() * instances * report.busy_time / 3600.0};
+  report.on_demand_cost = util::Dollars{
+      (util::DollarsPerHour{type.price.value() * instances} * util::Seconds{report.busy_time})
+          .value()};
   if (options.training.telemetry != nullptr && report.restore_overhead > 0.0) {
     options.training.telemetry->metrics.counter(telemetry::metric::kRestoreSeconds)
         .inc(report.restore_overhead);
   }
+  return report;
+}
+
+faults::FaultSchedule revocation_schedule(const cloud::SpotMarket& market,
+                                          const std::string& type, double bid, int n_workers,
+                                          util::Seconds horizon, util::Seconds restart_delay) {
+  if (n_workers <= 0) throw std::invalid_argument("revocation_schedule: no workers");
+  if (bid <= 0.0) throw std::invalid_argument("revocation_schedule: bid must be positive");
+  faults::FaultSchedule schedule;
+  for (const RevocationWindow& w : revocation_windows(market, type, bid, horizon)) {
+    for (int wk = 0; wk < n_workers; ++wk) {
+      faults::FaultSpec spec;
+      spec.kind = faults::FaultKind::kCrash;
+      spec.on_ps = false;
+      spec.target = wk;
+      spec.time_seconds = w.revoked_at;
+      spec.recovery_seconds = w.outage + restart_delay.value();
+      schedule.add(spec);
+    }
+  }
+  return schedule;
+}
+
+MixedFleetReport run_mixed_fleet(const cloud::SpotMarket& market,
+                                 const ddnn::WorkloadSpec& workload,
+                                 const cloud::InstanceType& type, int n_workers, int n_ps,
+                                 long total_iterations, const MixedFleetOptions& options) {
+  if (total_iterations <= 0) throw std::invalid_argument("run_mixed_fleet: no iterations");
+  if (options.bid_multiplier <= 0.0) {
+    throw std::invalid_argument("run_mixed_fleet: bid multiplier must be positive");
+  }
+
+  MixedFleetReport report;
+  report.bid = market.mean_price(type.name) * options.bid_multiplier;
+
+  const double start =
+      market.next_availability_after(type.name, 0.0, report.bid, options.max_wall_time);
+  if (!std::isfinite(start)) return report;  // bid below the market forever
+
+  // Planned revocations, injected as deterministic crash faults: the PS
+  // tier is on-demand, so parameters survive and workers re-join live.
+  const std::vector<RevocationWindow> windows = revocation_windows(
+      market, type.name, report.bid, util::Seconds{options.max_wall_time});
+  report.schedule =
+      revocation_schedule(market, type.name, report.bid, n_workers,
+                          util::Seconds{options.max_wall_time},
+                          util::Seconds{options.restart_delay});
+  const auto cluster = ddnn::ClusterSpec::homogeneous(type, n_workers, n_ps);
+  ddnn::TrainOptions train = options.training;
+  train.iterations = total_iterations;
+  train.seed = options.seed;
+  train.faults = &report.schedule;
+  report.training = ddnn::run_training(cluster, workload, train);
+  report.completed = !report.training.stopped_early;
+  report.wall_time = report.training.total_time;
+  report.revocations = static_cast<int>(
+      std::count_if(windows.begin(), windows.end(), [&report](const RevocationWindow& w) {
+        return w.revoked_at < report.wall_time;
+      }));
+
+  // Billing. Workers: integrate the spot price over their held windows —
+  // held from (re-)acquisition through the next revocation, which bills the
+  // restart delay like any other held time. PS tier: on-demand, held for
+  // the whole wall clock.
+  const int instances_w = instances_for(n_workers, type);
+  const int instances_ps = instances_for(n_ps, type);
+  const double wall_end = start + report.wall_time;
+  util::Dollars worker_cost{0.0};
+  double busy = 0.0;
+  double held_from = start;
+  for (const RevocationWindow& w : windows) {
+    const double seg_end = std::min(start + w.revoked_at, wall_end);
+    if (seg_end > held_from) {
+      worker_cost += util::Dollars{market.cost(type.name, held_from, seg_end).value() * instances_w};
+      busy += seg_end - held_from;
+    }
+    held_from = std::max(held_from, start + w.revoked_at + w.outage);
+    if (held_from >= wall_end) break;
+  }
+  if (wall_end > held_from) {
+    worker_cost += util::Dollars{market.cost(type.name, held_from, wall_end).value() * instances_w};
+    busy += wall_end - held_from;
+  }
+  report.worker_busy_time = busy;
+  const util::Dollars ps_cost{(util::DollarsPerHour{type.price.value() * instances_ps} *
+                               util::Seconds{report.wall_time})
+                                  .value()};
+  report.cost = worker_cost + ps_cost;
+  report.on_demand_cost = util::Dollars{
+      (util::DollarsPerHour{type.price.value() * instances_w} * util::Seconds{busy}).value() +
+      ps_cost.value()};
   return report;
 }
 

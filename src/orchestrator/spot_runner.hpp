@@ -6,6 +6,17 @@
 // checkpoint) once capacity is available again. Checkpoints write the
 // model parameters to durable storage at a configurable cadence, trading
 // steady-state overhead against revocation loss.
+//
+// Two execution flavors:
+//  * run_on_spot      — the whole fleet on one spot bid (all-spot), an
+//                       analytic timeline composed against the market.
+//  * run_mixed_fleet  — workers on spot, PS tier on-demand: revocations
+//                       become deterministic crash events derived from the
+//                       price trace (revocation_schedule) and injected via
+//                       src/faults into the real training simulator, so the
+//                       PS-held parameters survive and workers re-join
+//                       without rollback. Bit-identical across runs at a
+//                       fixed seed.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +26,7 @@
 #include "ddnn/cluster.hpp"
 #include "ddnn/trainer.hpp"
 #include "ddnn/workload.hpp"
+#include "faults/fault_spec.hpp"
 #include "util/units.hpp"
 
 namespace cynthia::orch {
@@ -22,14 +34,16 @@ namespace cynthia::orch {
 struct SpotRunOptions {
   /// Bid as a multiple of the long-run mean spot price (>1 = headroom).
   double bid_multiplier = 1.6;
-  /// Seconds between checkpoints of the model parameters.
+  /// Seconds between checkpoints of the model parameters. Fixed-cadence
+  /// default; core::optimize_checkpoint_cadence co-optimizes this against
+  /// the fitted revocation rate (pass the result in here).
   double checkpoint_interval = 600.0;
   /// Durable-storage write bandwidth for checkpoints (MB/s).
   double checkpoint_bandwidth_mbps = 200.0;
   /// Re-provisioning delay after capacity becomes available again.
   double restart_delay = 180.0;
   /// Give up after this much wall time (safety for absurd bids).
-  double max_wall_time = 30.0 * 24 * 3600;
+  double max_wall_time = util::days(30.0).value();
   std::uint64_t seed = 17;
   /// Forwarded to the training simulator for the rate measurement.
   ddnn::TrainOptions training;
@@ -38,13 +52,14 @@ struct SpotRunOptions {
 struct SpotRunReport {
   bool completed = false;
   double wall_time = 0.0;      ///< submit -> final iteration (incl. outages)
-  double busy_time = 0.0;      ///< time actually holding instances
+  double busy_time = 0.0;      ///< time actually holding (and paying for) instances
   util::Dollars cost;          ///< integral of the spot price while holding
   util::Dollars on_demand_cost;  ///< what the same busy time costs on-demand
   int revocations = 0;
   double lost_work = 0.0;          ///< seconds of progress thrown away
   double checkpoint_overhead = 0.0;  ///< seconds spent writing checkpoints
   double restore_overhead = 0.0;   ///< seconds spent re-reading checkpoints on restart
+  double restart_overhead = 0.0;   ///< re-provisioning delay held (and billed) per restart
   double bid = 0.0;                ///< $/h per instance actually bid
   long iterations = 0;
 };
@@ -53,8 +68,61 @@ struct SpotRunReport {
 /// dockers of `type`, bought as ceil(dockers/slots) instances. The
 /// steady-state iteration rate comes from one simulated measurement run;
 /// the revocation/checkpoint timeline is then composed against the market.
+/// Billing covers the full hold: restart delay and checkpoint restore reads
+/// happen on acquired capacity, so they are charged like the work and the
+/// checkpoint writes.
 SpotRunReport run_on_spot(const cloud::SpotMarket& market, const ddnn::WorkloadSpec& workload,
                           const cloud::InstanceType& type, int n_workers, int n_ps,
                           long total_iterations, const SpotRunOptions& options = {});
+
+/// Derives the deterministic fault schedule implied by the price trace:
+/// every revocation in [0, horizon) of an instance held at `bid` becomes
+/// one simultaneous kCrash event per worker, recovering once the market
+/// re-admits the bid plus the re-provisioning delay. Times are relative to
+/// the first acquisition. A revocation whose re-acquisition lies beyond
+/// the horizon is dropped (never emitted as a permanent crash). Same
+/// market seed, same schedule — digest()-comparable across runs.
+faults::FaultSchedule revocation_schedule(const cloud::SpotMarket& market,
+                                          const std::string& type, double bid, int n_workers,
+                                          util::Seconds horizon, util::Seconds restart_delay);
+
+struct MixedFleetOptions {
+  /// Bid as a multiple of the long-run mean spot price (workers only).
+  double bid_multiplier = 1.6;
+  /// Replacement boot delay appended to each market outage.
+  double restart_delay = 180.0;
+  /// Schedule/billing horizon (safety for absurd bids).
+  double max_wall_time = util::days(30.0).value();
+  std::uint64_t seed = 17;
+  /// Forwarded to the training simulator (faults pointer is overridden).
+  ddnn::TrainOptions training;
+};
+
+struct MixedFleetReport {
+  bool completed = false;
+  ddnn::TrainResult training;        ///< the actual simulated run
+  faults::FaultSchedule schedule;    ///< injected revocation crashes
+  int revocations = 0;
+  double wall_time = 0.0;            ///< training wall clock (incl. outages)
+  double worker_busy_time = 0.0;     ///< wall minus market outages
+  util::Dollars cost;                ///< workers at spot + PS on-demand
+  /// What the same held time costs all on-demand (workers over their busy
+  /// windows, PS over the wall clock) — the durable counterfactual.
+  util::Dollars on_demand_cost;
+  double bid = 0.0;                  ///< $/h per worker instance
+};
+
+/// Executes the mixed on-demand+spot fleet: workers ride spot capacity at
+/// `bid_multiplier` x mean price while the PS tier stays on-demand, so
+/// parameters survive worker revocations and training resumes from live
+/// state (no rollback, no restore reads). Revocations are injected as
+/// crash faults derived from the price trace — the run is bit-identical
+/// across repeats at a fixed seed. Workers are billed by integrating the
+/// spot price over their held windows; the PS tier pays on-demand for the
+/// whole wall clock.
+MixedFleetReport run_mixed_fleet(const cloud::SpotMarket& market,
+                                 const ddnn::WorkloadSpec& workload,
+                                 const cloud::InstanceType& type, int n_workers, int n_ps,
+                                 long total_iterations, const MixedFleetOptions& options = {});
 
 }  // namespace cynthia::orch

@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "cloud/spot.hpp"
+#include "core/revocation.hpp"
 #include "orchestrator/cluster_manager.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/telemetry.hpp"
@@ -104,6 +106,7 @@ struct FleetEngine {
     double train_start = 0.0;
     double duration = 0.0;
     long attempt_total = 0;  ///< total_iterations this attempt set out to run
+    bool mixed = false;      ///< workers on spot, PS on-demand (spot_fleets)
     sim::EventId completion = 0;
   };
   std::map<long, RunningAttempt> running;  ///< by outcome index
@@ -114,9 +117,30 @@ struct FleetEngine {
   long total_attempts = 0;
   long total_replans = 0;
   long total_revocations = 0;
+  long total_spot_attempts = 0;
+
+  /// Mixed-fleet pricing (options.spot_fleets): one seeded market per run
+  /// plus lazily fitted per-type interruption models (core/revocation.hpp).
+  std::optional<cloud::SpotMarket> spot_market;
+  std::map<std::string, core::InterruptionModel> spot_fits;
 
   FleetEngine(ProvisioningService& service, telemetry::Telemetry* telemetry)
-      : svc(service), tel(telemetry), region(service.region_) {}
+      : svc(service), tel(telemetry), region(service.region_) {
+    if (svc.options_.spot_fleets) {
+      spot_market.emplace(*svc.catalog_, svc.options_.seed);
+    }
+  }
+
+  [[nodiscard]] const core::InterruptionModel& spot_fit(const cloud::InstanceType& type) {
+    auto it = spot_fits.find(type.name);
+    if (it == spot_fits.end()) {
+      const util::DollarsPerHour bid{spot_market->mean_price(type.name) *
+                                     svc.options_.spot_bid_multiplier};
+      it = spot_fits.emplace(type.name, core::fit_interruption_model(*spot_market, type, bid))
+               .first;
+    }
+    return it->second;
+  }
 
   // -- queue order: priority desc, then arrival asc, then id asc ----------
 
@@ -255,9 +279,11 @@ struct FleetEngine {
     total_revocations += 1;
     charge_attempt(idx, ra, util::Seconds{elapsed}, telemetry::CostCause::kFault);
 
-    // Progress survives at checkpoint granularity; the remainder is pinned
-    // for the replan path on re-admission.
-    const long ckpt = std::max<long>(1, svc.options_.checkpoint_iterations);
+    // Progress survives at checkpoint granularity — except on a mixed
+    // fleet, where the on-demand PS keeps the parameters and every closed
+    // iteration is durable. The remainder is pinned for the replan path.
+    const long ckpt =
+        ra.mixed ? 1 : std::max<long>(1, svc.options_.checkpoint_iterations);
     const double frac = ra.duration > 0.0 ? elapsed / ra.duration : 0.0;
     long done = static_cast<long>(frac * static_cast<double>(ra.attempt_total)) / ckpt * ckpt;
     done = std::min(done, ra.attempt_total - 1);
@@ -270,8 +296,9 @@ struct FleetEngine {
     o.state = JobState::kQueued;
     if (tel != nullptr) {
       tel->journal.event(now, telemetry::JournalKind::kFaultInjected, job_subject(o.request.id),
-                         "spot revocation: " + std::to_string(qstate[idx].remaining) +
-                             " iterations remain",
+                         std::string(ra.mixed ? "spot revocation (mixed fleet): " :
+                                                "spot revocation: ") +
+                             std::to_string(qstate[idx].remaining) + " iterations remain",
                          elapsed);
     }
     enqueue(idx);
@@ -399,6 +426,11 @@ struct FleetEngine {
     ra.n_ps = plan.n_ps;
     ra.dockers = dockers;
     ra.attempt_total = std::max<long>(1, plan.total_iterations);
+    // Revoked jobs re-plan onto mixed fleets: the remainder (pinned by the
+    // last revocation) runs its workers on spot while the PS tier stays
+    // on-demand, keeping the parameters durable across further revocations.
+    ra.mixed = spot_market.has_value() && qstate[idx].remaining > 0;
+    if (ra.mixed) total_spot_attempts += 1;
     ra.prov = deploy_latency(plan, mix_seed(svc.options_.seed ^ kDeploySalt, rq.id, o.attempts));
     o.provisioning += util::Seconds{ra.prov};
     ra.train_start = now + ra.prov;
@@ -425,7 +457,8 @@ struct FleetEngine {
 
     if (tel != nullptr) {
       tel->journal.event(now, telemetry::JournalKind::kJobAdmitted, job_subject(rq.id),
-                         plan.describe(), now - rq.arrival.value());
+                         plan.describe() + (ra.mixed ? " [mixed fleet: workers on spot]" : ""),
+                         now - rq.arrival.value());
     }
   }
 
@@ -453,13 +486,22 @@ struct FleetEngine {
   /// charge_train per attempt, in event order — exactly the order the two
   /// single-delta settlements hit the journal, so CostLedger::total()
   /// reproduces stats.total_cost bit-for-bit.
+  /// Eq. 8 for an attempt's duration; mixed attempts blend the worker tier
+  /// down to the fitted spot rate (spot off reproduces plan_cost exactly).
+  [[nodiscard]] util::Dollars attempt_cost(const RunningAttempt& ra, util::Seconds duration) {
+    if (!ra.mixed) return core::plan_cost(ra.type, ra.n_workers, ra.n_ps, duration);
+    const double ratio = spot_fit(ra.type).held_price_ratio;
+    const util::DollarsPerHour rate{ra.type.docker_price().value() *
+                                    (ratio * ra.n_workers + ra.n_ps)};
+    return rate * duration;
+  }
+
   void charge_attempt(std::size_t idx, const RunningAttempt& ra, util::Seconds train_time,
                       telemetry::CostCause cause) {
     JobOutcome& o = outcomes[idx];
-    const util::Dollars charge_total = core::plan_cost(
-        ra.type, ra.n_workers, ra.n_ps, util::Seconds{ra.prov + train_time.value()});
-    const util::Dollars charge_prov =
-        core::plan_cost(ra.type, ra.n_workers, ra.n_ps, util::Seconds{ra.prov});
+    const util::Dollars charge_total =
+        attempt_cost(ra, util::Seconds{ra.prov + train_time.value()});
+    const util::Dollars charge_prov = attempt_cost(ra, util::Seconds{ra.prov});
     const util::Dollars charge_train{charge_total.value() - charge_prov.value()};
     o.cost += charge_prov;
     o.cost += charge_train;
@@ -546,6 +588,7 @@ struct FleetEngine {
     s.attempts = total_attempts;
     s.replans = total_replans;
     s.revocations = total_revocations;
+    s.spot_attempts = total_spot_attempts;
     if (s.submitted > 0) {
       s.slo_attain_rate = static_cast<double>(s.slo_attained) / static_cast<double>(s.submitted);
     }

@@ -71,6 +71,17 @@ struct ServeOptions {
   /// rounded down to a multiple of this before re-planning the remainder.
   long checkpoint_iterations = 50;
 
+  /// Mixed on-demand+spot fleets for revoked jobs: when enabled, every
+  /// re-admission of a revoked job runs its workers on spot capacity (the
+  /// PS tier stays on-demand), billed at the mean held-price ratio of an
+  /// interruption model fitted from a market seeded by `seed`
+  /// (core/revocation.hpp). The durable PS keeps the parameters, so a
+  /// mixed attempt's progress survives at iteration — not checkpoint —
+  /// granularity. Off (the default) is bit-identical to pre-spot behavior.
+  bool spot_fleets = false;
+  /// Bid as a multiple of each type's long-run mean spot price.
+  double spot_bid_multiplier = 1.6;
+
   /// Admission-scan width: queued jobs examined per capacity-release event
   /// (priority order; smaller jobs may backfill past a blocked head).
   int backfill_window = 64;
@@ -92,6 +103,7 @@ struct FleetStats {
   long attempts = 0;   ///< capacity grants across all jobs
   long replans = 0;    ///< Algorithm 1 re-runs beyond each job's first plan
   long revocations = 0;
+  long spot_attempts = 0;  ///< mixed-fleet re-admissions (spot_fleets only)
 
   long slo_attained = 0;        ///< completed with completed_at - arrival <= Tg
   double slo_attain_rate = 0.0; ///< slo_attained / submitted

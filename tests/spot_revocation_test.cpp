@@ -1,0 +1,290 @@
+// Revocation-aware provisioning suite (ctest label: spot).
+//
+// Covers the interruption-model fitting and expected-run math in
+// core/revocation, the mixed-fleet planner (core::Provisioner::plan_spot),
+// the price-trace-derived fault schedules and mixed-fleet execution in
+// orch, and the bit-identical-at-fixed-seed determinism contract that ties
+// them together.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cloud/instance.hpp"
+#include "cloud/spot.hpp"
+#include "core/predictor.hpp"
+#include "core/provisioner.hpp"
+#include "core/revocation.hpp"
+#include "ddnn/workload.hpp"
+#include "orchestrator/spot_runner.hpp"
+#include "util/units.hpp"
+
+namespace cc = cynthia::cloud;
+namespace cd = cynthia::ddnn;
+namespace core = cynthia::core;
+namespace orch = cynthia::orch;
+namespace util = cynthia::util;
+
+namespace {
+
+const cc::InstanceType& m4() { return cc::Catalog::aws().at("m4.xlarge"); }
+
+/// A bid low enough to see revocations on every seed we use here.
+util::DollarsPerHour tight_bid(const cc::SpotMarket& market) {
+  return util::DollarsPerHour{market.mean_price("m4.xlarge") * 1.1};
+}
+
+core::InterruptionModel fit(std::uint64_t seed, double multiplier = 1.1) {
+  cc::SpotMarket market(cc::Catalog::aws(), seed);
+  return core::fit_interruption_model(
+      market, m4(), util::DollarsPerHour{market.mean_price("m4.xlarge") * multiplier});
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- market
+
+TEST(SpotTrace, PricesStayPositive) {
+  cc::SpotMarket market(cc::Catalog::aws(), 11);
+  for (double t = 0.0; t < util::days(3.0).value(); t += 150.0) {
+    EXPECT_GT(market.price_at("m4.xlarge", t), 0.0) << "t=" << t;
+  }
+}
+
+TEST(SpotTrace, CostIsAdditiveOverAdjacentWindows) {
+  cc::SpotMarket market(cc::Catalog::aws(), 12);
+  // Split points chosen off the 300 s step grid on purpose.
+  const double t0 = 130.0, t1 = 7777.0, t2 = 20011.0;
+  const double whole = market.cost("m4.xlarge", t0, t2).value();
+  const double split =
+      market.cost("m4.xlarge", t0, t1).value() + market.cost("m4.xlarge", t1, t2).value();
+  EXPECT_NEAR(whole, split, 1e-9 * std::max(1.0, whole));
+}
+
+TEST(SpotTrace, RevocationImpliesPriceAboveBid) {
+  cc::SpotMarket market(cc::Catalog::aws(), 13);
+  const double bid = tight_bid(market).value();
+  double t = market.next_availability_after("m4.xlarge", 0.0, bid);
+  ASSERT_TRUE(std::isfinite(t));
+  for (int i = 0; i < 8; ++i) {
+    const double revoked = market.next_revocation_after("m4.xlarge", t, bid);
+    if (!std::isfinite(revoked)) break;
+    EXPECT_GT(market.price_at("m4.xlarge", revoked), bid);
+    const double back = market.next_availability_after("m4.xlarge", revoked, bid);
+    if (!std::isfinite(back)) break;
+    EXPECT_LE(market.price_at("m4.xlarge", back), bid);
+    EXPECT_GT(back, revoked);
+    t = back;
+  }
+}
+
+// ------------------------------------------------- interruption fitting
+
+TEST(InterruptionFit, TightBidSeesRevocations) {
+  const core::InterruptionModel model = fit(21);
+  EXPECT_GT(model.revocations, 0);
+  EXPECT_GT(model.hazard, 0.0);
+  EXPECT_GT(model.mean_uptime.value(), 0.0);
+  EXPECT_GT(model.mean_outage.value(), 0.0);
+  EXPECT_FALSE(model.always_available());
+  // Held price can never exceed the bid, which sits well below on-demand.
+  EXPECT_LT(model.held_price_ratio, 1.0);
+  EXPECT_GT(model.held_price_ratio, 0.0);
+}
+
+TEST(InterruptionFit, GenerousBidIsAlwaysAvailable) {
+  const core::InterruptionModel model = fit(21, /*multiplier=*/50.0);
+  EXPECT_EQ(model.revocations, 0);
+  EXPECT_DOUBLE_EQ(model.hazard, 0.0);
+  EXPECT_TRUE(model.always_available());
+}
+
+TEST(InterruptionFit, DeterministicForSeed) {
+  const core::InterruptionModel a = fit(22), b = fit(22);
+  EXPECT_EQ(a.revocations, b.revocations);
+  EXPECT_DOUBLE_EQ(a.hazard, b.hazard);
+  EXPECT_DOUBLE_EQ(a.mean_uptime.value(), b.mean_uptime.value());
+  EXPECT_DOUBLE_EQ(a.mean_outage.value(), b.mean_outage.value());
+  EXPECT_DOUBLE_EQ(a.held_price_ratio, b.held_price_ratio);
+}
+
+// --------------------------------------------------- expected-run math
+
+TEST(ExpectedRun, NoHazardMeansNominalRun) {
+  core::InterruptionModel calm;
+  calm.type = "m4.xlarge";
+  calm.hazard = 0.0;
+  core::RevocationRunShape shape;
+  shape.work = util::Seconds{3600.0};
+  shape.t_iter = util::Seconds{0.5};
+  const core::ExpectedRun run = core::expected_run(calm, shape, util::Seconds{600.0});
+  ASSERT_TRUE(run.finite);
+  EXPECT_DOUBLE_EQ(run.expected_revocations, 0.0);
+  EXPECT_DOUBLE_EQ(run.expected_wall.value(), run.expected_busy.value());
+  EXPECT_GE(run.expected_busy.value(), shape.work.value());
+}
+
+TEST(ExpectedRun, SurvivingStateBeatsRollback) {
+  const core::InterruptionModel model = fit(23);
+  core::RevocationRunShape all_spot;
+  all_spot.work = util::Seconds{4.0 * 3600.0};
+  all_spot.t_iter = util::Seconds{0.5};
+  all_spot.checkpoint_write = util::Seconds{20.0};
+  all_spot.restore_read = util::Seconds{20.0};
+  core::RevocationRunShape mixed = all_spot;
+  mixed.state_survives = true;
+  mixed.checkpoint_write = mixed.restore_read = util::Seconds{0.0};
+  const core::ExpectedRun a = core::optimize_checkpoint_cadence(model, all_spot);
+  const core::ExpectedRun b = core::optimize_checkpoint_cadence(model, mixed);
+  ASSERT_TRUE(a.finite);
+  ASSERT_TRUE(b.finite);
+  EXPECT_LE(b.expected_busy.value(), a.expected_busy.value());
+  // Mixed fleets keep the parameters alive: no checkpoints at all.
+  EXPECT_DOUBLE_EQ(b.checkpoint_interval.value(), 0.0);
+  EXPECT_DOUBLE_EQ(b.checkpoint_overhead.value(), 0.0);
+}
+
+TEST(ExpectedRun, OptimizedCadenceBeatsLegacyFixed600) {
+  const core::InterruptionModel model = fit(24);
+  ASSERT_GT(model.hazard, 0.0);
+  core::RevocationRunShape shape;
+  shape.work = util::Seconds{6.0 * 3600.0};
+  shape.t_iter = util::Seconds{0.5};
+  shape.checkpoint_write = util::Seconds{30.0};
+  shape.restore_read = util::Seconds{30.0};
+  const core::ExpectedRun best = core::optimize_checkpoint_cadence(model, shape);
+  const core::ExpectedRun fixed = core::expected_run(model, shape, util::Seconds{600.0});
+  ASSERT_TRUE(best.finite);
+  ASSERT_TRUE(fixed.finite);
+  EXPECT_LE(best.expected_wall.value(), fixed.expected_wall.value());
+  EXPECT_GT(best.checkpoint_interval.value(), 0.0);
+}
+
+TEST(ExpectedRun, WallGrowsWithHazard) {
+  core::InterruptionModel mild, stormy;
+  mild.hazard = 1.0 / (8.0 * 3600.0);
+  stormy.hazard = 1.0 / (1.0 * 3600.0);
+  mild.mean_outage = stormy.mean_outage = util::Seconds{900.0};
+  core::RevocationRunShape shape;
+  shape.work = util::Seconds{2.0 * 3600.0};
+  shape.t_iter = util::Seconds{0.5};
+  shape.checkpoint_write = util::Seconds{15.0};
+  shape.restore_read = util::Seconds{15.0};
+  const core::ExpectedRun a = core::expected_run(mild, shape, util::Seconds{600.0});
+  const core::ExpectedRun b = core::expected_run(stormy, shape, util::Seconds{600.0});
+  ASSERT_TRUE(a.finite);
+  ASSERT_TRUE(b.finite);
+  EXPECT_LT(a.expected_wall.value(), b.expected_wall.value());
+  EXPECT_LT(a.expected_revocations, b.expected_revocations);
+}
+
+// ------------------------------------------------------------- planner
+
+TEST(SpotPlanner, NeverCostsMoreThanDurable) {
+  const auto& w = cd::workload_by_name("cifar10");
+  const auto pred = core::Predictor::build(w, m4());
+  core::Provisioner prov(pred.model(), pred.loss(), cc::Catalog::aws().provisionable());
+  const core::ProvisionGoal goal{util::minutes(90.0), 0.8};
+  cc::SpotMarket market(cc::Catalog::aws(), 42);
+  const core::SpotProvisionPlan sp = prov.plan_spot(w.sync, goal, market);
+  ASSERT_TRUE(sp.feasible);
+  ASSERT_TRUE(sp.durable.feasible);
+  // The durable Algorithm 1 answer is always a candidate, so the
+  // durability-aware winner can only improve on it.
+  EXPECT_LE(sp.expected_cost.value(), sp.durable.predicted_cost.value() + 1e-9);
+  // And it still meets the deadline in expectation.
+  EXPECT_LE(sp.expected_time.value(), goal.time_goal.value() + 1e-9);
+}
+
+TEST(SpotPlanner, DeterministicForSeed) {
+  const auto& w = cd::workload_by_name("cifar10");
+  const auto pred = core::Predictor::build(w, m4());
+  core::Provisioner prov(pred.model(), pred.loss(), cc::Catalog::aws().provisionable());
+  const core::ProvisionGoal goal{util::minutes(90.0), 0.8};
+  cc::SpotMarket market(cc::Catalog::aws(), 43);
+  const auto a = prov.plan_spot(w.sync, goal, market);
+  const auto b = prov.plan_spot(w.sync, goal, market);
+  EXPECT_EQ(a.durability, b.durability);
+  EXPECT_EQ(a.plan.type.name, b.plan.type.name);
+  EXPECT_EQ(a.plan.n_workers, b.plan.n_workers);
+  EXPECT_EQ(a.plan.n_ps, b.plan.n_ps);
+  EXPECT_DOUBLE_EQ(a.expected_cost.value(), b.expected_cost.value());
+  EXPECT_DOUBLE_EQ(a.expected_time.value(), b.expected_time.value());
+  EXPECT_DOUBLE_EQ(a.checkpoint_interval.value(), b.checkpoint_interval.value());
+}
+
+TEST(SpotPlanner, InvalidBidThrows) {
+  const auto& w = cd::workload_by_name("mnist");
+  const auto pred = core::Predictor::build(w, m4());
+  core::Provisioner prov(pred.model(), pred.loss(), cc::Catalog::aws().provisionable());
+  cc::SpotMarket market;
+  core::SpotPlanOptions bad;
+  bad.bid_multiplier = 0.0;
+  EXPECT_THROW(
+      prov.plan_spot(w.sync, core::ProvisionGoal{util::minutes(30.0), 0.05}, market, bad),
+      std::invalid_argument);
+}
+
+// --------------------------------------------------- schedules & runs
+
+TEST(RevocationSchedule, DigestIdenticalAcrossRuns) {
+  cc::SpotMarket market(cc::Catalog::aws(), 51);
+  const double bid = tight_bid(market).value();
+  const auto a = orch::revocation_schedule(market, "m4.xlarge", bid, 4, util::days(2.0),
+                                           util::Seconds{180.0});
+  const auto b = orch::revocation_schedule(market, "m4.xlarge", bid, 4, util::days(2.0),
+                                           util::Seconds{180.0});
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_FALSE(a.events().empty());
+  // Each revocation crashes every worker; none are permanent.
+  EXPECT_EQ(a.events().size() % 4, 0u);
+  for (const auto& spec : a.events()) {
+    EXPECT_FALSE(spec.on_ps);
+    EXPECT_GE(spec.recovery_seconds, 180.0);
+  }
+}
+
+TEST(MixedFleet, BitIdenticalAcrossRepeats) {
+  cc::SpotMarket market(cc::Catalog::aws(), 52);
+  const auto& w = cd::workload_by_name("cifar10");
+  orch::MixedFleetOptions o;
+  o.bid_multiplier = 1.1;  // tight: force revocations into the run
+  const auto a = orch::run_mixed_fleet(market, w, m4(), 4, 1, 3000, o);
+  const auto b = orch::run_mixed_fleet(market, w, m4(), 4, 1, 3000, o);
+  ASSERT_TRUE(a.completed);
+  EXPECT_EQ(a.schedule.digest(), b.schedule.digest());
+  EXPECT_DOUBLE_EQ(a.wall_time, b.wall_time);
+  EXPECT_DOUBLE_EQ(a.cost.value(), b.cost.value());
+  EXPECT_EQ(a.revocations, b.revocations);
+}
+
+TEST(MixedFleet, SurvivesRevocationsAndUndercutsOnDemand) {
+  cc::SpotMarket market(cc::Catalog::aws(), 53);
+  const auto& w = cd::workload_by_name("cifar10");
+  orch::MixedFleetOptions o;
+  o.bid_multiplier = 1.1;
+  const auto r = orch::run_mixed_fleet(market, w, m4(), 4, 1, 4000, o);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.training.iterations, 4000);
+  // Workers ride the discounted spot price, so the mixed bill undercuts
+  // the all-on-demand counterfactual for the same held time.
+  EXPECT_LT(r.cost.value(), r.on_demand_cost.value());
+  EXPECT_GT(r.worker_busy_time, 0.0);
+  EXPECT_LE(r.worker_busy_time, r.wall_time + 1e-9);
+}
+
+TEST(SpotRunner, FullHoldWindowIsBilled) {
+  cc::SpotMarket market(cc::Catalog::aws(), 54);
+  const auto& w = cd::workload_by_name("cifar10");
+  orch::SpotRunOptions o;
+  o.bid_multiplier = 1.05;  // tight: force at least one revocation
+  const auto r = orch::run_on_spot(market, w, m4(), 4, 1, 4000, o);
+  ASSERT_TRUE(r.completed);
+  if (r.revocations > 0) {
+    EXPECT_GT(r.restore_overhead, 0.0);
+    EXPECT_GT(r.restart_overhead, 0.0);
+  }
+  // The billed busy time covers work, checkpoint writes, lost progress,
+  // restore reads and restart delays — nothing rides free.
+  EXPECT_GE(r.busy_time + 1e-6, r.checkpoint_overhead + r.lost_work + r.restore_overhead +
+                                    r.restart_overhead);
+}
